@@ -1,0 +1,355 @@
+// Benchmarks regenerating the experiment series of EXPERIMENTS.md, one per
+// table/claim. Simulator benches report steps/op (the paper's measure —
+// wall time on the simulator is not the quantity of interest); concurrent
+// benches report real throughput.
+//
+// Run: go test -bench=. -benchmem .
+package randtas
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/combiner"
+	"repro/internal/core"
+	"repro/internal/groupelect"
+	"repro/internal/lowerbound"
+	"repro/internal/ratrace"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tas"
+	"repro/internal/twoproc"
+)
+
+// benchLE runs one leader election per iteration at contention k and
+// reports the mean max-steps metric (the paper's expected individual step
+// complexity).
+func benchLE(b *testing.B, k, n int, mk func(s shm.Space) interface {
+	Elect(h shm.Handle) bool
+}, mkAdv func(seed int64) sim.Adversary) {
+	b.Helper()
+	totalMax := 0
+	for i := 0; i < b.N; i++ {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+		le := mk(sys)
+		res := sys.Run(mkAdv(int64(i)+977), func(h shm.Handle) {
+			le.Elect(h)
+		})
+		totalMax += res.MaxSteps
+	}
+	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
+}
+
+func randomAdv(seed int64) sim.Adversary { return sim.NewRandomOblivious(seed) }
+
+// E1 — Lemma 2.2: Figure 1 group election performance parameter.
+func BenchmarkGroupElectFig1(b *testing.B) {
+	for _, k := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			elected := 0
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+				ge := groupelect.NewFig1(sys, 4096)
+				sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
+					if ge.Elect(h) {
+						elected++
+					}
+				})
+			}
+			b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
+		})
+	}
+}
+
+// E2 — Theorem 2.3: the O(log* k) chain.
+func BenchmarkLogStarLE(b *testing.B) {
+	for _, k := range []int{8, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchLE(b, k, 4096, func(s shm.Space) interface {
+				Elect(h shm.Handle) bool
+			} {
+				return core.NewLogStar(s, 4096)
+			}, randomAdv)
+		})
+	}
+}
+
+// E3 — Section 2.3 / Theorem 2.4: sifting chains.
+func BenchmarkSiftingLE(b *testing.B) {
+	for _, k := range []int{8, 512} {
+		b.Run(fmt.Sprintf("nonadaptive/k=%d", k), func(b *testing.B) {
+			benchLE(b, k, 4096, func(s shm.Space) interface {
+				Elect(h shm.Handle) bool
+			} {
+				return core.NewSifting(s, 4096)
+			}, randomAdv)
+		})
+		b.Run(fmt.Sprintf("adaptive/k=%d", k), func(b *testing.B) {
+			benchLE(b, k, 4096, func(s shm.Space) interface {
+				Elect(h shm.Handle) bool
+			} {
+				return core.NewAdaptiveSifting(s, 4096)
+			}, randomAdv)
+		})
+	}
+}
+
+// E4 — Section 3: space-efficient RatRace under the adaptive lockstep
+// schedule, plus the space census of both variants.
+func BenchmarkRatRaceSE(b *testing.B) {
+	for _, k := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchLE(b, k, 1024, func(s shm.Space) interface {
+				Elect(h shm.Handle) bool
+			} {
+				return ratrace.NewSpaceEfficient(s, 1024)
+			}, func(int64) sim.Adversary { return sim.NewLockstep() })
+		})
+	}
+}
+
+func BenchmarkRatRaceSpace(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("original/n=%d", n), func(b *testing.B) {
+			regs := 0
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+				ratrace.NewOriginal(sys, n)
+				regs = sys.RegisterCount()
+			}
+			b.ReportMetric(float64(regs), "registers")
+		})
+		b.Run(fmt.Sprintf("modified/n=%d", n), func(b *testing.B) {
+			regs := 0
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+				ratrace.NewSpaceEfficient(sys, n)
+				regs = sys.RegisterCount()
+			}
+			b.ReportMetric(float64(regs), "registers")
+		})
+	}
+}
+
+// E5 — Theorem 4.1: the combined algorithm under the adaptive attack that
+// breaks the plain chain.
+func BenchmarkCombinerAttack(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		b.Run(fmt.Sprintf("naive/k=%d", k), func(b *testing.B) {
+			totalMax := 0
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+				chain := core.NewLogStar(sys, k)
+				res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
+					chain.Elect(h)
+				})
+				totalMax += res.MaxSteps
+			}
+			b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
+		})
+		b.Run(fmt.Sprintf("combined/k=%d", k), func(b *testing.B) {
+			totalMax := 0
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+				rr := ratrace.NewSpaceEfficient(sys, k)
+				chain := core.NewLogStar(sys, k)
+				comb := combiner.New(sys, rr, chain)
+				res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
+					comb.Elect(h)
+				})
+				totalMax += res.MaxSteps
+			}
+			b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
+		})
+	}
+}
+
+// E6 — Theorem 5.1: one full covering-adversary construction per iteration.
+func BenchmarkCoveringAdversary(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			covered := 0
+			for i := 0; i < b.N; i++ {
+				res := lowerbound.RunCovering(n, int64(i)+1, func(s shm.Space) func(shm.Handle) {
+					le := core.NewLogStar(s, n)
+					return func(h shm.Handle) { le.Elect(h) }
+				})
+				covered = res.CoveredRegisters
+			}
+			b.ReportMetric(float64(covered), "covered-registers")
+		})
+	}
+}
+
+// E7 — Theorem 6.1: the schedule-enumeration experiment.
+func BenchmarkTwoProcLowerBound(b *testing.B) {
+	for _, t := range []int{2, 4} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			var maxProb float64
+			for i := 0; i < b.N; i++ {
+				p := lowerbound.TwoProcessTimeBound(t, 40, int64(i)+1)
+				maxProb = p.MaxProb
+			}
+			b.ReportMetric(maxProb, "max-prob")
+		})
+	}
+}
+
+// E8 — Claim 3.2: leaf-occupancy tail sampling.
+func BenchmarkLeafOccupancy(b *testing.B) {
+	const n = 256
+	height := 8
+	threshold := 4 * height
+	rng := rand.New(rand.NewSource(11))
+	exceed := 0
+	for i := 0; i < b.N; i++ {
+		blocks := make([]int, n/height+1)
+		for ball := 0; ball < n; ball++ {
+			blocks[rng.Intn(n)/height]++
+		}
+		for _, c := range blocks {
+			if c > threshold {
+				exceed++
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(exceed)/float64(b.N), "overflow-frac")
+}
+
+// E9 — the adversary-separation attacks.
+func BenchmarkAdversarySeparation(b *testing.B) {
+	const k = 64
+	b.Run("fig1-ascending", func(b *testing.B) {
+		elected := 0
+		for i := 0; i < b.N; i++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+			ge := groupelect.NewFig1(sys, 1024)
+			ids := map[int]bool{}
+			for _, id := range ge.ArrayRegisterIDs() {
+				ids[id] = true
+			}
+			sys.Run(sim.NewAscendingLocation(func(r int) bool { return ids[r] }), func(h shm.Handle) {
+				if ge.Elect(h) {
+					elected++
+				}
+			})
+		}
+		b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
+	})
+	b.Run("sifter-readersfirst", func(b *testing.B) {
+		elected := 0
+		for i := 0; i < b.N; i++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+			ge := groupelect.NewSifter(sys, groupelect.SifterPi(k))
+			sys.Run(sim.NewReadersFirst(), func(h shm.Handle) {
+				if ge.Elect(h) {
+					elected++
+				}
+			})
+		}
+		b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
+	})
+}
+
+// E11 — the two-process building block.
+func BenchmarkTwoProcLE(b *testing.B) {
+	totalMax := 0
+	for i := 0; i < b.N; i++ {
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: int64(i)})
+		le := twoproc.New(sys)
+		res := sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
+			le.Elect(h, h.ID())
+		})
+		totalMax += res.MaxSteps
+	}
+	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
+}
+
+// E12 — the TAS-from-LE transformation overhead.
+func BenchmarkTASFromLE(b *testing.B) {
+	const k = 64
+	totalMax := 0
+	for i := 0; i < b.N; i++ {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+		obj := tas.New(sys, core.NewLogStar(sys, k))
+		res := sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
+			obj.TAS(h)
+		})
+		totalMax += res.MaxSteps
+	}
+	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
+}
+
+// E13 — real-backend throughput: the paper's TAS versus a plain
+// CompareAndSwap TAS (the primitive the paper's model does not allow).
+func BenchmarkConcurrentTAS(b *testing.B) {
+	for _, algo := range []Algorithm{Combined, LogStar, RatRace, AGTV} {
+		b.Run(algo.String(), func(b *testing.B) {
+			const procs = 8
+			for i := 0; i < b.N; i++ {
+				obj, err := NewTAS(Options{N: procs, Algorithm: algo, Seed: int64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				var zeros int32
+				for p := 0; p < procs; p++ {
+					wg.Add(1)
+					go func(tp *TASProc) {
+						defer wg.Done()
+						if tp.TAS() == 0 {
+							atomic.AddInt32(&zeros, 1)
+						}
+					}(obj.Proc(p))
+				}
+				wg.Wait()
+				if zeros != 1 {
+					b.Fatalf("%d winners", zeros)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCASBaselineTAS(b *testing.B) {
+	const procs = 8
+	for i := 0; i < b.N; i++ {
+		var bit int32
+		var wg sync.WaitGroup
+		var zeros int32
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if atomic.CompareAndSwapInt32(&bit, 0, 1) {
+					atomic.AddInt32(&zeros, 1)
+				}
+			}()
+		}
+		wg.Wait()
+		if zeros != 1 {
+			b.Fatalf("%d winners", zeros)
+		}
+	}
+}
+
+// Ablation — the simulator's step-handshake overhead (DESIGN.md).
+func BenchmarkSimStepOverhead(b *testing.B) {
+	sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+	r := sys.NewRegister(0)
+	steps := b.N
+	sys.Start(func(h shm.Handle) {
+		for i := 0; i < steps; i++ {
+			h.Write(r, 1)
+		}
+	})
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(0)
+	}
+}

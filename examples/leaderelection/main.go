@@ -1,0 +1,83 @@
+// Leader election in a worker pool with crashes: a group of replicas must
+// agree on a single coordinator using only atomic registers. Some replicas
+// crash before participating — the election still produces exactly one
+// leader among the survivors, illustrating the wait-free progress
+// guarantee (no replica ever waits on another).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	randtas "repro"
+)
+
+type replica struct {
+	id      int
+	crashed bool
+	leader  bool
+	elapsed time.Duration
+	steps   int
+}
+
+func main() {
+	const n = 12
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	le, err := randtas.NewLeaderElection(randtas.Options{
+		N:         n,
+		Algorithm: randtas.RatRace, // adaptive-adversary bound: O(log k) whatever the runtime does
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	replicas := make([]*replica, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		r := &replica{id: i, crashed: rng.Intn(3) == 0} // ~1/3 crash before voting
+		replicas[i] = r
+		if r.crashed {
+			continue
+		}
+		wg.Add(1)
+		go func(r *replica, p *randtas.Proc) {
+			defer wg.Done()
+			start := time.Now()
+			r.leader = p.Elect()
+			r.elapsed = time.Since(start)
+			r.steps = p.Steps()
+		}(r, le.Proc(i))
+	}
+	wg.Wait()
+
+	leaders := 0
+	for _, r := range replicas {
+		switch {
+		case r.crashed:
+			fmt.Printf("replica %2d: crashed before the election\n", r.id)
+		case r.leader:
+			leaders++
+			fmt.Printf("replica %2d: ELECTED COORDINATOR  (%d steps, %v)\n", r.id, r.steps, r.elapsed)
+		default:
+			fmt.Printf("replica %2d: follower             (%d steps, %v)\n", r.id, r.steps, r.elapsed)
+		}
+	}
+	fmt.Printf("\n%d leader elected among %d survivors — registers used: %d\n",
+		leaders, countSurvivors(replicas), le.Registers())
+	if leaders != 1 {
+		panic("not exactly one leader")
+	}
+}
+
+func countSurvivors(rs []*replica) int {
+	n := 0
+	for _, r := range rs {
+		if !r.crashed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Quickstart: one randomized Test-And-Set object, eight goroutines,
+// exactly one winner — no compare-and-swap involved, only atomic reads and
+// writes underneath.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	randtas "repro"
+)
+
+func main() {
+	const workers = 8
+	obj, err := randtas.NewTAS(randtas.Options{N: workers})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TAS object (%v) for %d processes uses %d atomic registers\n\n",
+		randtas.Combined, workers, obj.Registers())
+
+	results := make([]int, workers)
+	steps := make([]int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int, p *randtas.TASProc) {
+			defer wg.Done()
+			results[id] = p.TAS()
+			steps[id] = p.Steps()
+		}(i, obj.Proc(i))
+	}
+	wg.Wait()
+
+	for id, r := range results {
+		role := "lost (bit was already set)"
+		if r == 0 {
+			role = "WON  (saw the bit at 0)"
+		}
+		fmt.Printf("worker %d: TAS() = %d  %-28s %2d shared-memory steps\n", id, r, role, steps[id])
+	}
+}

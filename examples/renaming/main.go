@@ -1,0 +1,73 @@
+// Renaming from Test-And-Set — the application from the paper's
+// introduction ([3, 9]): n processes with large, sparse identifiers
+// acquire distinct small names 1..m by racing on an array of TAS objects.
+// Each process probes names in a random order and keeps the first TAS it
+// wins. Exactly-one-winner per object makes the names unique.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	randtas "repro"
+)
+
+func main() {
+	const (
+		procs = 10
+		space = 16 // name space: a constant factor above procs
+	)
+
+	// One TAS object per candidate name.
+	names := make([]*randtas.TASObject, space)
+	for i := range names {
+		obj, err := randtas.NewTAS(randtas.Options{N: procs, Algorithm: randtas.LogStar})
+		if err != nil {
+			panic(err)
+		}
+		names[i] = obj
+	}
+
+	acquired := make([]int, procs)
+	probes := make([]int, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)*2654435761 + 1))
+			order := rng.Perm(space)
+			acquired[p] = -1
+			for _, name := range order {
+				probes[p]++
+				if names[name].Proc(p).TAS() == 0 {
+					acquired[p] = name + 1 // names are 1-based
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	fmt.Printf("renaming %d processes into name space 1..%d:\n\n", procs, space)
+	taken := map[int]int{}
+	for p, name := range acquired {
+		fmt.Printf("process %2d acquired name %2d after %d probes\n", p, name, probes[p])
+		if name == -1 {
+			panic("a process failed to acquire a name")
+		}
+		if prev, dup := taken[name]; dup {
+			panic(fmt.Sprintf("name %d acquired by both %d and %d", name, prev, p))
+		}
+		taken[name] = p
+	}
+
+	got := make([]int, 0, len(taken))
+	for name := range taken {
+		got = append(got, name)
+	}
+	sort.Ints(got)
+	fmt.Printf("\nall names distinct: %v\n", got)
+}

@@ -1,0 +1,73 @@
+// Package aa implements the AA-algorithm of Alistarh and Aspnes [2] as a
+// faithful baseline: O(log log n) rounds of sifting followed by RatRace
+// among the survivors. Against the R/W-oblivious adversary the sifting
+// rounds shrink the contention to O(1) with high probability, giving
+// O(log log n) expected steps; against the adaptive adversary the RatRace
+// backup still guarantees O(log n) — the graceful degradation the paper
+// highlights in Section 1.
+//
+// The original AA construction uses the 2010 RatRace as its backup, so
+// its space is dominated by RatRace's Θ(n³) registers — exactly the
+// motivation for the paper's Section 3, which this package makes
+// comparable: New uses the original backup, NewSpaceEfficient the paper's
+// Θ(n) variant (reducing the whole construction to O(n) registers as in
+// Section 2.3).
+package aa
+
+import (
+	"repro/internal/core"
+	"repro/internal/groupelect"
+	"repro/internal/ratrace"
+	"repro/internal/shm"
+)
+
+// backupElector is the RatRace dependency.
+type backupElector interface {
+	Elect(h shm.Handle) bool
+}
+
+// AA is the Alistarh–Aspnes leader election.
+type AA struct {
+	sifters []*groupelect.Sifter
+	backup  backupElector
+}
+
+// New builds the historically faithful AA-algorithm for up to n
+// processes: sifting rounds plus the original Θ(n³)-register RatRace.
+// Construct only for small n.
+func New(s shm.Space, n int) *AA {
+	return build(s, n, ratrace.NewOriginal(s, n))
+}
+
+// NewSpaceEfficient is the AA-algorithm with the paper's Θ(n) RatRace —
+// the drop-in repair of its space complexity.
+func NewSpaceEfficient(s shm.Space, n int) *AA {
+	return build(s, n, ratrace.NewSpaceEfficient(s, n))
+}
+
+func build(s shm.Space, n int, backup backupElector) *AA {
+	pis := core.SifterSchedule(n)
+	// Two extra balanced rounds push the survivor count to O(1) with
+	// higher probability before the backup takes over.
+	pis = append(pis, 0.5, 0.5)
+	a := &AA{sifters: make([]*groupelect.Sifter, len(pis)), backup: backup}
+	for i, pi := range pis {
+		a.sifters[i] = groupelect.NewSifter(s, pi)
+	}
+	return a
+}
+
+// Rounds returns the number of sifting rounds (Θ(log log n)).
+func (a *AA) Rounds() int { return len(a.sifters) }
+
+// Elect runs the election; true iff the caller wins. Processes sifted out
+// in any round lose immediately; survivors of all rounds compete on the
+// RatRace backup, whose winner wins overall.
+func (a *AA) Elect(h shm.Handle) bool {
+	for _, sifter := range a.sifters {
+		if !sifter.Elect(h) {
+			return false
+		}
+	}
+	return a.backup.Elect(h)
+}

@@ -1,0 +1,118 @@
+package aa
+
+import (
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+func runAA(t *testing.T, k, n int, seed int64, adv sim.Adversary, spaceEfficient bool) ([]bool, sim.Result) {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+	var le *AA
+	if spaceEfficient {
+		le = NewSpaceEfficient(sys, n)
+	} else {
+		le = New(sys, n)
+	}
+	won := make([]bool, k)
+	res := sys.Run(adv, func(h shm.Handle) {
+		won[h.ID()] = le.Elect(h)
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Fatalf("process %d did not finish", pid)
+		}
+	}
+	return won, res
+}
+
+func TestExactlyOneWinner(t *testing.T) {
+	for _, se := range []bool{false, true} {
+		for _, k := range []int{1, 2, 5, 16} {
+			for seed := int64(0); seed < 15; seed++ {
+				won, _ := runAA(t, k, 16, seed, sim.NewRandomOblivious(seed+3), se)
+				winners := 0
+				for _, w := range won {
+					if w {
+						winners++
+					}
+				}
+				if winners != 1 {
+					t.Fatalf("se=%v k=%d seed=%d: %d winners", se, k, seed, winners)
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceMotivation reproduces the paper's Section 1 observation: the
+// AA-algorithm's space is dominated by RatRace's Θ(n³), and swapping in
+// the Section 3 structure collapses it to Θ(n).
+func TestSpaceMotivation(t *testing.T) {
+	regs := func(se bool, n int) int {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		if se {
+			NewSpaceEfficient(sys, n)
+		} else {
+			New(sys, n)
+		}
+		return sys.RegisterCount()
+	}
+	const n = 32
+	orig, se := regs(false, n), regs(true, n)
+	if orig < 50*se {
+		t.Errorf("original AA (%d regs) vs space-efficient (%d): expected Θ(n³) vs Θ(n) gap", orig, se)
+	}
+	// The sifting rounds themselves are O(log log n) registers.
+	if se > 40*n {
+		t.Errorf("space-efficient AA uses %d registers at n=%d, want O(n)", se, n)
+	}
+}
+
+// TestStepsFlatInContention: with the R/W-oblivious-compatible oblivious
+// schedule, steps stay O(log log n) — flat in k.
+func TestStepsFlatInContention(t *testing.T) {
+	const n = 256
+	means := map[int]float64{}
+	for _, k := range []int{2, 16, 128} {
+		const trials = 25
+		sum := 0
+		for seed := int64(0); seed < trials; seed++ {
+			_, res := runAA(t, k, n, seed, sim.NewRandomOblivious(seed+7), true)
+			sum += res.MaxSteps
+		}
+		means[k] = float64(sum) / trials
+	}
+	if means[128] > 3*means[2]+10 {
+		t.Errorf("AA steps not flat in k: %v", means)
+	}
+}
+
+// TestGracefulDegradationAdaptive: under the adaptive lockstep schedule
+// the RatRace backup keeps the cost logarithmic, not linear.
+func TestGracefulDegradationAdaptive(t *testing.T) {
+	maxSteps := map[int]int{}
+	for _, k := range []int{8, 64} {
+		_, res := runAA(t, k, 64, 5, sim.NewLockstep(), true)
+		maxSteps[k] = res.MaxSteps
+	}
+	if maxSteps[64] > 8*maxSteps[8]+40 {
+		t.Errorf("AA degraded super-logarithmically under adaptive schedule: %v", maxSteps)
+	}
+}
+
+// TestRoundsCount: Θ(log log n) sifting rounds.
+func TestRoundsCount(t *testing.T) {
+	sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+	small := NewSpaceEfficient(sys, 16).Rounds()
+	sys2 := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+	big := NewSpaceEfficient(sys2, 1<<16).Rounds()
+	if big > small+6 {
+		t.Errorf("rounds grew too fast: %d → %d", small, big)
+	}
+	if big > 12 {
+		t.Errorf("too many rounds for n=2^16: %d", big)
+	}
+}

@@ -1,0 +1,100 @@
+package agtv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+func runTournament(t *testing.T, k, n int, seed int64, adv sim.Adversary) ([]bool, sim.Result) {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+	tour := New(sys, n)
+	won := make([]bool, k)
+	res := sys.Run(adv, func(h shm.Handle) {
+		won[h.ID()] = tour.Elect(h)
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Fatalf("process %d did not finish", pid)
+		}
+	}
+	return won, res
+}
+
+func TestExactlyOneWinner(t *testing.T) {
+	advs := map[string]func(seed int64) sim.Adversary{
+		"round-robin": func(int64) sim.Adversary { return sim.NewRoundRobin() },
+		"random":      func(s int64) sim.Adversary { return sim.NewRandomOblivious(s) },
+		"lockstep":    func(int64) sim.Adversary { return sim.NewLockstep() },
+		"solo-first":  func(int64) sim.Adversary { return sim.NewSoloFirst() },
+	}
+	for name, mkAdv := range advs {
+		for _, tc := range []struct{ k, n int }{{1, 1}, {2, 2}, {3, 5}, {7, 7}, {16, 16}, {9, 64}} {
+			for seed := int64(0); seed < 15; seed++ {
+				won, _ := runTournament(t, tc.k, tc.n, seed, mkAdv(seed))
+				c := 0
+				for _, w := range won {
+					if w {
+						c++
+					}
+				}
+				if c != 1 {
+					t.Fatalf("%s k=%d n=%d seed=%d: %d winners", name, tc.k, tc.n, seed, c)
+				}
+			}
+		}
+	}
+}
+
+// TestLogarithmicInN: AGTV's cost is Θ(log n) even at low contention —
+// the non-adaptivity the paper's later algorithms fix.
+func TestLogarithmicInN(t *testing.T) {
+	means := map[int]float64{}
+	for _, n := range []int{4, 64, 1024} {
+		const trials = 40
+		sum := 0
+		for seed := int64(0); seed < trials; seed++ {
+			// Contention is always 2: only the tournament depth grows.
+			_, res := runTournament(t, 2, n, seed, sim.NewRoundRobin())
+			sum += res.MaxSteps
+		}
+		means[n] = float64(sum) / trials
+	}
+	// Ratio of means should track log n: 10/2 = 5 between n=4 and 1024.
+	r := means[1024] / means[4]
+	if r < 2 || r > 10 {
+		t.Errorf("depth scaling off: means=%v ratio=%.2f, want ≈5", means, r)
+	}
+	if means[1024] > 20*math.Log2(1024) {
+		t.Errorf("n=1024 mean %.1f too large for O(log n)", means[1024])
+	}
+}
+
+// TestSpace: 2 registers per internal node, ≈ 2n total.
+func TestSpace(t *testing.T) {
+	for _, n := range []int{2, 16, 1000} {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		New(sys, n)
+		leaves := 1
+		for leaves < n {
+			leaves *= 2
+		}
+		want := 2 * (leaves - 1)
+		if got := sys.RegisterCount(); got != want {
+			t.Errorf("n=%d: %d registers, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		if got := New(sys, n).Rounds(); got != want {
+			t.Errorf("Rounds(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}

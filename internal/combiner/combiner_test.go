@@ -1,0 +1,224 @@
+package combiner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ratrace"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// build constructs the Corollary 4.2 object: space-efficient RatRace
+// combined with the log* chain.
+func build(s shm.Space, n int) (*Combined, *core.ChainLE) {
+	rr := ratrace.NewSpaceEfficient(s, n)
+	chain := core.NewLogStar(s, n)
+	return New(s, rr, chain), chain
+}
+
+func runCombined(t *testing.T, k, n int, seed int64, adv sim.Adversary) ([]bool, sim.Result) {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+	comb, _ := build(sys, n)
+	won := make([]bool, k)
+	res := sys.Run(adv, func(h shm.Handle) {
+		won[h.ID()] = comb.Elect(h)
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Fatalf("process %d did not finish", pid)
+		}
+	}
+	return won, res
+}
+
+func winners(won []bool) int {
+	c := 0
+	for _, w := range won {
+		if w {
+			c++
+		}
+	}
+	return c
+}
+
+// TestExactlyOneWinner: the combined object remains a correct leader
+// election under fair and adversarial schedules.
+func TestExactlyOneWinner(t *testing.T) {
+	advs := map[string]func(seed int64) sim.Adversary{
+		"round-robin": func(int64) sim.Adversary { return sim.NewRoundRobin() },
+		"random":      func(s int64) sim.Adversary { return sim.NewRandomOblivious(s + 41) },
+		"lockstep":    func(int64) sim.Adversary { return sim.NewLockstep() },
+		"solo-first":  func(int64) sim.Adversary { return sim.NewSoloFirst() },
+	}
+	const n = 16
+	for name, mkAdv := range advs {
+		for _, k := range []int{1, 2, 5, 16} {
+			for seed := int64(0); seed < 12; seed++ {
+				won, _ := runCombined(t, k, n, seed, mkAdv(seed))
+				if w := winners(won); w != 1 {
+					t.Fatalf("%s k=%d seed=%d: %d winners, want 1", name, k, seed, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSelfCombination: the paper's motivating pathology is combining
+// RatRace with RatRace, where naive outcome-merging can leave no winner.
+// Rule 3 must prevent that.
+func TestSelfCombination(t *testing.T) {
+	const n = 8
+	for _, k := range []int{2, 4, 8} {
+		for seed := int64(0); seed < 25; seed++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			rr1 := ratrace.NewSpaceEfficient(sys, n)
+			rr2 := ratrace.NewSpaceEfficient(sys, n)
+			comb := New(sys, rr1, rr2)
+			won := make([]bool, k)
+			res := sys.Run(sim.NewRandomOblivious(seed+5), func(h shm.Handle) {
+				won[h.ID()] = comb.Elect(h)
+			})
+			for pid, ok := range res.Finished {
+				if !ok {
+					t.Fatalf("k=%d seed=%d: process %d unfinished", k, seed, pid)
+				}
+			}
+			if w := winners(won); w != 1 {
+				t.Fatalf("rr×rr k=%d seed=%d: %d winners, want 1", k, seed, w)
+			}
+		}
+	}
+}
+
+// TestAdaptiveAttackStaysLogarithmic is Theorem 4.1's point: under the
+// ascending-location attack the plain log* chain needs Ω(k) steps, while
+// the combined algorithm stays near RatRace's O(log k).
+func TestAdaptiveAttackStaysLogarithmic(t *testing.T) {
+	naive := map[int]int{}
+	combined := map[int]int{}
+	for _, k := range []int{8, 16, 32, 64} {
+		// Plain chain under attack.
+		sysN := sim.NewSystem(sim.Config{N: k, Seed: 9})
+		chainN := core.NewLogStar(sysN, k)
+		resN := sysN.Run(sim.NewAscendingLocation(chainN.IsArrayRegister), func(h shm.Handle) {
+			chainN.Elect(h)
+		})
+		naive[k] = resN.MaxSteps
+
+		// Combined object under the same attack policy.
+		sysC := sim.NewSystem(sim.Config{N: k, Seed: 9})
+		comb, chainC := build(sysC, k)
+		resC := sysC.Run(sim.NewAscendingLocation(chainC.IsArrayRegister), func(h shm.Handle) {
+			comb.Elect(h)
+		})
+		combined[k] = resC.MaxSteps
+	}
+	if naive[64] < 3*naive[8] {
+		t.Errorf("naive chain should degrade linearly under attack: %v", naive)
+	}
+	// The combined algorithm may pay a constant factor (interleaving
+	// doubles steps) but must not degrade linearly.
+	if combined[64] >= 3*combined[8] && combined[64] > naive[64]/2 {
+		t.Errorf("combined degraded under adaptive attack: combined=%v naive=%v", combined, naive)
+	}
+}
+
+// TestWeakAdversaryOverheadConstant: under an oblivious schedule, the
+// combined object costs only a constant factor more than the plain chain.
+func TestWeakAdversaryOverheadConstant(t *testing.T) {
+	const n = 256
+	for _, k := range []int{4, 32, 128} {
+		const trials = 15
+		sumPlain, sumComb := 0, 0
+		for seed := int64(0); seed < trials; seed++ {
+			sysP := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			chain := core.NewLogStar(sysP, n)
+			resP := sysP.Run(sim.NewRandomOblivious(seed+1), func(h shm.Handle) {
+				chain.Elect(h)
+			})
+			sumPlain += resP.MaxSteps
+
+			sysC := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			comb, _ := build(sysC, n)
+			resC := sysC.Run(sim.NewRandomOblivious(seed+1), func(h shm.Handle) {
+				comb.Elect(h)
+			})
+			sumComb += resC.MaxSteps
+		}
+		ratio := float64(sumComb) / float64(sumPlain)
+		// Interleaving doubles the step count and RatRace's own O(log k)
+		// runs alongside; the ratio must stay bounded, not grow with k.
+		if ratio > 12 {
+			t.Errorf("k=%d: combined/plain step ratio %.1f too large", k, ratio)
+		}
+	}
+}
+
+// TestSpaceOverheadConstant: Theorem 4.1 promises Θ(n) + space(A).
+func TestSpaceOverheadConstant(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		sysA := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		core.NewLogStar(sysA, n)
+		plain := sysA.RegisterCount()
+
+		sysC := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		build(sysC, n)
+		comb := sysC.RegisterCount()
+
+		if comb > 10*plain+1000 {
+			t.Errorf("n=%d: combined uses %d registers vs %d plain — want Θ(n) overhead", n, comb, plain)
+		}
+	}
+}
+
+// TestCorollary42SiftingVariant: the corollary's second instantiation —
+// RatRace combined with the adaptive sifting LE — must also elect exactly
+// one leader and stay logarithmic under the adaptive schedule.
+func TestCorollary42SiftingVariant(t *testing.T) {
+	const n = 16
+	for _, k := range []int{2, 8, 16} {
+		for seed := int64(0); seed < 10; seed++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			rr := ratrace.NewSpaceEfficient(sys, n)
+			alg := core.NewAdaptiveSifting(sys, n)
+			comb := New(sys, rr, alg)
+			won := make([]bool, k)
+			res := sys.Run(sim.NewLockstep(), func(h shm.Handle) {
+				won[h.ID()] = comb.Elect(h)
+			})
+			for pid, ok := range res.Finished {
+				if !ok {
+					t.Fatalf("k=%d seed=%d: process %d unfinished", k, seed, pid)
+				}
+			}
+			if w := winners(won); w != 1 {
+				t.Fatalf("rr×adaptive-sifting k=%d seed=%d: %d winners", k, seed, w)
+			}
+		}
+	}
+}
+
+// TestDeterminism: fiber seeding must preserve simulator determinism.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]bool, int) {
+		sys := sim.NewSystem(sim.Config{N: 6, Seed: 77})
+		comb, _ := build(sys, 6)
+		won := make([]bool, 6)
+		res := sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+			won[h.ID()] = comb.Elect(h)
+		})
+		return won, res.TotalSteps
+	}
+	w1, s1 := run()
+	w2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("total steps differ: %d vs %d", s1, s2)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("winner sets differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package concurrent is the production backend of the shm abstraction:
+// registers are real sync/atomic words and handles are used by actual
+// goroutines. Every algorithm in this repository runs unchanged on it.
+//
+// Unlike the simulator there is no adversary: the Go runtime schedules
+// goroutines. The paper's expected step bounds still apply in the sense
+// that the runtime is (at worst) an adaptive adversary — this is exactly
+// the Section 4 motivation for combining algorithms so that the adaptive
+// bound always holds.
+package concurrent
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/shm"
+)
+
+// Register is one atomic 64-bit shared register.
+type Register struct {
+	id int
+	v  atomic.Int64
+}
+
+// RegisterID implements shm.Register.
+func (r *Register) RegisterID() int { return r.id }
+
+// Space allocates atomic registers. Allocation is expected to happen
+// during object construction, before goroutines start; it is not
+// goroutine-safe.
+type Space struct {
+	count int
+}
+
+var _ shm.Space = (*Space)(nil)
+
+// NewSpace returns an empty register space.
+func NewSpace() *Space { return &Space{} }
+
+// NewRegister implements shm.Space.
+func (s *Space) NewRegister(init shm.Value) shm.Register {
+	r := &Register{id: s.count}
+	s.count++
+	r.v.Store(init)
+	return r
+}
+
+// Registers returns the number of registers allocated so far (the space
+// complexity of the constructed objects).
+func (s *Space) Registers() int { return s.count }
+
+// Handle is the per-goroutine execution context. Each Handle must be used
+// by a single goroutine; create one per participating process.
+type Handle struct {
+	id    int
+	rng   *rand.Rand
+	steps int
+}
+
+var _ shm.Handle = (*Handle)(nil)
+
+// NewHandle creates the context for process id with a deterministic coin
+// stream derived from seed. Distinct processes must use distinct ids.
+func NewHandle(id int, seed int64) *Handle {
+	return &Handle{id: id, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ID implements shm.Handle.
+func (h *Handle) ID() int { return h.id }
+
+// Read implements shm.Handle with an atomic load.
+func (h *Handle) Read(r shm.Register) shm.Value {
+	h.steps++
+	return mustRegister(r).v.Load()
+}
+
+// Write implements shm.Handle with an atomic store.
+func (h *Handle) Write(r shm.Register, v shm.Value) {
+	h.steps++
+	mustRegister(r).v.Store(v)
+}
+
+// Intn implements shm.Handle.
+func (h *Handle) Intn(n int) int { return h.rng.Intn(n) }
+
+// Coin implements shm.Handle.
+func (h *Handle) Coin(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	default:
+		return h.rng.Float64() < p
+	}
+}
+
+// Steps returns the number of shared-memory operations this handle has
+// performed — the same step measure the simulator counts.
+func (h *Handle) Steps() int { return h.steps }
+
+func mustRegister(r shm.Register) *Register {
+	reg, ok := r.(*Register)
+	if !ok {
+		panic("concurrent: register belongs to a different backend")
+	}
+	return reg
+}

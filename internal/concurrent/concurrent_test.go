@@ -1,0 +1,89 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/twoproc"
+)
+
+func TestRegisterAtomicOps(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegister(7)
+	h := NewHandle(0, 1)
+	if got := h.Read(r); got != 7 {
+		t.Fatalf("initial read = %d, want 7", got)
+	}
+	h.Write(r, 42)
+	if got := h.Read(r); got != 42 {
+		t.Fatalf("read after write = %d", got)
+	}
+	if h.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", h.Steps())
+	}
+	if s.Registers() != 1 {
+		t.Fatalf("registers = %d, want 1", s.Registers())
+	}
+}
+
+// TestConcurrentContention hammers one register from many goroutines under
+// the race detector.
+func TestConcurrentContention(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegister(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := NewHandle(id, int64(id)+1)
+			for j := 0; j < 1000; j++ {
+				h.Write(r, shm.Value(id))
+				_ = h.Read(r)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestTwoProcLEOnRealBackend runs the algorithm code unchanged on atomics.
+func TestTwoProcLEOnRealBackend(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		s := NewSpace()
+		le := twoproc.New(s)
+		var won [2]bool
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				h := NewHandle(id, int64(trial*2+id)+1)
+				won[id] = le.Elect(h, id)
+			}(i)
+		}
+		wg.Wait()
+		if won[0] == won[1] {
+			t.Fatalf("trial %d: outcomes %v", trial, won)
+		}
+	}
+}
+
+func TestCoinBounds(t *testing.T) {
+	h := NewHandle(0, 9)
+	if h.Coin(0) {
+		t.Error("Coin(0) returned true")
+	}
+	if !h.Coin(1) {
+		t.Error("Coin(1) returned false")
+	}
+	heads := 0
+	for i := 0; i < 10000; i++ {
+		if h.Coin(0.5) {
+			heads++
+		}
+	}
+	if heads < 4500 || heads > 5500 {
+		t.Errorf("Coin(0.5): %d/10000 heads", heads)
+	}
+}

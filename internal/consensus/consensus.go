@@ -1,0 +1,97 @@
+// Package consensus implements the two-process equivalences stated in the
+// paper's introduction: "in systems with two processes, a consensus
+// protocol can be implemented deterministically from a TAS object and vice
+// versa."
+//
+// Both directions are provided:
+//
+//   - TwoProcess: binary consensus for two processes from one TAS object
+//     plus two single-writer proposal registers. The TAS winner decides
+//     its own proposal; the loser adopts the winner's (readable because
+//     the winner wrote its proposal before playing TAS).
+//   - TASFromConsensus: a two-process TAS object from a consensus
+//     instance — callers decide whose identifier wins; the process whose
+//     id is decided returns 0.
+//
+// Combined with the paper's Theorem 6.1 this transfers the 1/4^t
+// schedule lower bound to 2-process consensus, filling the n = 2 case
+// missing from Attiya and Censor-Hillel's bound (see Section 1).
+package consensus
+
+import (
+	"repro/internal/shm"
+)
+
+// TAS is the test-and-set dependency (satisfied by tas.TAS).
+type TAS interface {
+	TAS(h shm.Handle) int
+}
+
+// TwoProcess is binary consensus for two processes (slots 0 and 1) from
+// one TAS object and two proposal registers.
+type TwoProcess struct {
+	t       TAS
+	propose [2]shm.Register
+}
+
+// unset marks a proposal register as not yet written; proposals are
+// non-negative.
+const unset = shm.Value(-1)
+
+// NewTwoProcess builds the consensus object on s around t.
+func NewTwoProcess(s shm.Space, t TAS) *TwoProcess {
+	return &TwoProcess{
+		t:       t,
+		propose: [2]shm.Register{s.NewRegister(unset), s.NewRegister(unset)},
+	}
+}
+
+// Propose decides a common value for both slots: it returns v for the
+// slot that wins the underlying TAS and the winner's proposal for the
+// other. Each slot may call Propose once. v must be non-negative.
+func (c *TwoProcess) Propose(h shm.Handle, slot int, v shm.Value) shm.Value {
+	h.Write(c.propose[slot], v)
+	if c.t.TAS(h) == 0 {
+		return v
+	}
+	// The winner wrote its proposal before its TAS, which linearizes
+	// before ours; its register is set.
+	if w := h.Read(c.propose[1-slot]); w != unset {
+		return w
+	}
+	// The other process never proposed yet we lost the TAS: impossible
+	// in a two-process execution where only proposers play the TAS; keep
+	// our value to stay wait-free rather than block.
+	return v
+}
+
+// Elector is the leader-election dependency for the reverse direction.
+type Elector interface {
+	Elect(h shm.Handle) bool
+}
+
+// ConsensusProposer abstracts a consensus object deciding process ids.
+type ConsensusProposer interface {
+	Propose(h shm.Handle, slot int, v shm.Value) shm.Value
+}
+
+// TASFromConsensus is the reverse construction: a two-process TAS from a
+// consensus object that decides process identifiers.
+type TASFromConsensus struct {
+	c ConsensusProposer
+}
+
+// NewTASFromConsensus wraps c as a TAS object.
+func NewTASFromConsensus(c ConsensusProposer) *TASFromConsensus {
+	return &TASFromConsensus{c: c}
+}
+
+// TAS returns 0 iff the underlying consensus decides the caller's slot.
+// The caller's slot is its process id (0 or 1).
+func (t *TASFromConsensus) TAS(h shm.Handle) int {
+	slot := h.ID()
+	if t.c.Propose(h, slot, shm.Value(slot)) == shm.Value(slot) {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,124 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tas"
+	"repro/internal/twoproc"
+)
+
+// buildTAS constructs the standard two-process TAS (TV election + done
+// bit) on s.
+func buildTAS(s shm.Space) TAS {
+	le := twoproc.New(s)
+	return tas.New(s, slotElector{le})
+}
+
+type slotElector struct{ le *twoproc.LE }
+
+func (e slotElector) Elect(h shm.Handle) bool { return e.le.Elect(h, h.ID()) }
+
+// TestConsensusAgreementValidity: under many random schedules and
+// proposals, both processes decide the same value and it is one of the
+// proposals.
+func TestConsensusAgreementValidity(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+		c := NewTwoProcess(sys, buildTAS(sys))
+		props := [2]shm.Value{shm.Value(seed % 7), shm.Value((seed*3 + 1) % 7)}
+		var decided [2]shm.Value
+		res := sys.Run(sim.NewRandomOblivious(seed+1000), func(h shm.Handle) {
+			decided[h.ID()] = c.Propose(h, h.ID(), props[h.ID()])
+		})
+		if !res.Finished[0] || !res.Finished[1] {
+			t.Fatalf("seed %d: unfinished", seed)
+		}
+		if decided[0] != decided[1] {
+			t.Fatalf("seed %d: disagreement %v vs %v", seed, decided[0], decided[1])
+		}
+		if decided[0] != props[0] && decided[0] != props[1] {
+			t.Fatalf("seed %d: decided %v not among proposals %v", seed, decided[0], props)
+		}
+	}
+}
+
+// TestConsensusSolo: a lone proposer decides its own value.
+func TestConsensusSolo(t *testing.T) {
+	for slot := 0; slot < 2; slot++ {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 3})
+		c := NewTwoProcess(sys, buildTAS(sys))
+		var decided shm.Value
+		sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+			decided = c.Propose(h, slot, 9)
+		})
+		if decided != 9 {
+			t.Fatalf("slot %d: solo decided %v, want 9", slot, decided)
+		}
+	}
+}
+
+// TestTASFromConsensusRoundTrip closes the equivalence loop: a TAS built
+// from a consensus built from a TAS still has exactly one winner.
+func TestTASFromConsensusRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+		inner := NewTwoProcess(sys, buildTAS(sys))
+		outer := NewTASFromConsensus(inner)
+		var rets [2]int
+		res := sys.Run(sim.NewRandomOblivious(seed+17), func(h shm.Handle) {
+			rets[h.ID()] = outer.TAS(h)
+		})
+		if !res.Finished[0] || !res.Finished[1] {
+			t.Fatalf("seed %d: unfinished", seed)
+		}
+		if rets[0]+rets[1] != 1 {
+			t.Fatalf("seed %d: returns %v, want exactly one 0", seed, rets)
+		}
+	}
+}
+
+// TestConsensusValidityExhaustiveShallow model-checks agreement over all
+// schedules of bounded length with both proposal patterns (coins from
+// fixed tapes as in the twoproc checker).
+func TestConsensusValidityExhaustiveShallow(t *testing.T) {
+	const schedBits = 10
+	for _, props := range [][2]shm.Value{{0, 1}, {1, 0}, {5, 5}} {
+		for sb := uint(0); sb < 1<<schedBits; sb++ {
+			decided := [2]shm.Value{-100, -100}
+			pos := [2]int{}
+			sys := sim.NewSystem(sim.Config{
+				N:    2,
+				Seed: 1,
+				CoinFunc: func(pid int, _ float64) bool {
+					pos[pid]++
+					return (uint(pos[pid])>>uint(pid))&1 == 1 // fixed alternating tapes
+				},
+			})
+			c := NewTwoProcess(sys, buildTAS(sys))
+			sys.Start(func(h shm.Handle) {
+				decided[h.ID()] = c.Propose(h, h.ID(), props[h.ID()])
+			})
+			for i := 0; i < schedBits; i++ {
+				pid := int(sb>>uint(i)) & 1
+				if sys.Parked(pid) {
+					sys.Step(pid)
+				}
+			}
+			// Finish both deterministically.
+			for pid := 0; pid < 2; pid++ {
+				for sys.Parked(pid) {
+					sys.Step(pid)
+				}
+			}
+			sys.Close()
+			if decided[0] != decided[1] {
+				t.Fatalf("props %v schedule %b: disagreement %v", props, sb, decided)
+			}
+			if decided[0] != props[0] && decided[0] != props[1] {
+				t.Fatalf("props %v schedule %b: invalid decision %v", props, sb, decided[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+type leaderElector interface {
+	Elect(h shm.Handle) bool
+}
+
+// runLE executes k processes through one leader election built by mk and
+// returns the winner flags and the execution result.
+func runLE(t *testing.T, k int, seed int64, adv sim.Adversary, mk func(s shm.Space) leaderElector) ([]bool, sim.Result) {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+	le := mk(sys)
+	won := make([]bool, k)
+	res := sys.Run(adv, func(h shm.Handle) {
+		won[h.ID()] = le.Elect(h)
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Fatalf("process %d did not finish", pid)
+		}
+	}
+	return won, res
+}
+
+func countWinners(won []bool) int {
+	n := 0
+	for _, w := range won {
+		if w {
+			n++
+		}
+	}
+	return n
+}
+
+// constructors under test, each sized for n.
+func constructors(n int) map[string]func(shm.Space) leaderElector {
+	return map[string]func(shm.Space) leaderElector{
+		"logstar":  func(s shm.Space) leaderElector { return NewLogStar(s, n) },
+		"sifting":  func(s shm.Space) leaderElector { return NewSifting(s, n) },
+		"adaptive": func(s shm.Space) leaderElector { return NewAdaptiveSifting(s, n) },
+	}
+}
+
+// TestExactlyOneWinner is the core correctness obligation under fair and
+// adversarial schedules, for every algorithm, contention, and many seeds.
+func TestExactlyOneWinner(t *testing.T) {
+	advs := map[string]func(seed int64) sim.Adversary{
+		"round-robin": func(int64) sim.Adversary { return sim.NewRoundRobin() },
+		"random":      func(s int64) sim.Adversary { return sim.NewRandomOblivious(s + 101) },
+		"solo-first":  func(int64) sim.Adversary { return sim.NewSoloFirst() },
+		"lockstep":    func(int64) sim.Adversary { return sim.NewLockstep() },
+	}
+	const n = 64
+	for name, mk := range constructors(n) {
+		for advName, mkAdv := range advs {
+			for _, k := range []int{1, 2, 3, 7, 16, 64} {
+				for seed := int64(0); seed < 15; seed++ {
+					won, _ := runLE(t, k, seed, mkAdv(seed), mk)
+					if w := countWinners(won); w != 1 {
+						t.Fatalf("%s/%s k=%d seed=%d: %d winners, want 1", name, advName, k, seed, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAttackSchedulesStillElectOneLeader: the separations degrade step
+// complexity, never correctness.
+func TestAttackSchedulesStillElectOneLeader(t *testing.T) {
+	const n = 48
+	for _, k := range []int{2, 9, 48} {
+		for seed := int64(0); seed < 10; seed++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			chain := NewLogStar(sys, n)
+			won := make([]bool, k)
+			res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
+				won[h.ID()] = chain.Elect(h)
+			})
+			for pid, ok := range res.Finished {
+				if !ok {
+					t.Fatalf("ascending k=%d: process %d unfinished", k, pid)
+				}
+			}
+			if w := countWinners(won); w != 1 {
+				t.Fatalf("ascending k=%d seed=%d: %d winners", k, seed, w)
+			}
+
+			won2, _ := runLE(t, k, seed, sim.NewLockstepReadsFirst(),
+				func(s shm.Space) leaderElector { return NewSifting(s, n) })
+			if w := countWinners(won2); w != 1 {
+				t.Fatalf("lockstep-reads-first k=%d seed=%d: %d winners", k, seed, w)
+			}
+		}
+	}
+}
+
+// TestSoloTermination: a lone process must win quickly (nondeterministic
+// solo-termination, and the base of the adaptivity claims).
+func TestSoloTermination(t *testing.T) {
+	for name, mk := range constructors(256) {
+		won, res := runLE(t, 1, 3, sim.NewRoundRobin(), mk)
+		if !won[0] {
+			t.Errorf("%s: solo process lost", name)
+		}
+		if res.Steps[0] > 20 {
+			t.Errorf("%s: solo process took %d steps, want O(1)", name, res.Steps[0])
+		}
+	}
+}
+
+// TestLogStarStepComplexityShape: under a location-oblivious schedule the
+// expected max steps must be essentially flat in k (log* growth), far
+// below logarithmic.
+func TestLogStarStepComplexityShape(t *testing.T) {
+	const n = 1 << 10
+	means := map[int]float64{}
+	for _, k := range []int{4, 32, 256, 1024} {
+		const trials = 30
+		sum := 0
+		for seed := int64(0); seed < trials; seed++ {
+			_, res := runLE(t, k, seed, sim.NewRandomOblivious(seed+5),
+				func(s shm.Space) leaderElector { return NewLogStar(s, n) })
+			sum += res.MaxSteps
+		}
+		means[k] = float64(sum) / trials
+	}
+	// Θ(log* k): the growth from k=4 to k=1024 must be a small additive
+	// constant (one or two extra levels, ≤ ~16 steps each), not the
+	// ×8 a logarithmic bound would give or the ×256 a linear one would.
+	if means[1024] > means[4]+40 {
+		t.Errorf("log* LE not flat: mean max steps %v", means)
+	}
+	if means[1024] > 80 {
+		t.Errorf("log* LE too expensive at k=1024: %.1f steps", means[1024])
+	}
+}
+
+// TestLogStarAdaptiveAttackLinear reproduces the Section 4 observation:
+// the ascending-location attack forces Ω(k) steps on the plain log*
+// algorithm.
+func TestLogStarAdaptiveAttackLinear(t *testing.T) {
+	maxSteps := map[int]int{}
+	for _, k := range []int{8, 16, 32, 64} {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: 11})
+		chain := NewLogStar(sys, k)
+		res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
+			chain.Elect(h)
+		})
+		maxSteps[k] = res.MaxSteps
+	}
+	// Linear growth: doubling k should at least roughly double the cost.
+	if maxSteps[64] < 3*maxSteps[8] {
+		t.Errorf("attack not linear: %v", maxSteps)
+	}
+	if maxSteps[64] < 64 { // Ω(k) with constant ≥ 1
+		t.Errorf("attack too weak at k=64: %d steps", maxSteps[64])
+	}
+}
+
+// TestSiftingLockstepAttackLinear: the location-oblivious attack forces
+// Ω(k) on the sifting chain.
+func TestSiftingLockstepAttackLinear(t *testing.T) {
+	maxSteps := map[int]int{}
+	for _, k := range []int{8, 16, 32, 64} {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: 13})
+		chain := NewSifting(sys, k)
+		res := sys.Run(sim.NewLockstepReadsFirst(), func(h shm.Handle) {
+			chain.Elect(h)
+		})
+		maxSteps[k] = res.MaxSteps
+	}
+	if maxSteps[64] < 3*maxSteps[8] {
+		t.Errorf("attack not linear: %v", maxSteps)
+	}
+}
+
+// TestSpaceLinear pins the O(n) register bound of all three constructions.
+func TestSpaceLinear(t *testing.T) {
+	counts := map[string]map[int]int{}
+	for _, n := range []int{64, 256, 1024} {
+		for name, mk := range constructors(n) {
+			sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+			mk(sys)
+			if counts[name] == nil {
+				counts[name] = map[int]int{}
+			}
+			counts[name][n] = sys.RegisterCount()
+		}
+	}
+	for name, byN := range counts {
+		// Quadrupling n must grow registers by ≈ 4x, not 16x; allow the
+		// O(log² n) Fig1 overhead some slack.
+		if g := float64(byN[1024]) / float64(byN[64]); g > 24 {
+			t.Errorf("%s: register growth 64→1024 is %.1fx, want ~16x (linear)", name, g)
+		}
+		if byN[1024] > 40*1024 {
+			t.Errorf("%s: %d registers for n=1024, want O(n)", name, byN[1024])
+		}
+	}
+}
+
+// TestElectCappedExhaustion checks the Theorem 2.4 plumbing: with a tiny
+// cap many processes exhaust rather than lose.
+func TestElectCappedExhaustion(t *testing.T) {
+	const k = 16
+	sys := sim.NewSystem(sim.Config{N: k, Seed: 2})
+	chain := NewSifting(sys, k)
+	outcomes := make([]Outcome, k)
+	sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+		outcomes[h.ID()] = chain.ElectCapped(h, 1)
+	})
+	var exhausted, won int
+	for _, o := range outcomes {
+		switch o {
+		case Exhausted:
+			exhausted++
+		case Won:
+			won++
+		}
+	}
+	if won > 1 {
+		t.Errorf("%d winners with cap 1", won)
+	}
+	if exhausted == 0 {
+		t.Error("no process exhausted a 1-level cap at k=16")
+	}
+}
+
+// TestSifterScheduleShape: the schedule length must grow like log log n.
+func TestSifterScheduleShape(t *testing.T) {
+	l256 := len(SifterSchedule(256))
+	l64k := len(SifterSchedule(1 << 16))
+	l4g := len(SifterSchedule(1 << 32))
+	if l256 < 1 || l64k < l256 || l4g < l64k {
+		t.Errorf("schedule lengths not monotone: %d %d %d", l256, l64k, l4g)
+	}
+	if l4g > 12 {
+		t.Errorf("schedule for n=2^32 has %d levels, want O(log log n) ≈ ≤ 12", l4g)
+	}
+	// First π must be 1/√n.
+	pis := SifterSchedule(1 << 16)
+	if pis[0] > 1.0/200 || pis[0] < 1.0/300 {
+		t.Errorf("π_1 = %v, want ≈ 1/256", pis[0])
+	}
+}
+
+// TestAdaptiveCascadeSizes checks the tower-of-exponentials sizing.
+func TestAdaptiveCascadeSizes(t *testing.T) {
+	if got := towerSize(0); got != 4 {
+		t.Errorf("n_0 = %d, want 4", got)
+	}
+	if got := towerSize(1); got != 16 {
+		t.Errorf("n_1 = %d, want 16", got)
+	}
+	if got := towerSize(2); got != 65536 {
+		t.Errorf("n_2 = %d, want 65536", got)
+	}
+	if got := towerSize(3); got != -1 {
+		t.Errorf("n_3 = %d, want overflow sentinel", got)
+	}
+	a := NewAdaptiveSifting(sim.NewSystem(sim.Config{N: 1, Seed: 1}), 1<<10)
+	if a.Chains() != 3 { // 4, 16, then capped at n
+		t.Errorf("cascade for n=1024 has %d chains, want 3", a.Chains())
+	}
+}
+
+// TestChainProgressInvariant: with contention equal to the chain length,
+// nobody can exhaust a full-length chain (the Lemma 2.1 progress
+// argument).
+func TestChainProgressInvariant(t *testing.T) {
+	for _, k := range []int{2, 5, 12} {
+		for seed := int64(0); seed < 40; seed++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			chain := NewLogStar(sys, k)
+			outcomes := make([]Outcome, k)
+			sys.Run(sim.NewRandomOblivious(seed), func(h shm.Handle) {
+				outcomes[h.ID()] = chain.ElectCapped(h, chain.Levels())
+			})
+			for pid, o := range outcomes {
+				if o == Exhausted {
+					t.Fatalf("k=%d seed=%d: process %d exhausted a full chain", k, seed, pid)
+				}
+			}
+		}
+	}
+}

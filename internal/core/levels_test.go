@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// TestLevelPopulationsMatchDeltaAnalysis is the empirical counterpart of
+// Lemma 2.1: the measured level populations N_i of the log* chain under a
+// weak adversary must shrink at least as fast as the deterministic
+// descent j → ⌊f(j)⌋ − 1 for the Lemma 2.2 rate f(k) = 2 log k + 6, and
+// the deepest level used must stay within the Δ_{f−1} prediction.
+func TestLevelPopulationsMatchDeltaAnalysis(t *testing.T) {
+	const (
+		n      = 1 << 10
+		k      = 1 << 10
+		trials = 25
+	)
+	sumLevels := make([]int, 64) // sum over trials of N_i
+	maxDepth := 0
+	for seed := int64(0); seed < trials; seed++ {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+		chain := NewLogStar(sys, n)
+		counts := make([]int, 64)
+		chain.LevelHook = func(_, level int) {
+			if level < len(counts) {
+				counts[level]++
+			}
+		}
+		sys.Run(sim.NewRandomOblivious(seed+11), func(h shm.Handle) {
+			chain.Elect(h)
+		})
+		for i, c := range counts {
+			sumLevels[i] += c
+			if c > 0 && i > maxDepth {
+				maxDepth = i
+			}
+		}
+	}
+	// N_1 = k by definition.
+	if got := sumLevels[0] / trials; got != k {
+		t.Fatalf("N_1 = %d, want %d", got, k)
+	}
+	// The population must shrink per level at least as fast as the
+	// deterministic descent allows (with generous Monte-Carlo slack).
+	for i := 1; i < 6; i++ {
+		mean := float64(sumLevels[i]) / trials
+		prev := float64(sumLevels[i-1]) / trials
+		if prev < 1 {
+			break
+		}
+		bound := markov.Fig1Rate(prev) // f(N_{i-1}) bounds E[N_i]+1
+		if mean > 1.5*bound+2 {
+			t.Errorf("level %d: E[N_i] ≈ %.1f exceeds f(N_{i-1}) = %.1f", i, mean, bound)
+		}
+	}
+	// Depth within the Δ prediction (plus slack for the ±1 differences
+	// between the deterministic proxy and the random chain).
+	predicted := markov.IterationsToZero(markov.Fig1Rate, float64(k), 1000)
+	if maxDepth > 2*predicted+4 {
+		t.Errorf("deepest level used %d exceeds 2×Δ prediction %d", maxDepth, predicted)
+	}
+}
+
+// TestLevelHookObservesEveryParticipant: the hook fires exactly once per
+// level per process that reaches it.
+func TestLevelHookObservesEveryParticipant(t *testing.T) {
+	const k = 8
+	sys := sim.NewSystem(sim.Config{N: k, Seed: 2})
+	chain := NewLogStar(sys, k)
+	level0 := map[int]int{}
+	chain.LevelHook = func(pid, level int) {
+		if level == 0 {
+			level0[pid]++
+		}
+	}
+	sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+		chain.Elect(h)
+	})
+	if len(level0) != k {
+		t.Fatalf("level 0 saw %d distinct processes, want %d", len(level0), k)
+	}
+	for pid, c := range level0 {
+		if c != 1 {
+			t.Errorf("process %d entered level 0 %d times", pid, c)
+		}
+	}
+}

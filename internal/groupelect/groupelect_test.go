@@ -1,0 +1,204 @@
+package groupelect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// runGE executes k processes through one group election under adv.
+func runGE(t *testing.T, k int, seed int64, adv sim.Adversary, mk func(s shm.Space) GroupElector) (elected int, maxSteps int) {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+	ge := mk(sys)
+	results := make([]bool, k)
+	res := sys.Run(adv, func(h shm.Handle) {
+		results[h.ID()] = ge.Elect(h)
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Fatalf("process %d did not finish", pid)
+		}
+	}
+	for _, e := range results {
+		if e {
+			elected++
+		}
+	}
+	return elected, res.MaxSteps
+}
+
+func newFig1For(n int) func(shm.Space) GroupElector {
+	return func(s shm.Space) GroupElector { return NewFig1(s, n) }
+}
+
+// fig1ArrayReg is the layout predicate for a standalone Fig1 object: the
+// flag is register 0, the R array occupies ids 1..l+1.
+func fig1ArrayReg(reg int) bool { return reg >= 1 }
+
+func newSifterFor(k int) func(shm.Space) GroupElector {
+	return func(s shm.Space) GroupElector { return NewSifter(s, SifterPi(k)) }
+}
+
+// TestAtLeastOneElected is the correctness obligation of every group
+// election, under fair and attack schedules alike.
+func TestAtLeastOneElected(t *testing.T) {
+	advs := map[string]func(seed int64) sim.Adversary{
+		"round-robin":      func(int64) sim.Adversary { return sim.NewRoundRobin() },
+		"random-oblivious": func(s int64) sim.Adversary { return sim.NewRandomOblivious(s) },
+		"solo-first":       func(int64) sim.Adversary { return sim.NewSoloFirst() },
+		"ascending":        func(int64) sim.Adversary { return sim.NewAscendingLocation(fig1ArrayReg) },
+		"readers-first":    func(int64) sim.Adversary { return sim.NewReadersFirst() },
+	}
+	for name, mkAdv := range advs {
+		for _, k := range []int{1, 2, 3, 8, 33} {
+			for seed := int64(0); seed < 25; seed++ {
+				if got, _ := runGE(t, k, seed, mkAdv(seed), newFig1For(64)); got < 1 {
+					t.Errorf("fig1 %s k=%d seed=%d: nobody elected", name, k, seed)
+				}
+				if got, _ := runGE(t, k, seed, mkAdv(seed), newSifterFor(k)); got < 1 {
+					t.Errorf("sifter %s k=%d seed=%d: nobody elected", name, k, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestFig1PerformanceBound estimates Fig1's performance parameter under a
+// location-oblivious schedule and checks Lemma 2.2's bound f(k) ≤ 2·log₂ k
+// + 6 (within Monte-Carlo noise).
+func TestFig1PerformanceBound(t *testing.T) {
+	const n = 1 << 12
+	for _, k := range []int{4, 16, 64, 256, 1024} {
+		const trials = 120
+		sum := 0
+		for seed := int64(0); seed < trials; seed++ {
+			elected, _ := runGE(t, k, seed, sim.NewRandomOblivious(seed+1), newFig1For(n))
+			sum += elected
+		}
+		mean := float64(sum) / trials
+		bound := 2*math.Log2(float64(k)) + 6
+		if mean > bound {
+			t.Errorf("k=%d: E[#elected] ≈ %.2f exceeds Lemma 2.2 bound %.2f", k, mean, bound)
+		}
+		// Sanity: the bound is not vacuous — some but not all elected.
+		if k >= 64 && mean >= float64(k)/2 {
+			t.Errorf("k=%d: E[#elected] ≈ %.2f looks linear, want logarithmic", k, mean)
+		}
+	}
+}
+
+// TestFig1AscendingAttack reproduces the paper's observation that Figure 1
+// is NOT efficient against the R/W-oblivious adversary: the ascending-
+// location attack elects every participant.
+func TestFig1AscendingAttack(t *testing.T) {
+	for _, k := range []int{8, 64, 256} {
+		elected, _ := runGE(t, k, 7, sim.NewAscendingLocation(fig1ArrayReg), newFig1For(1024))
+		if elected != k {
+			t.Errorf("k=%d: ascending attack elected %d, want all %d", k, elected, k)
+		}
+	}
+}
+
+// TestSifterPerformance checks the sifter's ≈ 2√k performance under an
+// R/W-oblivious-compatible schedule and its collapse to k under the
+// location-oblivious readers-first attack.
+func TestSifterPerformance(t *testing.T) {
+	for _, k := range []int{16, 64, 256, 1024} {
+		const trials = 120
+		sum := 0
+		for seed := int64(0); seed < trials; seed++ {
+			elected, _ := runGE(t, k, seed, sim.NewRandomOblivious(seed+3), newSifterFor(k))
+			sum += elected
+		}
+		mean := float64(sum) / trials
+		bound := 3*math.Sqrt(float64(k)) + 4 // πk + 1/π = 2√k plus slack
+		if mean > bound {
+			t.Errorf("k=%d: sifter E[#elected] ≈ %.2f exceeds %.2f", k, mean, bound)
+		}
+	}
+	// Attack: all reads scheduled before any write → everyone elected.
+	for _, k := range []int{16, 256} {
+		elected, _ := runGE(t, k, 5, sim.NewReadersFirst(), newSifterFor(k))
+		if elected != k {
+			t.Errorf("k=%d: readers-first elected %d, want all %d", k, elected, k)
+		}
+	}
+}
+
+// TestStepBounds pins the per-call step complexity: Fig1 ≤ 4 steps,
+// Sifter exactly 1, Dummy 0.
+func TestStepBounds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if _, steps := runGE(t, 8, seed, sim.NewRandomOblivious(seed), newFig1For(64)); steps > 4 {
+			t.Fatalf("fig1 took %d steps, want ≤ 4", steps)
+		}
+		if _, steps := runGE(t, 8, seed, sim.NewRandomOblivious(seed), newSifterFor(8)); steps != 1 {
+			t.Fatalf("sifter took %d steps, want 1", steps)
+		}
+	}
+	elected, steps := runGE(t, 8, 1, sim.NewRoundRobin(), func(shm.Space) GroupElector { return NewDummy() })
+	if elected != 8 || steps != 0 {
+		t.Fatalf("dummy: elected=%d steps=%d, want 8 and 0", elected, steps)
+	}
+}
+
+// TestFig1SlotDistribution verifies line 3's distribution by driving the
+// coin stream: Pr(x=i) = 2^-i for i < l, Pr(x=l) = 2^-(l-1).
+func TestFig1SlotDistribution(t *testing.T) {
+	const n = 16 // l = 4
+	counts := make(map[int]int)
+	const trials = 12000
+	for seed := int64(0); seed < trials; seed++ {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: seed})
+		ge := NewFig1(sys, n)
+		var slot int
+		sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+			ge.Elect(h)
+			slot = 0 // recomputed below from the trace
+		})
+		_ = slot
+		// Recover the chosen slot from the written register: exactly one
+		// R entry is 1 besides flag.
+		for i := 0; i < ge.l+1; i++ {
+			if sys.Value(ge.r[i].RegisterID()) == 1 {
+				counts[i+1]++
+			}
+		}
+	}
+	want := map[int]float64{1: 0.5, 2: 0.25, 3: 0.125, 4: 0.125}
+	for slot, p := range want {
+		got := float64(counts[slot]) / trials
+		if math.Abs(got-p) > 0.03 {
+			t.Errorf("Pr(x=%d) ≈ %.4f, want %.4f", slot, got, p)
+		}
+	}
+}
+
+// TestFig1RegisterFootprint pins the O(log n) space bound.
+func TestFig1RegisterFootprint(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 3},     // l clamped to 1 → flag + 2
+		{2, 3},     // l = 1
+		{64, 8},    // l = 6 → flag + 7
+		{1000, 12}, // l = 10
+	} {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+		NewFig1(sys, tc.n)
+		if got := sys.RegisterCount(); got != tc.want {
+			t.Errorf("n=%d: %d registers, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestCeilLog2 covers the helper's edges.
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package harness runs the paper-reproduction experiments: it sweeps
+// contention levels, drives algorithms under chosen adversaries on the
+// simulator, aggregates step statistics, and formats the tables that
+// cmd/tasbench prints and EXPERIMENTS.md records.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// Elector is any leader-election object under measurement.
+type Elector interface {
+	Elect(h shm.Handle) bool
+}
+
+// Factory builds a fresh elector (and its registers) for each trial.
+// The returned attack predicate, if non-nil, is the static layout
+// knowledge handed to sim.NewAscendingLocation.
+type Factory func(s shm.Space, n int) (le Elector, isArrayReg func(int) bool)
+
+// AdversaryFactory builds a fresh adversary per trial. The attack
+// adversaries are stateful, so they cannot be shared across runs.
+type AdversaryFactory func(seed int64, isArrayReg func(int) bool) sim.Adversary
+
+// Oblivious wraps a seed-only adversary constructor.
+func Oblivious(mk func(seed int64) sim.Adversary) AdversaryFactory {
+	return func(seed int64, _ func(int) bool) sim.Adversary { return mk(seed) }
+}
+
+// StepStats aggregates per-trial maximum step counts for one (k, algo,
+// adversary) cell.
+type StepStats struct {
+	K         int
+	Trials    int
+	MeanMax   float64 // mean over trials of max-per-process steps
+	P95Max    int     // 95th percentile of the same
+	WorstMax  int     // worst observed
+	MeanTotal float64 // mean total steps across all processes
+	Registers int     // allocated registers (identical across trials)
+	Winners   int     // total winners observed (must equal Trials)
+}
+
+// MeasureSteps runs `trials` executions at contention k (the object is
+// built for capacity n) and aggregates step statistics.
+func MeasureSteps(factory Factory, n, k, trials int, baseSeed int64, mkAdv AdversaryFactory) StepStats {
+	maxes := make([]int, 0, trials)
+	st := StepStats{K: k, Trials: trials}
+	for t := 0; t < trials; t++ {
+		seed := baseSeed + int64(t)*1_000_003
+		sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+		le, isArray := factory(sys, n)
+		adv := mkAdv(seed^0x5DEECE66D, isArray)
+		winners := 0
+		res := sys.Run(adv, func(h shm.Handle) {
+			if le.Elect(h) {
+				winners++
+			}
+		})
+		st.Winners += winners
+		st.MeanMax += float64(res.MaxSteps)
+		st.MeanTotal += float64(res.TotalSteps)
+		st.Registers = res.Registers
+		maxes = append(maxes, res.MaxSteps)
+	}
+	st.MeanMax /= float64(trials)
+	st.MeanTotal /= float64(trials)
+	sort.Ints(maxes)
+	st.P95Max = maxes[(len(maxes)*95)/100]
+	st.WorstMax = maxes[len(maxes)-1]
+	return st
+}
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

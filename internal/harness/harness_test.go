@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+func TestMeasureSteps(t *testing.T) {
+	factory := func(s shm.Space, n int) (Elector, func(int) bool) {
+		le := core.NewLogStar(s, n)
+		return le, le.IsArrayRegister
+	}
+	st := MeasureSteps(factory, 32, 8, 20, 1, Oblivious(func(seed int64) sim.Adversary {
+		return sim.NewRandomOblivious(seed)
+	}))
+	if st.Winners != st.Trials {
+		t.Errorf("winners = %d, want %d (one per trial)", st.Winners, st.Trials)
+	}
+	if st.MeanMax <= 0 || st.WorstMax < st.P95Max || float64(st.WorstMax) < st.MeanMax {
+		t.Errorf("inconsistent stats: %+v", st)
+	}
+	if st.Registers <= 0 {
+		t.Errorf("registers not recorded: %+v", st)
+	}
+	if st.MeanTotal < st.MeanMax {
+		t.Errorf("total below max: %+v", st)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Headers: []string{"k", "value"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow(8, 3.14159)
+	tbl.AddRow(1024, "x")
+	out := tbl.String()
+	for _, want := range []string{"== demo ==", "k", "value", "3.14", "1024", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

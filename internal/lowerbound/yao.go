@@ -1,0 +1,100 @@
+package lowerbound
+
+import (
+	"math"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tas"
+	"repro/internal/twoproc"
+)
+
+// YaoPoint is one row of the Theorem 6.1 experiment.
+type YaoPoint struct {
+	// T is the step budget t.
+	T int
+	// Schedules is the number of schedules enumerated (|S_t| = C(2t,t)).
+	Schedules int
+	// MaxProb is the maximum over schedules of the estimated probability
+	// that some process needs at least T steps to finish its TAS().
+	MaxProb float64
+	// Bound is the paper's lower bound 1/4^t.
+	Bound float64
+}
+
+// TwoProcessTimeBound runs the Theorem 6.1 experiment against the
+// two-process TAS built from the Tromp–Vitányi-style election: for every
+// oblivious schedule in S_t (each process scheduled exactly t times), it
+// estimates over `trials` coin seeds the probability that some process
+// fails to finish within t−1 steps, and reports the maximum. The theorem
+// asserts this maximum is at least 1/4^t for every randomized 2-process
+// TAS; the experiment checks the bound is respected (and shows how loose
+// it is for this particular algorithm).
+func TwoProcessTimeBound(t, trials int, seed int64) YaoPoint {
+	point := YaoPoint{T: t, Bound: math.Pow(0.25, float64(t))}
+	schedule := make([]int, 2*t)
+	enumerate(schedule, 0, t, t, func(s []int) {
+		point.Schedules++
+		bad := 0
+		for trial := 0; trial < trials; trial++ {
+			if someProcessNeedsT(s, t, seed+int64(trial)*7919) {
+				bad++
+			}
+		}
+		if p := float64(bad) / float64(trials); p > point.MaxProb {
+			point.MaxProb = p
+		}
+	})
+	return point
+}
+
+// someProcessNeedsT replays one schedule and reports whether some process
+// did not finish its TAS() within fewer than t steps (i.e. it either
+// consumed all its scheduled steps without finishing, or finished exactly
+// on its t-th step).
+func someProcessNeedsT(schedule []int, t int, seed int64) bool {
+	sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+	le := twoproc.New(sys)
+	obj := tas.New(sys, slotElector{le})
+	sys.Start(func(h shm.Handle) {
+		obj.TAS(h)
+	})
+	defer sys.Close()
+	for _, pid := range schedule {
+		if sys.Parked(pid) {
+			sys.Step(pid)
+		}
+	}
+	for pid := 0; pid < 2; pid++ {
+		if !sys.Finished(pid) || sys.StepsOf(pid) >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// slotElector adapts the slot-based two-process election to the
+// tas.LeaderElector interface using the process id as the slot.
+type slotElector struct {
+	le *twoproc.LE
+}
+
+// Elect implements tas.LeaderElector.
+func (s slotElector) Elect(h shm.Handle) bool { return s.le.Elect(h, h.ID()) }
+
+// enumerate generates every binary schedule with rem0 zeros and rem1 ones
+// remaining, invoking visit on each complete schedule.
+func enumerate(buf []int, pos, rem0, rem1 int, visit func([]int)) {
+	if rem0 == 0 && rem1 == 0 {
+		visit(buf)
+		return
+	}
+	if rem0 > 0 {
+		buf[pos] = 0
+		enumerate(buf, pos+1, rem0-1, rem1, visit)
+	}
+	if rem1 > 0 {
+		buf[pos] = 1
+		enumerate(buf, pos+1, rem0, rem1-1, visit)
+	}
+}

@@ -1,0 +1,95 @@
+// Package renaming implements wait-free renaming from Test-And-Set — the
+// application that opens the paper's introduction (used by [3] and [9]):
+// k processes with arbitrary identifiers acquire distinct names from a
+// small namespace by racing on an array of one-shot TAS objects, one per
+// name.
+//
+// Two probe strategies are provided. Sequential probing guarantees a name
+// at most k (perfect renaming) at Θ(k) worst-case probes; random probing
+// over a namespace of size ≥ 2k takes O(1) expected probes per process
+// under low contention and O(log k) with high probability at full
+// contention.
+package renaming
+
+import (
+	"fmt"
+
+	"repro/internal/shm"
+	"repro/internal/tas"
+)
+
+// Namespace is an array of TAS-guarded names 1..Size().
+type Namespace struct {
+	objs []*tas.TAS
+}
+
+// New builds a namespace of the given size. mkElector constructs a fresh
+// leader election per name (each TAS object needs its own).
+func New(s shm.Space, size int, mkElector func() tas.LeaderElector) *Namespace {
+	if size < 1 {
+		size = 1
+	}
+	ns := &Namespace{objs: make([]*tas.TAS, size)}
+	for i := range ns.objs {
+		ns.objs[i] = tas.New(s, mkElector())
+	}
+	return ns
+}
+
+// Size returns the number of names.
+func (ns *Namespace) Size() int { return len(ns.objs) }
+
+// AcquireSequential probes names 1, 2, 3, ... and returns the first name
+// whose TAS the caller wins, together with the number of probes. With at
+// most Size() participants a name is always acquired (each probe that
+// fails was won by some other process, and there are fewer processes than
+// names); ok is false only if the caller was beaten on every name.
+func (ns *Namespace) AcquireSequential(h shm.Handle) (name, probes int, ok bool) {
+	for i, obj := range ns.objs {
+		probes++
+		if obj.TAS(h) == 0 {
+			return i + 1, probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// AcquireRandom probes uniformly random names (skipping ones this caller
+// already probed) and returns the first win. It probes every name at most
+// once, so termination and the Size()-participant guarantee match
+// AcquireSequential; the random order spreads contention so the expected
+// probe count at contention k with Size() ≥ 2k is O(1)–O(log k).
+func (ns *Namespace) AcquireRandom(h shm.Handle) (name, probes int, ok bool) {
+	order := make([]int, len(ns.objs))
+	for i := range order {
+		order[i] = i
+	}
+	// Fisher–Yates with the handle's local coins (free in the model).
+	for i := len(order) - 1; i > 0; i-- {
+		j := h.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, i := range order {
+		probes++
+		if ns.objs[i].TAS(h) == 0 {
+			return i + 1, probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// Validate checks that a set of acquired names is a correct renaming
+// outcome for the namespace: all names in range and pairwise distinct.
+func (ns *Namespace) Validate(names []int) error {
+	seen := make(map[int]bool, len(names))
+	for _, n := range names {
+		if n < 1 || n > len(ns.objs) {
+			return fmt.Errorf("renaming: name %d out of range 1..%d", n, len(ns.objs))
+		}
+		if seen[n] {
+			return fmt.Errorf("renaming: name %d acquired twice", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package renaming
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tas"
+)
+
+func newNamespace(sys *sim.System, size, procs int) *Namespace {
+	return New(sys, size, func() tas.LeaderElector {
+		return core.NewLogStar(sys, procs)
+	})
+}
+
+// TestSequentialPerfectRenaming: k processes, namespace of exactly k —
+// everyone acquires, all names distinct, and names form 1..k.
+func TestSequentialPerfectRenaming(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 12} {
+		for seed := int64(0); seed < 20; seed++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+			ns := newNamespace(sys, k, k)
+			names := make([]int, k)
+			res := sys.Run(sim.NewRandomOblivious(seed+5), func(h shm.Handle) {
+				name, _, ok := ns.AcquireSequential(h)
+				if !ok {
+					t.Errorf("k=%d seed=%d: process %d failed to acquire", k, seed, h.ID())
+				}
+				names[h.ID()] = name
+			})
+			for pid, ok := range res.Finished {
+				if !ok {
+					t.Fatalf("process %d unfinished", pid)
+				}
+			}
+			if err := ns.Validate(names); err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			// Perfect: sequential probing fills a prefix.
+			for _, n := range names {
+				if n > k {
+					t.Fatalf("k=%d seed=%d: sequential name %d exceeds k", k, seed, n)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomRenaming: namespace 2k, random probing — everyone acquires
+// distinct names with few probes.
+func TestRandomRenaming(t *testing.T) {
+	const k = 16
+	totalProbes := 0
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+		ns := newNamespace(sys, 2*k, k)
+		names := make([]int, k)
+		sys.Run(sim.NewRandomOblivious(seed+3), func(h shm.Handle) {
+			name, probes, ok := ns.AcquireRandom(h)
+			if !ok {
+				t.Errorf("seed=%d: process %d failed", seed, h.ID())
+			}
+			names[h.ID()] = name
+			totalProbes += probes
+		})
+		if err := ns.Validate(names); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+	meanProbes := float64(totalProbes) / float64(trials*k)
+	// With a half-empty namespace each probe succeeds w.p. ≥ 1/2: the
+	// mean must be a small constant.
+	if meanProbes > 4 {
+		t.Errorf("mean probes = %.2f, want ≤ 4", meanProbes)
+	}
+}
+
+// TestContendedSequentialLockstep: the adversarial schedule cannot create
+// duplicates.
+func TestContendedSequentialLockstep(t *testing.T) {
+	const k = 8
+	for seed := int64(0); seed < 20; seed++ {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+		ns := newNamespace(sys, k, k)
+		names := make([]int, k)
+		sys.Run(sim.NewLockstep(), func(h shm.Handle) {
+			name, _, ok := ns.AcquireSequential(h)
+			if !ok {
+				t.Errorf("seed=%d: acquisition failed", seed)
+			}
+			names[h.ID()] = name
+		})
+		if err := ns.Validate(names); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sys := sim.NewSystem(sim.Config{N: 1, Seed: 1})
+	ns := newNamespace(sys, 4, 1)
+	if err := ns.Validate([]int{1, 2, 4}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := ns.Validate([]int{1, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := ns.Validate([]int{5}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package shm_test
+
+import (
+	"testing"
+
+	"repro/internal/concurrent"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// TestRegisterArrayOnBothBackends checks the helper and that register
+// identities are distinct and well-ordered on each backend.
+func TestRegisterArrayOnBothBackends(t *testing.T) {
+	spaces := map[string]shm.Space{
+		"sim":        sim.NewSystem(sim.Config{N: 1, Seed: 1}),
+		"concurrent": concurrent.NewSpace(),
+	}
+	for name, s := range spaces {
+		regs := shm.NewRegisterArray(s, 5, 7)
+		if len(regs) != 5 {
+			t.Fatalf("%s: len = %d", name, len(regs))
+		}
+		seen := map[int]bool{}
+		for _, r := range regs {
+			id := r.RegisterID()
+			if seen[id] {
+				t.Errorf("%s: duplicate register id %d", name, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestCrossBackendMisuse pins the documented panic on mixing backends.
+func TestCrossBackendMisuse(t *testing.T) {
+	simReg := sim.NewSystem(sim.Config{N: 1, Seed: 1}).NewRegister(0)
+	h := concurrent.NewHandle(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-backend register did not panic")
+		}
+	}()
+	h.Read(simReg)
+}

@@ -1,0 +1,169 @@
+package sim
+
+// Attack adversaries used in the paper's separation arguments. Each one is
+// honest about its information class: it declares the weakest Visibility
+// that suffices for the attack, and the View filtering guarantees it cannot
+// use more than it declares.
+
+// NewAscendingLocation returns the R/W-oblivious attack on the Figure 1
+// group election (and on the Section 2.1 chain built from it).
+//
+// isArray reports whether a register id is a slot of some Figure 1 R
+// array. This is *static* layout knowledge — the algorithm's code and
+// allocation order are public — not runtime information; the adversary
+// still never observes whether a pending operation is a read or a write.
+//
+// The schedule: among parked processes, pick the one whose pending
+// operation targets the lowest-numbered register; at the same register,
+// order by past step count — ascending everywhere except on array slots,
+// where descending. Because chains allocate registers in level order and
+// survivors of level i have identical step counts, this
+//
+//  1. lets every process pass the flag doorway (doorway reads, at the
+//     lower step count, precede doorway writes), maximizing participation,
+//  2. executes R-array writes in ascending slot order, with each write's
+//     follow-up read of R[x+1] (higher step count) scheduled before any
+//     write to R[x+1] — so every read returns 0 and every participant is
+//     elected: f(k) degrades to k, and
+//  3. walks splitters so that no process receives Left, eliminating only
+//     one process per level.
+//
+// The Section 2.1 chain then needs Θ(k) levels: the paper's observation
+// that the Figure 1 algorithm is not efficient against the R/W-oblivious
+// adversary.
+func NewAscendingLocation(isArray func(reg int) bool) Adversary {
+	if isArray == nil {
+		isArray = func(int) bool { return false }
+	}
+	return &Func{
+		Vis: VisibilityRW,
+		Pick: func(v View) int {
+			best, bestReg, bestSteps := -1, int(^uint(0)>>1), -1
+			for pid := 0; pid < v.N(); pid++ {
+				if !v.Parked(pid) {
+					continue
+				}
+				reg := v.PendingReg(pid)
+				steps := v.Steps(pid)
+				better := false
+				switch {
+				case best < 0 || reg < bestReg:
+					better = true
+				case reg == bestReg && isArray(reg) && steps > bestSteps:
+					better = true
+				case reg == bestReg && !isArray(reg) && steps < bestSteps:
+					better = true
+				}
+				if better {
+					best, bestReg, bestSteps = pid, reg, steps
+				}
+			}
+			return best
+		},
+	}
+}
+
+// NewLockstepReadsFirst returns the location-oblivious attack on sifting
+// chains (Section 2.3). It keeps all processes aligned (fewest past steps
+// first) and, within a step-aligned round, schedules pending reads before
+// pending writes — information the location-oblivious adversary has (it
+// sees operation types, not locations).
+//
+// Survivors of each chain level have identical step counts, so every
+// level's sifter operations form one aligned round: all sifter reads
+// execute before any sifter write, every reader sees 0, and every
+// participant is elected — f(k) = k. The splitter rounds align too (no
+// process receives Left), so exactly one process is eliminated per level
+// and the chain needs Θ(k) levels: sifting is not efficient against the
+// location-oblivious adversary, which is why the paper pairs each group
+// election with its own adversary class.
+func NewLockstepReadsFirst() Adversary {
+	return &Func{
+		Vis: VisibilityLocation,
+		Pick: func(v View) int {
+			best, bestSteps, bestRead := -1, int(^uint(0)>>1), false
+			for pid := 0; pid < v.N(); pid++ {
+				if !v.Parked(pid) {
+					continue
+				}
+				steps := v.Steps(pid)
+				isRead := v.PendingKind(pid) == OpRead
+				if best < 0 || steps < bestSteps || (steps == bestSteps && isRead && !bestRead) {
+					best, bestSteps, bestRead = pid, steps, isRead
+				}
+			}
+			return best
+		},
+	}
+}
+
+// NewReadersFirst returns the location-oblivious attack on the sifting
+// group election of Alistarh and Aspnes (Section 2.3).
+//
+// A sifter participant either writes the shared register (with probability
+// π) or reads it; it is elected iff it writes, or reads before any write.
+// The location-oblivious adversary sees the *type* of pending operations,
+// so it simply schedules every pending read before any pending write: all
+// readers see the initial 0 and every participant is elected, f(k) = k.
+// This is why the paper pairs each group election with the adversary class
+// it is designed for.
+func NewReadersFirst() Adversary {
+	return &Func{
+		Vis: VisibilityLocation,
+		Pick: func(v View) int {
+			fallback := -1
+			for pid := 0; pid < v.N(); pid++ {
+				if !v.Parked(pid) {
+					continue
+				}
+				if v.PendingKind(pid) == OpRead {
+					return pid
+				}
+				if fallback < 0 {
+					fallback = pid
+				}
+			}
+			return fallback
+		},
+	}
+}
+
+// NewLockstep returns an adaptive adversary that always steps a process
+// with the fewest steps taken so far, keeping all processes maximally
+// aligned. Against splitter-based structures (RatRace and its
+// space-efficient variant) this maximizes collisions: aligned processes
+// fail splitters together and descend deep into the tree. RatRace's
+// O(log k) bound must hold even against this schedule.
+func NewLockstep() Adversary {
+	return &Func{
+		Vis: VisibilityAdaptive,
+		Pick: func(v View) int {
+			best, bestSteps := -1, int(^uint(0)>>1)
+			for pid := 0; pid < v.N(); pid++ {
+				if v.Parked(pid) && v.Steps(pid) < bestSteps {
+					best, bestSteps = pid, v.Steps(pid)
+				}
+			}
+			return best
+		},
+	}
+}
+
+// NewSoloFirst returns an adaptive adversary that runs one process at a
+// time to completion, in pid order. This is the schedule that maximizes
+// the information later processes can extract from earlier ones and is a
+// useful correctness stressor: the first process must win everything solo
+// and all others must observe it and lose.
+func NewSoloFirst() Adversary {
+	return &Func{
+		Vis: VisibilityAdaptive,
+		Pick: func(v View) int {
+			for pid := 0; pid < v.N(); pid++ {
+				if v.Parked(pid) {
+					return pid
+				}
+			}
+			return -1
+		},
+	}
+}

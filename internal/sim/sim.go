@@ -1,0 +1,450 @@
+// Package sim is a deterministic simulator for the asynchronous shared-memory
+// model of the paper: n processes, atomic multi-reader multi-writer
+// registers, and an adversary that decides which process takes the next step.
+//
+// Each simulated process runs as a goroutine executing ordinary Go code
+// against the shm abstraction. Every shm.Handle.Read or Write parks the
+// goroutine on an unbuffered channel until the scheduler grants the step, so
+// exactly one goroutine runs at any time and executions are fully
+// deterministic given (seed, adversary). This gives exact step counting —
+// the Go runtime scheduler never influences results — which is what the
+// paper's step-complexity statements require.
+//
+// The simulator also tracks, per register, the last writer ("visibility" in
+// the paper's Section 5 terminology) and can report every process's pending
+// operation. This is the machinery needed both by the adversary classes of
+// Section 1 (adaptive, location-oblivious, R/W-oblivious, oblivious) and by
+// the executable space-lower-bound construction of Section 5.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/shm"
+)
+
+// OpKind identifies the type of a pending or executed shared-memory step.
+type OpKind uint8
+
+// Operation kinds. OpUnknown is reported to adversaries whose class hides
+// the read/write type of pending operations.
+const (
+	OpUnknown OpKind = iota
+	OpRead
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// procState tracks where a simulated process is in its lifecycle.
+type procState uint8
+
+const (
+	stateCreated procState = iota // goroutine not yet spawned
+	stateParked                   // published a pending op, awaiting a grant
+	stateDone                     // body returned normally
+	stateKilled                   // crashed by the scheduler (Close or adversary stop)
+)
+
+// errKilled is the sentinel panic value used to unwind a simulated process
+// whose execution is being abandoned (a crash in the model's sense).
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: process killed" }
+
+type pendingOp struct {
+	kind OpKind
+	reg  *register
+	val  shm.Value
+}
+
+type register struct {
+	id     int
+	val    shm.Value
+	writer int // pid of last writer; -1 if never written ("no process visible")
+	reads  int
+	writes int
+}
+
+// RegisterID implements shm.Register.
+func (r *register) RegisterID() int { return r.id }
+
+type procMsg struct {
+	done bool
+	op   pendingOp
+}
+
+type grantMsg struct {
+	kill bool
+	val  shm.Value
+}
+
+// Proc is the simulator's implementation of shm.Handle. Each Proc is owned
+// by exactly one simulated process goroutine.
+type Proc struct {
+	id  int
+	sys *System
+	rng *rand.Rand
+
+	toSched   chan procMsg
+	fromSched chan grantMsg
+
+	// Fields below are owned by the scheduler goroutine.
+	state   procState
+	pending pendingOp
+	steps   int
+	coins   int
+}
+
+var _ shm.Handle = (*Proc)(nil)
+
+// ID implements shm.Handle.
+func (p *Proc) ID() int { return p.id }
+
+// Read implements shm.Handle. It parks the calling goroutine until the
+// scheduler grants the step.
+func (p *Proc) Read(r shm.Register) shm.Value {
+	return p.step(pendingOp{kind: OpRead, reg: p.sys.mustOwn(r)})
+}
+
+// Write implements shm.Handle. It parks the calling goroutine until the
+// scheduler grants the step.
+func (p *Proc) Write(r shm.Register, v shm.Value) {
+	p.step(pendingOp{kind: OpWrite, reg: p.sys.mustOwn(r), val: v})
+}
+
+func (p *Proc) step(op pendingOp) shm.Value {
+	p.toSched <- procMsg{op: op}
+	g := <-p.fromSched
+	if g.kill {
+		panic(killedError{})
+	}
+	return g.val
+}
+
+// Intn implements shm.Handle: a local coin flip, not a shared-memory step.
+func (p *Proc) Intn(n int) int {
+	p.coins++
+	if f := p.sys.cfg.IntnFunc; f != nil {
+		return f(p.id, n)
+	}
+	return p.rng.Intn(n)
+}
+
+// Coin implements shm.Handle: true with probability prob.
+func (p *Proc) Coin(prob float64) bool {
+	p.coins++
+	if f := p.sys.cfg.CoinFunc; f != nil {
+		return f(p.id, prob)
+	}
+	switch {
+	case prob <= 0:
+		return false
+	case prob >= 1:
+		return true
+	default:
+		return p.rng.Float64() < prob
+	}
+}
+
+// StepEvent describes one executed shared-memory step, for tracing.
+type StepEvent struct {
+	Time int // 0-based global step index
+	PID  int
+	Kind OpKind
+	Reg  int
+	Val  shm.Value // value written (OpWrite) or value read (OpRead)
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// N is the number of simulated processes.
+	N int
+	// Seed determines every local coin flip; two Systems with the same
+	// Seed, body, and schedule produce identical executions.
+	Seed int64
+	// RecordSchedule keeps the granted pid sequence for replay (used by
+	// the Section 5 lower-bound machinery). Off by default to keep large
+	// sweeps cheap.
+	RecordSchedule bool
+	// StepHook, if non-nil, is invoked after every executed step.
+	StepHook func(StepEvent)
+	// CoinFunc, if non-nil, overrides the outcome of every Handle.Coin
+	// call. It enables exhaustive model checking over coin outcomes
+	// (the twoproc safety checker enumerates coin tapes through it).
+	CoinFunc func(pid int, prob float64) bool
+	// IntnFunc, if non-nil, overrides the outcome of every Handle.Intn
+	// call; it must return a value in [0, n).
+	IntnFunc func(pid, n int) int
+	// SeeHook, if non-nil, is invoked when a read observes a register on
+	// which some process is visible (the paper's "p sees q" relation).
+	SeeHook func(reader, seen int)
+}
+
+// System is one simulated shared-memory machine: a set of registers, a set
+// of processes, and the scheduling machinery. A System runs one execution;
+// create a fresh System per trial.
+type System struct {
+	cfg       Config
+	registers []*register
+	procs     []*Proc
+	schedule  []int
+	time      int
+	parked    int
+	started   bool
+	closed    bool
+}
+
+var _ shm.Space = (*System)(nil)
+
+// NewSystem creates a simulator for cfg.N processes. Algorithm objects
+// should be constructed (allocating registers via the shm.Space interface)
+// before Start is called.
+func NewSystem(cfg Config) *System {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("sim: invalid process count %d", cfg.N))
+	}
+	s := &System{cfg: cfg, procs: make([]*Proc, cfg.N)}
+	for i := range s.procs {
+		s.procs[i] = &Proc{
+			id:        i,
+			sys:       s,
+			rng:       rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed)+uint64(i)*0x9e3779b97f4a7c15) >> 1))),
+			toSched:   make(chan procMsg),
+			fromSched: make(chan grantMsg),
+		}
+	}
+	return s
+}
+
+// splitmix64 decorrelates per-process seeds derived from one System seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewRegister implements shm.Space.
+func (s *System) NewRegister(init shm.Value) shm.Register {
+	if s.started {
+		panic("sim: registers must be allocated before Start")
+	}
+	r := &register{id: len(s.registers), val: init, writer: -1}
+	s.registers = append(s.registers, r)
+	return r
+}
+
+func (s *System) mustOwn(r shm.Register) *register {
+	reg, ok := r.(*register)
+	if !ok {
+		panic(fmt.Sprintf("sim: register %T belongs to a different backend", r))
+	}
+	return reg
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.cfg.N }
+
+// Start launches the process goroutines running body and waits until every
+// process is parked on its first shared-memory step or has finished. No
+// steps are executed. Start may be called once per System.
+//
+// Processes are spawned one at a time, each run up to its first
+// shared-memory operation before the next starts: together with the
+// step-token protocol this serializes *all* process code (including local
+// computation before the first step), so process bodies may safely share
+// plain test instrumentation without synchronization.
+func (s *System) Start(body func(h shm.Handle)) {
+	if s.started {
+		panic("sim: Start called twice")
+	}
+	s.started = true
+	for _, p := range s.procs {
+		go runBody(p, body)
+		s.await(p)
+	}
+}
+
+// runBody executes the process body, converting the kill sentinel into a
+// clean exit and reporting completion to the scheduler. Panics other than
+// the kill sentinel propagate: a bug in algorithm code should crash tests.
+func runBody(p *Proc, body func(h shm.Handle)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); !ok {
+				panic(r)
+			}
+		}
+		p.toSched <- procMsg{done: true}
+	}()
+	body(p)
+}
+
+// await blocks until p publishes its next pending op or reports completion.
+func (s *System) await(p *Proc) {
+	msg := <-p.toSched
+	if msg.done {
+		if p.state == stateParked {
+			s.parked--
+		}
+		if p.state == stateKilled {
+			return // completion message of the kill handshake
+		}
+		p.state = stateDone
+		return
+	}
+	p.state = stateParked
+	p.pending = msg.op
+	s.parked++
+}
+
+// Step executes one shared-memory step of process pid, which must be
+// parked. It returns the executed event.
+func (s *System) Step(pid int) StepEvent {
+	p := s.procs[pid]
+	if p.state != stateParked {
+		panic(fmt.Sprintf("sim: Step(%d) but process is not parked (state %d)", pid, p.state))
+	}
+	op := p.pending
+	ev := StepEvent{Time: s.time, PID: pid, Kind: op.kind, Reg: op.reg.id}
+	switch op.kind {
+	case OpRead:
+		ev.Val = op.reg.val
+		op.reg.reads++
+		if s.cfg.SeeHook != nil && op.reg.writer >= 0 {
+			s.cfg.SeeHook(pid, op.reg.writer)
+		}
+	case OpWrite:
+		op.reg.val = op.val
+		op.reg.writer = pid
+		op.reg.writes++
+		ev.Val = op.val
+	default:
+		panic("sim: invalid pending op")
+	}
+	s.time++
+	p.steps++
+	p.state = stateCreated // transiently neither parked nor done
+	s.parked--
+	if s.cfg.RecordSchedule {
+		s.schedule = append(s.schedule, pid)
+	}
+	if s.cfg.StepHook != nil {
+		s.cfg.StepHook(ev)
+	}
+	p.fromSched <- grantMsg{val: ev.Val}
+	s.await(p)
+	return ev
+}
+
+// Kill crashes process pid: its goroutine unwinds and it takes no further
+// steps. Killing a non-parked process is a no-op.
+func (s *System) Kill(pid int) {
+	p := s.procs[pid]
+	if p.state != stateParked {
+		return
+	}
+	p.state = stateKilled
+	s.parked--
+	p.fromSched <- grantMsg{kill: true}
+	s.await(p)
+}
+
+// Close crashes every still-parked process, releasing their goroutines.
+// It is safe to call multiple times and must be called (directly or via
+// Run) before abandoning a started System.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if !s.started {
+		return
+	}
+	for _, p := range s.procs {
+		s.Kill(p.id)
+	}
+}
+
+// Parked reports whether pid is parked on a pending step.
+func (s *System) Parked(pid int) bool { return s.procs[pid].state == stateParked }
+
+// Finished reports whether pid's body returned normally.
+func (s *System) Finished(pid int) bool { return s.procs[pid].state == stateDone }
+
+// ParkedCount returns the number of processes currently parked.
+func (s *System) ParkedCount() int { return s.parked }
+
+// Time returns the number of executed steps.
+func (s *System) Time() int { return s.time }
+
+// StepsOf returns the number of steps pid has executed.
+func (s *System) StepsOf(pid int) int { return s.procs[pid].steps }
+
+// CoinsOf returns the number of local coin flips pid has made.
+func (s *System) CoinsOf(pid int) int { return s.procs[pid].coins }
+
+// MaxSteps returns the maximum per-process step count.
+func (s *System) MaxSteps() int {
+	m := 0
+	for _, p := range s.procs {
+		if p.steps > m {
+			m = p.steps
+		}
+	}
+	return m
+}
+
+// RegisterCount returns the number of allocated registers (the space
+// complexity of the objects constructed on this System).
+func (s *System) RegisterCount() int { return len(s.registers) }
+
+// TouchedRegisters returns how many registers were read or written at least
+// once.
+func (s *System) TouchedRegisters() int {
+	n := 0
+	for _, r := range s.registers {
+		if r.reads > 0 || r.writes > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Value returns the current contents of register reg.
+func (s *System) Value(reg int) shm.Value { return s.registers[reg].val }
+
+// LastWriter returns the pid visible on register reg, or -1 if no process
+// has written it (the paper's "no process is visible on r").
+func (s *System) LastWriter(reg int) int { return s.registers[reg].writer }
+
+// Pending reports full (adaptive-adversary) information about pid's pending
+// operation. ok is false if pid is not parked. This unfiltered view is for
+// tooling such as the Section 5 covering adversary; adversaries go through
+// the visibility-filtered View instead.
+func (s *System) Pending(pid int) (kind OpKind, reg int, val shm.Value, ok bool) {
+	p := s.procs[pid]
+	if p.state != stateParked {
+		return OpUnknown, -1, 0, false
+	}
+	return p.pending.kind, p.pending.reg.id, p.pending.val, true
+}
+
+// Schedule returns the recorded grant sequence (requires
+// Config.RecordSchedule). The returned slice is a copy.
+func (s *System) Schedule() []int {
+	out := make([]int, len(s.schedule))
+	copy(out, s.schedule)
+	return out
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/shm"
+)
+
+// TestDeterminism verifies that identical seeds and adversaries produce
+// identical executions — the property every experiment in this repository
+// relies on.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]int, []shm.Value) {
+		sys := NewSystem(Config{N: 8, Seed: 42, RecordSchedule: true})
+		regs := shm.NewRegisterArray(sys, 4, 0)
+		res := sys.Run(NewRandomOblivious(7), func(h shm.Handle) {
+			for i := 0; i < 5; i++ {
+				slot := h.Intn(len(regs))
+				v := h.Read(regs[slot])
+				h.Write(regs[slot], v+shm.Value(h.ID()+1))
+			}
+		})
+		if res.TotalSteps == 0 {
+			return nil, nil
+		}
+		vals := make([]shm.Value, len(regs))
+		for i := range regs {
+			vals[i] = sys.Value(regs[i].RegisterID())
+		}
+		return sys.Schedule(), vals
+	}
+	s1, v1 := run()
+	s2, v2 := run()
+	if len(s1) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedules diverge at step %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("final register %d differs: %d vs %d", i, v1[i], v2[i])
+		}
+	}
+}
+
+// TestStepCounting checks that exactly the shared-memory operations are
+// counted as steps and coins are free.
+func TestStepCounting(t *testing.T) {
+	sys := NewSystem(Config{N: 3, Seed: 1})
+	r := sys.NewRegister(0)
+	res := sys.Run(NewRoundRobin(), func(h shm.Handle) {
+		h.Intn(10) // free
+		h.Write(r, 1)
+		h.Coin(0.5) // free
+		_ = h.Read(r)
+	})
+	for pid, s := range res.Steps {
+		if s != 2 {
+			t.Errorf("process %d took %d steps, want 2", pid, s)
+		}
+	}
+	if res.TotalSteps != 6 {
+		t.Errorf("total steps = %d, want 6", res.TotalSteps)
+	}
+	if res.MaxSteps != 2 {
+		t.Errorf("max steps = %d, want 2", res.MaxSteps)
+	}
+}
+
+// TestAtomicity drives two processes through a read-modify-write race and
+// checks the register semantics are those of atomic reads and writes (lost
+// update is possible, torn state is not), under an explicit schedule.
+func TestAtomicity(t *testing.T) {
+	sys := NewSystem(Config{N: 2, Seed: 1})
+	r := sys.NewRegister(0)
+	// Schedule: both read (seeing 0), then both write 1+0.
+	res := sys.Run(NewFixedSchedule([]int{0, 1, 0, 1}), func(h shm.Handle) {
+		v := h.Read(r)
+		h.Write(r, v+1)
+	})
+	if got := sys.Value(r.RegisterID()); got != 1 {
+		t.Errorf("lost-update schedule produced %d, want 1", got)
+	}
+	if !res.Finished[0] || !res.Finished[1] {
+		t.Error("processes did not finish")
+	}
+}
+
+// TestLastWriterAndSeeHook exercises the visibility bookkeeping the
+// Section 5 lower-bound machinery depends on.
+func TestLastWriterAndSeeHook(t *testing.T) {
+	var seen [][2]int
+	sys := NewSystem(Config{N: 2, Seed: 1, SeeHook: func(reader, w int) {
+		seen = append(seen, [2]int{reader, w})
+	}})
+	r := sys.NewRegister(0)
+	if sys.LastWriter(r.RegisterID()) != -1 {
+		t.Fatal("fresh register should have no visible process")
+	}
+	sys.Run(NewFixedSchedule([]int{0, 1, 1}), func(h shm.Handle) {
+		if h.ID() == 0 {
+			h.Write(r, 7)
+			return
+		}
+		_ = h.Read(r) // first read: before p0 writes? schedule puts p0 first
+		_ = h.Read(r)
+	})
+	if got := sys.LastWriter(r.RegisterID()); got != 0 {
+		t.Errorf("last writer = %d, want 0", got)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("see events = %v, want two events", seen)
+	}
+	for _, ev := range seen {
+		if ev != [2]int{1, 0} {
+			t.Errorf("see event = %v, want [1 0]", ev)
+		}
+	}
+}
+
+// TestPendingVisibility checks each adversary class sees exactly what the
+// paper's definitions allow.
+func TestPendingVisibility(t *testing.T) {
+	sys := NewSystem(Config{N: 1, Seed: 1})
+	r0 := sys.NewRegister(0)
+	r1 := sys.NewRegister(0)
+	_ = r0
+	sys.Start(func(h shm.Handle) {
+		h.Write(r1, 9)
+	})
+	defer sys.Close()
+
+	cases := []struct {
+		vis      Visibility
+		wantKind OpKind
+		wantReg  int
+		wantVal  bool
+	}{
+		{VisibilityOblivious, OpUnknown, -1, false},
+		{VisibilityLocation, OpWrite, -1, true},
+		{VisibilityRW, OpUnknown, 1, false},
+		{VisibilityAdaptive, OpWrite, 1, true},
+	}
+	for _, tc := range cases {
+		v := View{sys: sys, vis: tc.vis}
+		if got := v.PendingKind(0); got != tc.wantKind {
+			t.Errorf("%v: kind = %v, want %v", tc.vis, got, tc.wantKind)
+		}
+		if got := v.PendingReg(0); got != tc.wantReg {
+			t.Errorf("%v: reg = %v, want %v", tc.vis, got, tc.wantReg)
+		}
+		if _, ok := v.PendingVal(0); ok != tc.wantVal {
+			t.Errorf("%v: val visible = %v, want %v", tc.vis, ok, tc.wantVal)
+		}
+	}
+}
+
+// TestKillUnblocksProcesses ensures crashed processes release their
+// goroutines and take no further steps.
+func TestKillUnblocksProcesses(t *testing.T) {
+	sys := NewSystem(Config{N: 4, Seed: 1})
+	r := sys.NewRegister(0)
+	finished := make([]bool, 4)
+	sys.Start(func(h shm.Handle) {
+		for i := 0; i < 100; i++ {
+			h.Write(r, shm.Value(i))
+		}
+		finished[h.ID()] = true
+	})
+	sys.Step(0)
+	sys.Kill(0)
+	if sys.Parked(0) {
+		t.Error("killed process still parked")
+	}
+	sys.Close()
+	for pid, f := range finished {
+		if f {
+			t.Errorf("process %d finished despite kill/close", pid)
+		}
+	}
+	if sys.StepsOf(0) != 1 {
+		t.Errorf("killed process has %d steps, want 1", sys.StepsOf(0))
+	}
+}
+
+// TestAdversaryStopsEarly checks Run's crash semantics when the adversary
+// returns a negative pid.
+func TestAdversaryStopsEarly(t *testing.T) {
+	sys := NewSystem(Config{N: 2, Seed: 1})
+	r := sys.NewRegister(0)
+	steps := 0
+	adv := &Func{Vis: VisibilityAdaptive, Pick: func(v View) int {
+		if steps >= 3 {
+			return -1
+		}
+		steps++
+		return 0
+	}}
+	res := sys.Run(adv, func(h shm.Handle) {
+		for i := 0; i < 10; i++ {
+			h.Write(r, 1)
+		}
+	})
+	if res.Finished[0] || res.Finished[1] {
+		t.Error("no process should have finished")
+	}
+	if res.Steps[0] != 3 || res.Steps[1] != 0 {
+		t.Errorf("steps = %v, want [3 0]", res.Steps)
+	}
+}
+
+// TestRoundRobinFairness verifies every process finishes under round-robin.
+func TestRoundRobinFairness(t *testing.T) {
+	sys := NewSystem(Config{N: 5, Seed: 3})
+	r := sys.NewRegister(0)
+	res := sys.Run(NewRoundRobin(), func(h shm.Handle) {
+		for i := 0; i < h.ID()+1; i++ { // uneven lengths
+			h.Write(r, shm.Value(h.ID()))
+		}
+	})
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Errorf("process %d did not finish", pid)
+		}
+		if res.Steps[pid] != pid+1 {
+			t.Errorf("process %d: steps = %d, want %d", pid, res.Steps[pid], pid+1)
+		}
+	}
+}
+
+// TestRegisterAccounting checks space bookkeeping.
+func TestRegisterAccounting(t *testing.T) {
+	sys := NewSystem(Config{N: 1, Seed: 1})
+	regs := shm.NewRegisterArray(sys, 10, 0)
+	if sys.RegisterCount() != 10 {
+		t.Fatalf("allocated = %d, want 10", sys.RegisterCount())
+	}
+	sys.Run(NewRoundRobin(), func(h shm.Handle) {
+		h.Write(regs[3], 1)
+		_ = h.Read(regs[7])
+	})
+	if got := sys.TouchedRegisters(); got != 2 {
+		t.Errorf("touched = %d, want 2", got)
+	}
+}
+
+// TestFixedScheduleSkipsFinished ensures replaying a schedule with stale
+// entries skips them rather than deadlocking.
+func TestFixedScheduleSkipsFinished(t *testing.T) {
+	sys := NewSystem(Config{N: 2, Seed: 1})
+	r := sys.NewRegister(0)
+	res := sys.Run(NewFixedSchedule([]int{0, 0, 0, 0, 1}), func(h shm.Handle) {
+		h.Write(r, 1)
+	})
+	if !res.Finished[0] || !res.Finished[1] {
+		t.Errorf("finished = %v, want both", res.Finished)
+	}
+}
+
+// TestStepHookTrace checks the trace hook sees every step in order.
+func TestStepHookTrace(t *testing.T) {
+	var events []StepEvent
+	sys := NewSystem(Config{N: 2, Seed: 1, StepHook: func(ev StepEvent) {
+		events = append(events, ev)
+	}})
+	r := sys.NewRegister(5)
+	sys.Run(NewFixedSchedule([]int{0, 1}), func(h shm.Handle) {
+		if h.ID() == 0 {
+			h.Write(r, 9)
+		} else {
+			_ = h.Read(r)
+		}
+	})
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Kind != OpWrite || events[0].Val != 9 {
+		t.Errorf("event 0 = %+v, want write 9", events[0])
+	}
+	if events[1].Kind != OpRead || events[1].Val != 9 {
+		t.Errorf("event 1 = %+v, want read 9", events[1])
+	}
+	if events[0].Time != 0 || events[1].Time != 1 {
+		t.Errorf("timestamps wrong: %+v", events)
+	}
+}

@@ -1,0 +1,83 @@
+package tas
+
+import (
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// TestLinearizability checks the ordering property that makes the [11]
+// transformation a linearizable TAS: the unique 0-returning call must not
+// begin after another call has completed. (If a loser's TAS finished
+// strictly before the winner's started, the bit was observably set before
+// the winner's interval, so returning 0 would be inconsistent with every
+// sequential TAS history.)
+//
+// Intervals are taken from the simulator's global step clock: a call's
+// start is its first step, its finish its last.
+func TestLinearizability(t *testing.T) {
+	mks := map[string]func(s shm.Space, n int) LeaderElector{
+		"logstar": func(s shm.Space, n int) LeaderElector { return mustLogStar(s, n) },
+	}
+	for name, mk := range mks {
+		for _, k := range []int{2, 4, 8, 16} {
+			for seed := int64(0); seed < 120; seed++ {
+				checkOneExecution(t, name, mk, k, seed)
+			}
+		}
+	}
+}
+
+func checkOneExecution(t *testing.T, name string, mk func(s shm.Space, n int) LeaderElector, k int, seed int64) {
+	t.Helper()
+	firstStep := make([]int, k)
+	lastStep := make([]int, k)
+	for i := range firstStep {
+		firstStep[i] = -1
+	}
+	sys := sim.NewSystem(sim.Config{
+		N:    k,
+		Seed: seed,
+		StepHook: func(ev sim.StepEvent) {
+			if firstStep[ev.PID] < 0 {
+				firstStep[ev.PID] = ev.Time
+			}
+			lastStep[ev.PID] = ev.Time
+		},
+	})
+	obj := New(sys, mk(sys, k))
+	rets := make([]int, k)
+	res := sys.Run(sim.NewRandomOblivious(seed*131+7), func(h shm.Handle) {
+		rets[h.ID()] = obj.TAS(h)
+	})
+	winner := -1
+	for pid := 0; pid < k; pid++ {
+		if !res.Finished[pid] {
+			t.Fatalf("%s k=%d seed=%d: process %d unfinished", name, k, seed, pid)
+		}
+		if rets[pid] == 0 {
+			if winner >= 0 {
+				t.Fatalf("%s k=%d seed=%d: two zeros (%d and %d)", name, k, seed, winner, pid)
+			}
+			winner = pid
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("%s k=%d seed=%d: no winner", name, k, seed)
+	}
+	for pid := 0; pid < k; pid++ {
+		if pid == winner {
+			continue
+		}
+		if lastStep[pid] < firstStep[winner] {
+			t.Fatalf("%s k=%d seed=%d: loser %d finished at %d before winner %d started at %d",
+				name, k, seed, pid, lastStep[pid], winner, firstStep[winner])
+		}
+	}
+}
+
+// mustLogStar builds the default chain used for the interval checks.
+func mustLogStar(s shm.Space, n int) LeaderElector {
+	return logStarBuilder(s, n)
+}

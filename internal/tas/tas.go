@@ -1,0 +1,68 @@
+// Package tas implements linearizable Test-And-Set from leader election,
+// the transformation of Golab, Hendler and Woelfel [11] cited in the
+// paper's preliminaries: a TAS() call costs at most one elect() call plus
+// one read and possibly one write of a single shared "done" register.
+//
+// A TAS object stores a bit, initially 0; TAS() sets it and returns the
+// previous value. Equivalently, the unique caller that receives 0 is the
+// winner. The transformation:
+//
+//	TAS():
+//	    if done.Read() == 1 { return 1 }
+//	    if le.Elect()       { return 0 }
+//	    done.Write(1); return 1
+//
+// Linearizability sketch: the winner is the unique elect() winner. Any
+// caller returning 1 either lost the election (so the winner's call is
+// concurrent or earlier) or read done == 1, which some loser wrote after
+// the election already had a winner. Ordering the winner's operation
+// before all losers' yields a valid sequential TAS history; the early
+// return keeps completed losers from racing ahead of a winner that has
+// not linearized yet.
+package tas
+
+import "repro/internal/shm"
+
+// LeaderElector is the interface the transformation consumes. All leader
+// elections in this repository (core chains, RatRace variants, AGTV
+// tournaments, combined algorithms) satisfy it.
+type LeaderElector interface {
+	// Elect returns true iff the calling process wins. Each process
+	// calls Elect at most once.
+	Elect(h shm.Handle) bool
+}
+
+// TAS is a one-shot test-and-set object built from a leader election plus
+// one register.
+type TAS struct {
+	le   LeaderElector
+	done shm.Register
+}
+
+// New builds a TAS object from le, allocating its done register on s.
+func New(s shm.Space, le LeaderElector) *TAS {
+	return &TAS{le: le, done: s.NewRegister(0)}
+}
+
+// TAS sets the bit and returns its previous value (0 for the unique
+// winner, 1 for everyone else). Each process calls TAS at most once.
+func (t *TAS) TAS(h shm.Handle) int {
+	if h.Read(t.done) == 1 {
+		return 1
+	}
+	if t.le.Elect(h) {
+		return 0
+	}
+	h.Write(t.done, 1)
+	return 1
+}
+
+// Read returns the current value of the bit without setting it (one step).
+// It is linearizable alongside TAS: the bit is observably 1 only after
+// some loser finished, which implies the winner's TAS already happened.
+func (t *TAS) Read(h shm.Handle) int {
+	if h.Read(t.done) == 1 {
+		return 1
+	}
+	return 0
+}

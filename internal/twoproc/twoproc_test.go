@@ -1,0 +1,302 @@
+package twoproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// --- Exhaustive model checking of the 2-process protocol -----------------
+//
+// The protocol's safety claims (at most one winner, at most one loser) must
+// hold for EVERY schedule and EVERY coin outcome. We enumerate both: binary
+// schedules up to a depth bound, crossed with explicit per-process coin
+// tapes fed through sim.Config.CoinFunc.
+
+type outcome int8
+
+const (
+	outRunning outcome = iota
+	outWon
+	outLost
+)
+
+// runBounded executes the 2-process LE under an explicit schedule and coin
+// tapes, stopping after the schedule is exhausted. It reports each
+// process's outcome (outRunning if unfinished) and whether any process ran
+// out of coin tape (in which case the run is only a prefix of a real
+// execution and liveness conclusions must be skipped).
+func runBounded(schedule []int, tapes [2][]bool) (res [2]outcome, overflow bool) {
+	pos := [2]int{}
+	cfg := sim.Config{
+		N:    2,
+		Seed: 1,
+		CoinFunc: func(pid int, _ float64) bool {
+			if pos[pid] >= len(tapes[pid]) {
+				overflow = true
+				return false
+			}
+			b := tapes[pid][pos[pid]]
+			pos[pid]++
+			return b
+		},
+	}
+	sys := sim.NewSystem(cfg)
+	le := New(sys)
+	sys.Start(func(h shm.Handle) {
+		if le.Elect(h, h.ID()) {
+			res[h.ID()] = outWon
+		} else {
+			res[h.ID()] = outLost
+		}
+	})
+	defer sys.Close()
+	for _, pid := range schedule {
+		if sys.Parked(pid) {
+			sys.Step(pid)
+		}
+	}
+	// Outcomes recorded by still-running processes are outRunning; a
+	// process that finished set its slot before its final handshake, and
+	// the scheduler's channel synchronization makes that visible here.
+	for pid := 0; pid < 2; pid++ {
+		if !sys.Finished(pid) {
+			res[pid] = outRunning
+		}
+	}
+	return res, overflow
+}
+
+func tapeFromBits(bits uint, width int) []bool {
+	tape := make([]bool, width)
+	for i := 0; i < width; i++ {
+		tape[i] = bits>>i&1 == 1
+	}
+	return tape
+}
+
+func scheduleFromBits(bits uint, width int) []int {
+	seq := make([]int, width)
+	for i := 0; i < width; i++ {
+		seq[i] = int(bits >> i & 1)
+	}
+	return seq
+}
+
+func checkSafety(t *testing.T, res [2]outcome, ctx string) {
+	t.Helper()
+	if res[0] == outWon && res[1] == outWon {
+		t.Fatalf("%s: both processes won", ctx)
+	}
+	if res[0] == outLost && res[1] == outLost {
+		t.Fatalf("%s: both processes lost", ctx)
+	}
+}
+
+// TestExhaustiveShallow enumerates every schedule of length 8 crossed with
+// every pair of 3-bit coin tapes: 2^8 · 2^6 = 16384 executions.
+func TestExhaustiveShallow(t *testing.T) {
+	const schedBits, tapeBits = 8, 3
+	for sb := uint(0); sb < 1<<schedBits; sb++ {
+		sched := scheduleFromBits(sb, schedBits)
+		for tb := uint(0); tb < 1<<(2*tapeBits); tb++ {
+			tapes := [2][]bool{
+				tapeFromBits(tb&(1<<tapeBits-1), tapeBits),
+				tapeFromBits(tb>>tapeBits, tapeBits),
+			}
+			res, _ := runBounded(sched, tapes)
+			checkSafety(t, res, "shallow")
+		}
+	}
+}
+
+// TestExhaustiveDeepStructuredTapes enumerates every schedule of length 12
+// against a set of adversarially structured coin tapes (always-up,
+// always-down, alternating phases, anti-aligned pairs) — the patterns that
+// keep the race alive longest.
+func TestExhaustiveDeepStructuredTapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive deep check skipped in -short mode")
+	}
+	mk := func(pattern string) []bool {
+		tape := make([]bool, 8)
+		for i := range tape {
+			switch pattern {
+			case "up":
+				tape[i] = true
+			case "down":
+				tape[i] = false
+			case "alt":
+				tape[i] = i%2 == 0
+			case "tla":
+				tape[i] = i%2 == 1
+			}
+			_ = i
+		}
+		return tape
+	}
+	patterns := []string{"up", "down", "alt", "tla"}
+	const schedBits = 12
+	for sb := uint(0); sb < 1<<schedBits; sb++ {
+		sched := scheduleFromBits(sb, schedBits)
+		for _, p0 := range patterns {
+			for _, p1 := range patterns {
+				res, _ := runBounded(sched, [2][]bool{mk(p0), mk(p1)})
+				checkSafety(t, res, "deep "+p0+"/"+p1)
+			}
+		}
+	}
+}
+
+// TestCompletionOutcomes verifies that whenever both processes run to
+// completion, exactly one wins and one loses (randomized schedules and
+// real coins).
+func TestCompletionOutcomes(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+		le := New(sys)
+		var won [2]bool
+		res := sys.Run(sim.NewRandomOblivious(seed*31+7), func(h shm.Handle) {
+			won[h.ID()] = le.Elect(h, h.ID())
+		})
+		if !res.Finished[0] || !res.Finished[1] {
+			t.Fatalf("seed %d: did not finish", seed)
+		}
+		if won[0] == won[1] {
+			t.Fatalf("seed %d: outcomes %v, want exactly one winner", seed, won)
+		}
+	}
+}
+
+// TestSoloWins pins the solo-termination behaviour: a lone caller wins in
+// exactly 2 steps.
+func TestSoloWins(t *testing.T) {
+	for slot := 0; slot < 2; slot++ {
+		sys := sim.NewSystem(sim.Config{N: 1, Seed: 9})
+		le := New(sys)
+		won := false
+		res := sys.Run(sim.NewRoundRobin(), func(h shm.Handle) {
+			won = le.Elect(h, slot)
+		})
+		if !won {
+			t.Fatalf("slot %d: solo caller lost", slot)
+		}
+		if res.Steps[0] != 2 {
+			t.Fatalf("slot %d: solo caller took %d steps, want 2", slot, res.Steps[0])
+		}
+	}
+}
+
+// TestConstantExpectedSteps measures expected individual step complexity
+// under fair, adversarial-lockstep and solo-first schedules; the paper's
+// building block requires O(1) in all cases.
+func TestConstantExpectedSteps(t *testing.T) {
+	advs := map[string]func() sim.Adversary{
+		"round-robin": func() sim.Adversary { return sim.NewRoundRobin() },
+		"lockstep":    func() sim.Adversary { return sim.NewLockstep() },
+		"solo-first":  func() sim.Adversary { return sim.NewSoloFirst() },
+	}
+	for name, mk := range advs {
+		total := 0
+		const trials = 400
+		for seed := int64(0); seed < trials; seed++ {
+			sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+			le := New(sys)
+			res := sys.Run(mk(), func(h shm.Handle) {
+				le.Elect(h, h.ID())
+			})
+			total += res.MaxSteps
+		}
+		mean := float64(total) / trials
+		// The geometric tail gives E[max steps] ≤ ~8; allow slack.
+		if mean > 12 {
+			t.Errorf("%s: mean max steps = %.2f, want O(1) (≤ 12)", name, mean)
+		}
+	}
+}
+
+// TestRegisterFootprint pins the O(1) space bound.
+func TestRegisterFootprint(t *testing.T) {
+	sys := sim.NewSystem(sim.Config{N: 2, Seed: 1})
+	New(sys)
+	if got := sys.RegisterCount(); got != 2 {
+		t.Errorf("2-process LE uses %d registers, want 2", got)
+	}
+	sys2 := sim.NewSystem(sim.Config{N: 3, Seed: 1})
+	New3(sys2)
+	if got := sys2.RegisterCount(); got != 4 {
+		t.Errorf("3-process LE uses %d registers, want 4", got)
+	}
+}
+
+// --- LE3 ------------------------------------------------------------------
+
+// runLE3 executes a subset of roles through one LE3 and returns who won.
+func runLE3(t *testing.T, roles []Role, seed int64) map[Role]bool {
+	t.Helper()
+	sys := sim.NewSystem(sim.Config{N: len(roles), Seed: seed})
+	le := New3(sys)
+	results := make([]bool, len(roles))
+	res := sys.Run(sim.NewRandomOblivious(seed+999), func(h shm.Handle) {
+		results[h.ID()] = le.Elect(h, roles[h.ID()])
+	})
+	out := make(map[Role]bool, len(roles))
+	for i, r := range roles {
+		if !res.Finished[i] {
+			t.Fatalf("role %v did not finish", r)
+		}
+		out[r] = results[i]
+	}
+	return out
+}
+
+func TestLE3AllRoleSubsets(t *testing.T) {
+	all := []Role{Here, FromLeft, FromRight}
+	// Every non-empty subset of roles participates.
+	for mask := 1; mask < 8; mask++ {
+		var roles []Role
+		for i, r := range all {
+			if mask>>i&1 == 1 {
+				roles = append(roles, r)
+			}
+		}
+		for seed := int64(0); seed < 60; seed++ {
+			out := runLE3(t, roles, seed)
+			winners := 0
+			for _, won := range out {
+				if won {
+					winners++
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("roles %v seed %d: %d winners, want exactly 1", roles, seed, winners)
+			}
+		}
+	}
+}
+
+// TestElectQuick fuzzes slot assignment and schedules via testing/quick.
+func TestElectQuick(t *testing.T) {
+	prop := func(seed int64, flip bool) bool {
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
+		le := New(sys)
+		var won [2]bool
+		slot := func(pid int) int {
+			if flip {
+				return 1 - pid
+			}
+			return pid
+		}
+		res := sys.Run(sim.NewRandomOblivious(seed^0x2e), func(h shm.Handle) {
+			won[h.ID()] = le.Elect(h, slot(h.ID()))
+		})
+		return res.Finished[0] && res.Finished[1] && won[0] != won[1]
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. The Section 5 covering argument uses it to maintain
+// the equivalence classes of the paper's ≡_E relation (the transitive
+// closure of "process p saw process q or vice versa").
+package unionfind
+
+// UF is a disjoint-set forest over {0..n-1}.
+type UF struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New creates n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int, n), rank: make([]byte, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (u *UF) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether a and b are in one set.
+func (u *UF) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Members returns the elements of x's set, in increasing order.
+func (u *UF) Members(x int) []int {
+	root := u.Find(x)
+	var out []int
+	for i := range u.parent {
+		if u.Find(i) == root {
+			out = append(out, i)
+		}
+	}
+	return out
+}

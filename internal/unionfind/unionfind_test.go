@@ -1,0 +1,78 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	u := New(6)
+	if u.Sets() != 6 {
+		t.Fatalf("initial sets = %d", u.Sets())
+	}
+	if !u.Union(0, 1) || !u.Union(2, 3) {
+		t.Fatal("fresh unions reported as no-ops")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeated union reported as merge")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Fatal("membership wrong after unions")
+	}
+	u.Union(1, 3)
+	if !u.Same(0, 2) {
+		t.Fatal("transitivity broken")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("sets = %d, want 3", u.Sets())
+	}
+	m := u.Members(0)
+	if len(m) != 4 {
+		t.Fatalf("members = %v, want 4 elements", m)
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i] <= m[i-1] {
+			t.Fatalf("members not sorted: %v", m)
+		}
+	}
+}
+
+// TestQuickInvariants property-checks set-count bookkeeping against a
+// naive reference implementation.
+func TestQuickInvariants(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		const n = 24
+		u := New(n)
+		ref := make([]int, n) // naive labels
+		for i := range ref {
+			ref[i] = i
+		}
+		for _, op := range ops {
+			a, b := int(op)%n, int(op>>8)%n
+			u.Union(a, b)
+			la, lb := ref[a], ref[b]
+			if la != lb {
+				for i := range ref {
+					if ref[i] == lb {
+						ref[i] = la
+					}
+				}
+			}
+		}
+		labels := map[int]bool{}
+		for i := range ref {
+			labels[ref[i]] = true
+			for j := range ref {
+				if (ref[i] == ref[j]) != u.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return u.Sets() == len(labels)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

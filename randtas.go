@@ -1,0 +1,270 @@
+// Package randtas provides randomized Test-And-Set and Leader Election
+// objects implemented from atomic registers only — no compare-and-swap —
+// reproducing "On the Time and Space Complexity of Randomized
+// Test-And-Set" by Giakkoupis and Woelfel (PODC 2012).
+//
+// A Test-And-Set object stores a bit, initially 0; TAS() atomically sets
+// it and returns the previous value, so exactly one caller ever receives
+// 0. Deterministic wait-free TAS from registers is impossible even for
+// two processes; the algorithms here are randomized and wait-free with
+// the paper's expected step complexities:
+//
+//	Algorithm          Expected steps        Adversary model     Registers
+//	LogStar            O(log* k)             location-oblivious  O(n)
+//	Sifting            O(log log n)          R/W-oblivious       O(n)
+//	AdaptiveSifting    O(log log k)          R/W-oblivious       O(n)
+//	RatRace            O(log k)              adaptive            O(n)
+//	RatRaceOriginal    O(log k)              adaptive            O(n³)
+//	AGTV               O(log n)              adaptive            O(n)
+//	Combined           O(log* k) weak /      both                O(n)
+//	                   O(log k) adaptive
+//
+// (k is the contention — the number of processes that actually
+// participate; n is the maximum number of processes.)
+//
+// # Usage
+//
+// Construct an object for n processes, hand each participating goroutine
+// its own Proc, and call TAS or Elect at most once per Proc:
+//
+//	obj := randtas.NewTAS(randtas.Options{N: 8})
+//	var wg sync.WaitGroup
+//	for i := 0; i < 8; i++ {
+//	    wg.Add(1)
+//	    go func(p *randtas.TASProc) {
+//	        defer wg.Done()
+//	        if p.TAS() == 0 {
+//	            // unique winner
+//	        }
+//	    }(obj.Proc(i))
+//	}
+//	wg.Wait()
+//
+// The step-complexity experiments of the paper run on a deterministic
+// simulator with adversarial schedulers; see cmd/tasbench and the
+// internal/sim package.
+package randtas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agtv"
+	"repro/internal/combiner"
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/ratrace"
+	"repro/internal/shm"
+	"repro/internal/tas"
+)
+
+// Algorithm selects which of the paper's constructions backs an object.
+type Algorithm int
+
+// Available algorithms. The zero value selects Combined, the
+// Corollary 4.2 construction with the best guarantees across adversary
+// models.
+const (
+	// Combined interleaves RatRace with the log* chain (Theorem 4.1 /
+	// Corollary 4.2): O(log* k) against a location-oblivious scheduler
+	// and O(log k) against an adaptive one.
+	Combined Algorithm = iota
+	// LogStar is the Theorem 2.3 chain: O(log* k) expected steps against
+	// the location-oblivious adversary.
+	LogStar
+	// Sifting is the Section 2.3 non-adaptive chain: O(log log n)
+	// against the R/W-oblivious adversary.
+	Sifting
+	// AdaptiveSifting is the Theorem 2.4 cascade: O(log log k) against
+	// the R/W-oblivious adversary.
+	AdaptiveSifting
+	// RatRace is the paper's Section 3 space-efficient RatRace:
+	// O(log k) against the adaptive adversary, Θ(n) registers.
+	RatRace
+	// RatRaceOriginal is the 2010 RatRace baseline: same step bound,
+	// Θ(n³) registers. Only sensible for small n.
+	RatRaceOriginal
+	// AGTV is the 1992 tournament baseline: O(log n) steps.
+	AGTV
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Combined:
+		return "combined"
+	case LogStar:
+		return "logstar"
+	case Sifting:
+		return "sifting"
+	case AdaptiveSifting:
+		return "adaptive-sifting"
+	case RatRace:
+		return "ratrace"
+	case RatRaceOriginal:
+		return "ratrace-original"
+	case AGTV:
+		return "agtv"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a leader election or TAS object.
+type Options struct {
+	// N is the maximum number of processes (Proc ids 0..N-1). Required.
+	N int
+	// Algorithm picks the construction; the zero value is Combined.
+	Algorithm Algorithm
+	// Seed, if non-zero, makes all coin flips deterministic (useful for
+	// tests). With Seed zero a process-unique default is used.
+	Seed int64
+}
+
+// buildElector constructs the chosen algorithm on s.
+func buildElector(s shm.Space, opts Options) (tas.LeaderElector, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("randtas: Options.N must be ≥ 1, got %d", opts.N)
+	}
+	n := opts.N
+	switch opts.Algorithm {
+	case Combined:
+		rr := ratrace.NewSpaceEfficient(s, n)
+		return combiner.New(s, rr, core.NewLogStar(s, n)), nil
+	case LogStar:
+		return core.NewLogStar(s, n), nil
+	case Sifting:
+		return core.NewSifting(s, n), nil
+	case AdaptiveSifting:
+		return core.NewAdaptiveSifting(s, n), nil
+	case RatRace:
+		return ratrace.NewSpaceEfficient(s, n), nil
+	case RatRaceOriginal:
+		return ratrace.NewOriginal(s, n), nil
+	case AGTV:
+		return agtv.New(s, n), nil
+	default:
+		return nil, fmt.Errorf("randtas: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// LeaderElection is a one-shot leader election for N processes on real
+// atomic registers.
+type LeaderElection struct {
+	opts  Options
+	space *concurrent.Space
+	le    tas.LeaderElector
+}
+
+// NewLeaderElection builds a leader election object.
+func NewLeaderElection(opts Options) (*LeaderElection, error) {
+	space := concurrent.NewSpace()
+	le, err := buildElector(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaderElection{opts: opts, space: space, le: le}, nil
+}
+
+// Registers returns the object's register footprint.
+func (l *LeaderElection) Registers() int { return l.space.Registers() }
+
+// Proc returns the context for process id (0 ≤ id < N). Each Proc belongs
+// to one goroutine.
+func (l *LeaderElection) Proc(id int) *Proc {
+	if id < 0 || id >= l.opts.N {
+		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, l.opts.N))
+	}
+	return &Proc{h: newHandle(id, l.opts), le: l.le}
+}
+
+// Proc is one process's access point to a LeaderElection.
+type Proc struct {
+	h    *concurrent.Handle
+	le   tas.LeaderElector
+	used bool
+}
+
+// Elect runs the election; it returns true for exactly one process.
+// Elect may be called once; further calls panic.
+func (p *Proc) Elect() bool {
+	p.markUsed("Elect")
+	return p.le.Elect(p.h)
+}
+
+// Steps reports the shared-memory steps this process has taken.
+func (p *Proc) Steps() int { return p.h.Steps() }
+
+func (p *Proc) markUsed(op string) {
+	if p.used {
+		panic("randtas: " + op + " called twice on one Proc (objects are one-shot)")
+	}
+	p.used = true
+}
+
+// TASObject is a one-shot test-and-set object for N processes on real
+// atomic registers.
+type TASObject struct {
+	opts  Options
+	space *concurrent.Space
+	obj   *tas.TAS
+}
+
+// NewTAS builds a test-and-set object.
+func NewTAS(opts Options) (*TASObject, error) {
+	space := concurrent.NewSpace()
+	le, err := buildElector(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TASObject{opts: opts, space: space, obj: tas.New(space, le)}, nil
+}
+
+// Registers returns the object's register footprint.
+func (t *TASObject) Registers() int { return t.space.Registers() }
+
+// Proc returns the context for process id (0 ≤ id < N).
+func (t *TASObject) Proc(id int) *TASProc {
+	if id < 0 || id >= t.opts.N {
+		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, t.opts.N))
+	}
+	return &TASProc{h: newHandle(id, t.opts), obj: t.obj}
+}
+
+// TASProc is one process's access point to a TASObject.
+type TASProc struct {
+	h    *concurrent.Handle
+	obj  *tas.TAS
+	used bool
+}
+
+// TAS sets the bit and returns its previous value: 0 for the unique
+// winner, 1 otherwise. TAS may be called once per TASProc; further calls
+// panic.
+func (p *TASProc) TAS() int {
+	if p.used {
+		panic("randtas: TAS called twice on one TASProc (objects are one-shot)")
+	}
+	p.used = true
+	return p.obj.TAS(p.h)
+}
+
+// Read returns the current bit without setting it. It may be called any
+// number of times.
+func (p *TASProc) Read() int { return p.obj.Read(p.h) }
+
+// Steps reports the shared-memory steps this process has taken.
+func (p *TASProc) Steps() int { return p.h.Steps() }
+
+func newHandle(id int, opts Options) *concurrent.Handle {
+	seed := opts.Seed
+	if seed == 0 {
+		// Fresh coins per run; the global source auto-seeds.
+		seed = rand.Int63() | 1
+	}
+	// Decorrelate per-process streams.
+	mixed := uint64(seed) + uint64(id+1)*0xbf58476d1ce4e5b9
+	mixed ^= mixed >> 30
+	mixed *= 0x94d049bb133111eb
+	mixed ^= mixed >> 27
+	return concurrent.NewHandle(id, int64(mixed>>1))
+}

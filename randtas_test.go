@@ -1,0 +1,211 @@
+package randtas
+
+import (
+	"sync"
+	"testing"
+)
+
+var allAlgorithms = []Algorithm{
+	Combined, LogStar, Sifting, AdaptiveSifting, RatRace, AGTV,
+}
+
+// runConcurrentTAS launches k real goroutines against one TAS object and
+// returns their results.
+func runConcurrentTAS(t *testing.T, algo Algorithm, n, k int, seed int64) []int {
+	t.Helper()
+	obj, err := NewTAS(Options{N: n, Algorithm: algo, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rets := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(id int, p *TASProc) {
+			defer wg.Done()
+			rets[id] = p.TAS()
+		}(i, obj.Proc(i))
+	}
+	wg.Wait()
+	return rets
+}
+
+// TestTASExactlyOneWinner is the headline correctness property on the
+// real backend, across all algorithms, with the race detector able to
+// validate the memory discipline.
+func TestTASExactlyOneWinner(t *testing.T) {
+	for _, algo := range allAlgorithms {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, k := range []int{1, 2, 8, 32} {
+				for seed := int64(1); seed <= 8; seed++ {
+					rets := runConcurrentTAS(t, algo, 32, k, seed)
+					zeros := 0
+					for _, r := range rets {
+						if r == 0 {
+							zeros++
+						}
+					}
+					if zeros != 1 {
+						t.Fatalf("k=%d seed=%d: %d winners, want 1", k, seed, zeros)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRatRaceOriginalSmall exercises the cubic-space baseline at a size
+// where its footprint is tolerable.
+func TestRatRaceOriginalSmall(t *testing.T) {
+	rets := runConcurrentTAS(t, RatRaceOriginal, 8, 8, 5)
+	zeros := 0
+	for _, r := range rets {
+		if r == 0 {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Fatalf("%d winners, want 1", zeros)
+	}
+}
+
+// TestLeaderElection mirrors the TAS test through the Elect API.
+func TestLeaderElection(t *testing.T) {
+	le, err := NewLeaderElection(Options{N: 16, Algorithm: Combined, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := make([]bool, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int, p *Proc) {
+			defer wg.Done()
+			won[id] = p.Elect()
+		}(i, le.Proc(i))
+	}
+	wg.Wait()
+	winners := 0
+	for _, w := range won {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners, want 1", winners)
+	}
+}
+
+// TestSpaceFootprints checks the register-count separation on the real
+// backend too.
+func TestSpaceFootprints(t *testing.T) {
+	regs := func(algo Algorithm, n int) int {
+		obj, err := NewTAS(Options{N: n, Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obj.Registers()
+	}
+	se := regs(RatRace, 64)
+	orig := regs(RatRaceOriginal, 64)
+	if orig < 20*se {
+		t.Errorf("original RatRace (%d regs) vs space-efficient (%d): separation too small", orig, se)
+	}
+	if lin := regs(LogStar, 1024); lin > 40*1024 {
+		t.Errorf("log* TAS uses %d registers at n=1024, want O(n)", lin)
+	}
+}
+
+// TestReadSemantics: Read flips to 1 after losers complete.
+func TestReadSemantics(t *testing.T) {
+	obj, err := NewTAS(Options{N: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.Proc(3).Read(); got != 0 {
+		t.Fatalf("Read before TAS = %d", got)
+	}
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(p *TASProc) {
+				defer wg.Done()
+				p.TAS()
+			}(obj.Proc(i))
+		}
+		wg.Wait()
+	}()
+	<-runDone
+	// Three completed TAS calls: at least two losers have written done.
+	if got := obj.Proc(3).Read(); got != 1 {
+		t.Fatalf("Read after TAS completions = %d, want 1", got)
+	}
+}
+
+// TestOneShotGuard documents the misuse contract.
+func TestOneShotGuard(t *testing.T) {
+	obj, err := NewTAS(Options{N: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obj.Proc(0)
+	p.TAS()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second TAS on one proc did not panic")
+		}
+	}()
+	p.TAS()
+}
+
+// TestInvalidOptions covers constructor validation.
+func TestInvalidOptions(t *testing.T) {
+	if _, err := NewTAS(Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewLeaderElection(Options{N: -3}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := NewTAS(Options{N: 2, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestDeterministicSeeds: a fixed seed fixes the winner under sequential
+// execution.
+func TestDeterministicSeeds(t *testing.T) {
+	run := func() int {
+		obj, err := NewTAS(Options{N: 4, Algorithm: LogStar, Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winner := -1
+		for i := 0; i < 4; i++ { // strictly sequential
+			if obj.Proc(i).TAS() == 0 {
+				winner = i
+			}
+		}
+		return winner
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("winners differ across identical runs: %d vs %d", a, b)
+	}
+}
+
+// TestStepsReported: the steps counter moves and stays modest.
+func TestStepsReported(t *testing.T) {
+	obj, err := NewTAS(Options{N: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obj.Proc(0)
+	p.TAS()
+	if p.Steps() < 1 || p.Steps() > 200 {
+		t.Errorf("winner took %d steps", p.Steps())
+	}
+}
