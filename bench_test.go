@@ -9,9 +9,11 @@ package randtas
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/combiner"
 	"repro/internal/core"
@@ -351,5 +353,68 @@ func BenchmarkSimStepOverhead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step(0)
+	}
+}
+
+// E14 — the arena subsystem: sustained Lock/Unlock traffic on the
+// reusable TAS-chained Mutex. ReportAllocs demonstrates the arena's
+// amortized O(1) allocations per operation: slots (with their O(n)
+// register footprints) are recycled, so steady state allocates only the
+// per-round bookkeeping, never a fresh TAS object.
+func BenchmarkMutex(b *testing.B) {
+	for _, algo := range []Algorithm{Combined, RatRace, AGTV} {
+		b.Run(algo.String(), func(b *testing.B) {
+			n := 2 * runtime.GOMAXPROCS(0) // ids for however many workers RunParallel spawns
+			m, err := NewMutex(ArenaOptions{Options: Options{N: n, Algorithm: algo, Seed: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var nextID atomic.Int64
+			counter := 0 // guarded by m; validates exclusion during the bench
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(nextID.Add(1)) - 1
+				if id >= n {
+					b.Errorf("more parallel workers than proc ids (%d)", n)
+					return
+				}
+				p := m.Proc(id)
+				for pb.Next() {
+					p.Lock()
+					counter++
+					p.Unlock()
+				}
+			})
+			b.StopTimer()
+			if counter != b.N {
+				b.Fatalf("counter = %d, want %d", counter, b.N)
+			}
+			st := m.Stats()
+			b.ReportMetric(float64(st.Contended)/float64(b.N), "lostTAS/op")
+			b.ReportMetric(float64(m.m.Arena().TotalStats().Slots), "slots")
+		})
+	}
+}
+
+// E14b — the arena pool in isolation: Get/Put must be O(1) and
+// allocation-free once the pool is warm.
+func BenchmarkArenaGetPut(b *testing.B) {
+	a, err := NewArena(ArenaOptions{Options: Options{N: 8, Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		hint := int(time.Now().UnixNano()) // static per-worker shard hint
+		for pb.Next() {
+			s := a.a.Get(hint)
+			a.a.Put(s)
+		}
+	})
+	b.StopTimer()
+	if misses := a.Stats().Misses; misses > uint64(2*runtime.GOMAXPROCS(0)) {
+		b.Fatalf("%d construction misses on a warm pool", misses)
 	}
 }

@@ -1,13 +1,18 @@
 // Command tasbench regenerates every experiment table of the reproduction
-// (see EXPERIMENTS.md for the experiment ↔ theorem mapping).
+// (see EXPERIMENTS.md for the experiment ↔ theorem mapping) and, in
+// throughput mode, load-tests the reusable arena-backed Mutex.
 //
 // Usage:
 //
-//	tasbench [-experiment all|E1|E2|...] [-trials N] [-seed S] [-quick]
+//	tasbench [-mode=experiments] [-experiment all|E1|E2|...] [-trials N] [-seed S] [-quick]
+//	tasbench -mode=throughput [-goroutines G] [-duration D] [-algos a,b,c]
+//	         [-shards S] [-prealloc P] [-work W] [-seed S]
 //
 // Each experiment prints a fixed-width table whose *shape* (who wins, by
 // what growth rate, where crossovers fall) reproduces the corresponding
-// theorem of Giakkoupis & Woelfel (PODC 2012).
+// theorem of Giakkoupis & Woelfel (PODC 2012). Throughput mode (see
+// throughput.go) reports ops/sec, wait/hold percentiles, and steps/op of
+// sustained Lock/Unlock traffic on real goroutines.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/aa"
 	"repro/internal/agtv"
@@ -34,12 +40,42 @@ import (
 
 func main() {
 	var (
+		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables) or 'throughput' (real-goroutine Mutex load test)")
 		experiment = flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 		trials     = flag.Int("trials", 100, "Monte-Carlo trials per table cell")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+
+		goroutines = flag.Int("goroutines", 8, "throughput: concurrent lockers")
+		duration   = flag.Duration("duration", 2*time.Second, "throughput: load duration per algorithm")
+		algos      = flag.String("algos", "combined,logstar,ratrace,agtv", "throughput: comma-separated algorithms")
+		shards     = flag.Int("shards", 0, "throughput: arena shards (0 = default)")
+		prealloc   = flag.Int("prealloc", 0, "throughput: preallocated slots per shard (0 = default)")
+		work       = flag.Int("work", 0, "throughput: spin iterations inside the critical section")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "throughput":
+		err := runThroughput(throughputConfig{
+			goroutines: *goroutines,
+			duration:   *duration,
+			algos:      *algos,
+			shards:     *shards,
+			prealloc:   *prealloc,
+			work:       *work,
+			seed:       *seed,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
+	case "experiments":
+		// fall through to the simulator tables below
+	default:
+		fatalf("tasbench: unknown -mode %q (want 'experiments' or 'throughput')", *mode)
+	}
+
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}
 
 	experiments := []struct {

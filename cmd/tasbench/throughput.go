@@ -1,0 +1,226 @@
+// Throughput mode: a sustained load generator for the reusable Mutex
+// built on the arena subsystem. Unlike the experiment tables (which run
+// on the deterministic simulator), this mode hammers real goroutines on
+// real atomics and reports serving metrics: ops/sec, acquire-wait and
+// hold-time percentiles, shared-memory steps per op, and arena recycling
+// behaviour.
+//
+// Usage:
+//
+//	tasbench -mode=throughput [-goroutines G] [-duration D] [-algos a,b,c]
+//	         [-shards S] [-prealloc P] [-work W]
+//
+// Mutual exclusion is verified continuously: every critical section
+// checks an owner word and increments a counter that only the lock
+// serializes; any violation aborts with a non-zero exit.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	randtas "repro"
+	"repro/internal/harness"
+)
+
+type throughputConfig struct {
+	goroutines int
+	duration   time.Duration
+	algos      string
+	shards     int
+	prealloc   int
+	work       int
+	seed       int64
+}
+
+// throughputAlgos parses the -algos list against the public algorithm
+// names.
+func throughputAlgos(list string) ([]randtas.Algorithm, error) {
+	byName := map[string]randtas.Algorithm{}
+	for _, a := range []randtas.Algorithm{
+		randtas.Combined, randtas.LogStar, randtas.Sifting,
+		randtas.AdaptiveSifting, randtas.RatRace, randtas.AGTV,
+	} {
+		byName[a.String()] = a
+	}
+	var out []randtas.Algorithm
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %q (have: combined, logstar, sifting, adaptive-sifting, ratrace, agtv)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -algos list")
+	}
+	return out, nil
+}
+
+// sampleCap bounds per-worker latency sample memory; past the cap the
+// run keeps counting ops but stops recording new samples.
+const sampleCap = 1 << 18
+
+type workerResult struct {
+	ops   int
+	steps int
+	waits []time.Duration
+	holds []time.Duration
+}
+
+type throughputResult struct {
+	algo      randtas.Algorithm
+	ops       int
+	steps     int
+	elapsed   time.Duration
+	waits     []time.Duration
+	holds     []time.Duration
+	mutex     randtas.MutexStats
+	pool      randtas.ArenaShardStats
+	shardDump []randtas.ArenaShardStats
+}
+
+// runThroughputOne drives one algorithm's Mutex from cfg.goroutines
+// workers for cfg.duration and merges the per-worker measurements.
+func runThroughputOne(cfg throughputConfig, algo randtas.Algorithm) (throughputResult, error) {
+	arena, err := randtas.NewArena(randtas.ArenaOptions{
+		Options:  randtas.Options{N: cfg.goroutines, Algorithm: algo, Seed: cfg.seed},
+		Shards:   cfg.shards,
+		Prealloc: cfg.prealloc,
+	})
+	if err != nil {
+		return throughputResult{}, err
+	}
+	m := arena.NewMutex()
+
+	var (
+		owner     atomic.Int64 // holder's id+1; 0 when free
+		guarded   int          // serialized by m alone
+		violation atomic.Bool
+		start     = make(chan struct{})
+		results   = make([]workerResult, cfg.goroutines)
+		wg        sync.WaitGroup
+	)
+	deadline := time.Now().Add(cfg.duration)
+	for w := 0; w < cfg.goroutines; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := m.Proc(id)
+			res := workerResult{}
+			spin := 0.0
+			<-start
+			for time.Now().Before(deadline) && !violation.Load() {
+				t0 := time.Now()
+				p.Lock()
+				t1 := time.Now()
+				if !owner.CompareAndSwap(0, int64(id)+1) {
+					violation.Store(true)
+					p.Unlock()
+					return
+				}
+				guarded++
+				for i := 0; i < cfg.work; i++ {
+					spin += float64(i) // simulated critical-section work
+				}
+				owner.Store(0)
+				t2 := time.Now()
+				p.Unlock()
+				res.ops++
+				if len(res.waits) < sampleCap {
+					res.waits = append(res.waits, t1.Sub(t0))
+					res.holds = append(res.holds, t2.Sub(t1))
+				}
+			}
+			_ = spin
+			res.steps = p.Steps()
+			results[id] = res
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	if violation.Load() {
+		return throughputResult{}, fmt.Errorf("%s: MUTUAL EXCLUSION VIOLATION detected", algo)
+	}
+	out := throughputResult{algo: algo, elapsed: elapsed, mutex: m.Stats(),
+		pool: arena.Stats(), shardDump: arena.ShardStats()}
+	for _, r := range results {
+		out.ops += r.ops
+		out.steps += r.steps
+		out.waits = append(out.waits, r.waits...)
+		out.holds = append(out.holds, r.holds...)
+	}
+	if guarded != out.ops {
+		return throughputResult{}, fmt.Errorf("%s: guarded counter %d != ops %d (lost update ⇒ exclusion broken)", algo, guarded, out.ops)
+	}
+	return out, nil
+}
+
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(d)-1))
+	return d[i]
+}
+
+func runThroughput(cfg throughputConfig) error {
+	algos, err := throughputAlgos(cfg.algos)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("### throughput — reusable Mutex on the TAS arena (G=%d, D=%v, work=%d)\n\n",
+		cfg.goroutines, cfg.duration, cfg.work)
+	tbl := harness.Table{
+		Title: "Sustained Lock/Unlock traffic per algorithm",
+		Headers: []string{"algorithm", "ops", "ops/sec", "wait p50", "wait p99",
+			"hold p50", "hold p99", "steps/op", "lost TAS/op", "slots", "misses"},
+		Notes: []string{
+			"wait = Lock latency; hold = critical-section occupancy; steps = shared-memory ops.",
+			"slots/misses: arena pool size and construction fallbacks — recycling keeps both O(G).",
+		},
+	}
+	for _, algo := range algos {
+		res, err := runThroughputOne(cfg, algo)
+		if err != nil {
+			return err
+		}
+		sort.Slice(res.waits, func(i, j int) bool { return res.waits[i] < res.waits[j] })
+		sort.Slice(res.holds, func(i, j int) bool { return res.holds[i] < res.holds[j] })
+		opsPerSec := float64(res.ops) / res.elapsed.Seconds()
+		tbl.AddRow(
+			algo.String(),
+			res.ops,
+			fmt.Sprintf("%.0f", opsPerSec),
+			percentile(res.waits, 0.50).Round(time.Nanosecond).String(),
+			percentile(res.waits, 0.99).Round(time.Nanosecond).String(),
+			percentile(res.holds, 0.50).Round(time.Nanosecond).String(),
+			percentile(res.holds, 0.99).Round(time.Nanosecond).String(),
+			fmt.Sprintf("%.1f", float64(res.steps)/float64(max(res.ops, 1))),
+			fmt.Sprintf("%.2f", float64(res.mutex.Contended)/float64(max(res.ops, 1))),
+			res.pool.Slots,
+			res.pool.Misses,
+		)
+	}
+	fmt.Println(tbl.String())
+	return nil
+}
+
+// fatalf prints to stderr and exits non-zero; throughput failures must
+// fail CI.
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

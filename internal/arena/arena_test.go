@@ -1,0 +1,160 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/tas"
+)
+
+func logStarFactory(s *concurrent.Space, n int) *tas.TAS {
+	return tas.New(s, core.NewLogStar(s, n))
+}
+
+func newTestArena(t *testing.T, cfg Config) *Arena {
+	t.Helper()
+	if cfg.Factory == nil {
+		cfg.Factory = logStarFactory
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 0, Factory: logStarFactory}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(Config{N: 4}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := New(Config{N: 4, Factory: logStarFactory, Shards: -1}); err == nil {
+		t.Error("negative shards accepted")
+	}
+}
+
+// TestGetPutRecycles: a Put slot comes back on the next Get from the same
+// shard, with its registers reset to pristine one-shot state.
+func TestGetPutRecycles(t *testing.T) {
+	a := newTestArena(t, Config{N: 4, Shards: 1, Prealloc: 1})
+	s1 := a.Get(0)
+	h := concurrent.NewHandle(0, 1)
+	if got := s1.Obj.TAS(h); got != 0 {
+		t.Fatalf("solo TAS on fresh slot = %d, want 0 (win)", got)
+	}
+	a.Put(s1)
+	s2 := a.Get(0)
+	if s2 != s1 {
+		t.Fatalf("Get after Put returned a different slot (no recycling)")
+	}
+	// The reset slot must behave like a brand-new one-shot object: a solo
+	// caller wins again.
+	h2 := concurrent.NewHandle(1, 2)
+	if got := s2.Obj.TAS(h2); got != 0 {
+		t.Fatalf("solo TAS on recycled slot = %d, want 0 (registers not reset)", got)
+	}
+}
+
+// TestPreallocServesWithoutMisses: a pool sized for the working set never
+// constructs a new slot.
+func TestPreallocServesWithoutMisses(t *testing.T) {
+	a := newTestArena(t, Config{N: 2, Shards: 2, Prealloc: 3})
+	for i := 0; i < 100; i++ {
+		s := a.Get(i)
+		a.Put(s)
+	}
+	st := a.TotalStats()
+	if st.Misses != 0 {
+		t.Errorf("misses = %d, want 0 with prealloc covering the working set", st.Misses)
+	}
+	if st.Hits+st.Steals != 100 {
+		t.Errorf("hits+steals = %d, want 100", st.Hits+st.Steals)
+	}
+	if st.Puts != 100 {
+		t.Errorf("puts = %d, want 100", st.Puts)
+	}
+	if st.Slots != 6 {
+		t.Errorf("slots = %d, want 6", st.Slots)
+	}
+}
+
+// TestStealAndMiss: draining one shard raids the others, and draining the
+// whole pool constructs.
+func TestStealAndMiss(t *testing.T) {
+	a := newTestArena(t, Config{N: 2, Shards: 2, Prealloc: 1})
+	s0 := a.Get(0) // own shard 0
+	s1 := a.Get(0) // steals from shard 1
+	s2 := a.Get(0) // pool drained: constructs
+	if s0 == nil || s1 == nil || s2 == nil {
+		t.Fatal("nil slot")
+	}
+	st := a.Stats()[0]
+	if st.Hits != 1 || st.Steals != 1 || st.Misses != 1 {
+		t.Errorf("shard0 stats = %+v, want 1 hit, 1 steal, 1 miss", st)
+	}
+	if total := a.TotalStats().Slots; total != 3 {
+		t.Errorf("total slots = %d, want 3 (2 prealloc + 1 miss)", total)
+	}
+	// All three recycle fine.
+	a.Put(s0)
+	a.Put(s1)
+	a.Put(s2)
+	if p := a.TotalStats().Puts; p != 3 {
+		t.Errorf("puts = %d, want 3", p)
+	}
+}
+
+// TestRegistersAccounting: shard stats expose the register footprint.
+func TestRegistersAccounting(t *testing.T) {
+	a := newTestArena(t, Config{N: 8, Shards: 1, Prealloc: 2})
+	st := a.TotalStats()
+	s := a.Get(0)
+	if st.Registers != uint64(2*s.Registers()) {
+		t.Errorf("registers = %d, want %d (2 slots × %d)", st.Registers, 2*s.Registers(), s.Registers())
+	}
+}
+
+// TestConcurrentGetPut hammers the free lists from many goroutines under
+// the race detector: every Get must return a slot no one else holds.
+func TestConcurrentGetPut(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 500
+	)
+	a := newTestArena(t, Config{N: workers, Shards: 2, Prealloc: 2})
+	owners := sync.Map{} // slot -> worker id currently holding it
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := concurrent.NewHandle(id, int64(id)+1)
+			for i := 0; i < iters; i++ {
+				s := a.Get(id)
+				if prev, loaded := owners.LoadOrStore(s, id); loaded {
+					t.Errorf("slot handed to worker %d while worker %v holds it", id, prev)
+					return
+				}
+				// Exercise the slot: a solo TAS on a pristine slot wins.
+				if got := s.Obj.TAS(h); got != 0 {
+					t.Errorf("worker %d: TAS on pooled slot = %d, want 0", id, got)
+					return
+				}
+				owners.Delete(s)
+				a.Put(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.TotalStats()
+	if got := st.Hits + st.Steals + st.Misses; got != workers*iters {
+		t.Errorf("gets = %d, want %d", got, workers*iters)
+	}
+	if st.Puts != workers*iters {
+		t.Errorf("puts = %d, want %d", st.Puts, workers*iters)
+	}
+}

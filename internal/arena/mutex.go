@@ -1,0 +1,193 @@
+// TAS-chaining mutex: a long-lived lock built from one-shot TAS rounds.
+//
+// The lock's state is a pointer to the current *round*, which wraps one
+// arena slot. Lock() means "win the current round's TAS"; Unlock() means
+// "acquire a fresh slot, install it as the next round, and retire the old
+// one". Exactly one process ever receives 0 from a round's TAS, and the
+// next round exists only after the holder's Unlock, so mutual exclusion
+// follows directly from the one-shot TAS property.
+//
+// Retiring a round safely is the delicate part: the old slot's registers
+// may only be reset (Arena.Put) once every process that entered the round
+// has left it. Each round carries a refcount; processes increment it
+// before touching the slot and decrement on the way out, the winner holds
+// its reference until Unlock, and whoever drops the count to zero after
+// the round is closed recycles the slot. Sequentially consistent atomics
+// give the key invariant: a process that observed closed == false after
+// incrementing is counted before the winner's own release decrement, so
+// the count cannot reach zero while anyone may still step on the
+// registers.
+package arena
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/concurrent"
+)
+
+// Mutex is a long-lived mutual-exclusion lock chained from one-shot TAS
+// rounds drawn from an Arena. Create one with NewMutex; each goroutine
+// interacts through its own MutexProc.
+type Mutex struct {
+	arena *Arena
+	cur   atomic.Pointer[round]
+
+	rounds    atomic.Uint64 // completed Lock/Unlock cycles
+	contended atomic.Uint64 // TAS attempts that lost a round
+}
+
+type round struct {
+	slot   *Slot
+	seq    uint64
+	refs   atomic.Int64
+	closed atomic.Bool
+	reaped atomic.Bool
+}
+
+// NewMutex builds a mutex on a, drawing its first round's slot from
+// shard 0.
+func NewMutex(a *Arena) *Mutex {
+	m := &Mutex{arena: a}
+	m.cur.Store(&round{slot: a.Get(0), seq: 1})
+	return m
+}
+
+// Arena returns the arena backing this mutex.
+func (m *Mutex) Arena() *Arena { return m.arena }
+
+// MutexStats is a snapshot of a mutex's counters.
+type MutexStats struct {
+	// Rounds is the number of completed Lock/Unlock cycles.
+	Rounds uint64
+	// Contended counts TAS attempts that entered a round and lost.
+	Contended uint64
+}
+
+// Stats snapshots the mutex counters.
+func (m *Mutex) Stats() MutexStats {
+	return MutexStats{Rounds: m.rounds.Load(), Contended: m.contended.Load()}
+}
+
+// Proc creates the per-goroutine access point for process id, stepping
+// through h. ids must be unique among concurrent users and in [0, N) of
+// the backing arena; h must be used by this MutexProc only.
+func (m *Mutex) Proc(id int, h *concurrent.Handle) *MutexProc {
+	if id < 0 || id >= m.arena.N() {
+		panic("arena: mutex proc id out of range of the backing arena's N")
+	}
+	return &MutexProc{m: m, h: h, id: id}
+}
+
+// MutexProc is one goroutine's handle on a Mutex. It is confined to a
+// single goroutine, like every shm.Handle.
+type MutexProc struct {
+	m    *Mutex
+	h    *concurrent.Handle
+	id   int
+	last uint64 // seq of the round already attempted (one TAS per round)
+	held *round
+}
+
+// Steps reports the cumulative shared-memory steps this proc has taken
+// across all rounds — the monotone step accounting of the underlying
+// handle.
+func (p *MutexProc) Steps() int { return p.h.Steps() }
+
+// Lock acquires the mutex, blocking until this proc wins a round.
+func (p *MutexProc) Lock() {
+	if p.held != nil {
+		panic("arena: Lock on a MutexProc that already holds the mutex")
+	}
+	spins := 0
+	for {
+		r := p.m.cur.Load()
+		if r.seq == p.last {
+			// Already lost this round; one TAS per round per proc, so
+			// wait for the holder to install the next round.
+			backoff(&spins)
+			continue
+		}
+		spins = 0
+		if p.tryRound(r) {
+			return
+		}
+	}
+}
+
+// TryLock makes one attempt at the current round and reports whether it
+// acquired the mutex. It never blocks; a false return means some other
+// proc holds (or just won) the lock.
+func (p *MutexProc) TryLock() bool {
+	if p.held != nil {
+		panic("arena: TryLock on a MutexProc that already holds the mutex")
+	}
+	r := p.m.cur.Load()
+	if r.seq == p.last {
+		return false
+	}
+	return p.tryRound(r)
+}
+
+// tryRound enters round r, runs its TAS once, and returns true on a win
+// (holding the round's reference). On a loss or a closed round the
+// reference is released.
+func (p *MutexProc) tryRound(r *round) bool {
+	r.refs.Add(1)
+	if r.closed.Load() {
+		// Round already retired; the slot may be reset any moment. Do
+		// not touch its registers.
+		p.leave(r)
+		return false
+	}
+	p.last = r.seq
+	if r.slot.Obj.TAS(p.h) == 0 {
+		p.held = r // keep our reference until Unlock
+		return true
+	}
+	p.m.contended.Add(1)
+	p.leave(r)
+	return false
+}
+
+// Unlock releases the mutex: install a fresh round for the waiters, then
+// retire the old one, recycling its slot once the last straggler leaves.
+func (p *MutexProc) Unlock() {
+	r := p.held
+	if r == nil {
+		panic("arena: Unlock of an unlocked Mutex (or by a non-holder proc)")
+	}
+	p.held = nil
+	next := &round{slot: p.m.arena.Get(p.id), seq: r.seq + 1}
+	p.m.cur.Store(next)
+	r.closed.Store(true)
+	p.leave(r) // release the winner's reference taken at Lock
+	p.m.rounds.Add(1)
+}
+
+// leave drops one reference on r; whoever reaches zero after the round
+// closed recycles the slot. The reaped flag makes the recycle exactly
+// once even if the count touches zero more than once (possible when a
+// late arrival increments after a transient zero, sees closed, and backs
+// out without ever touching the registers).
+func (p *MutexProc) leave(r *round) {
+	if r.refs.Add(-1) == 0 && r.closed.Load() {
+		if r.reaped.CompareAndSwap(false, true) {
+			p.m.arena.Put(r.slot)
+		}
+	}
+}
+
+// backoff spins politely: yield the processor for a while, then start
+// sleeping so heavily oversubscribed workloads don't burn whole cores
+// waiting for a round change.
+func backoff(spins *int) {
+	*spins++
+	switch {
+	case *spins < 32:
+		runtime.Gosched()
+	default:
+		time.Sleep(10 * time.Microsecond)
+	}
+}

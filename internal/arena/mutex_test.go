@@ -1,0 +1,205 @@
+package arena
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/concurrent"
+)
+
+func newTestMutex(t *testing.T, n int) *Mutex {
+	t.Helper()
+	a, err := New(Config{N: n, Shards: 2, Prealloc: 2, Factory: logStarFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMutex(a)
+}
+
+func proc(m *Mutex, id int) *MutexProc {
+	return m.Proc(id, concurrent.NewHandle(id, int64(id)*2654435761+1))
+}
+
+// TestMutualExclusion is the headline property: G goroutines each do M
+// Lock/increment/Unlock cycles on a plain (non-atomic) counter; mutual
+// exclusion and the happens-before edges of the chain make the final
+// count exact and race-detector clean.
+func TestMutualExclusion(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 300
+	)
+	m := newTestMutex(t, workers)
+	counter := 0 // deliberately unguarded except by m
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			for i := 0; i < iters; i++ {
+				p.Lock()
+				counter++
+				p.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*iters)
+	}
+	if st := m.Stats(); st.Rounds != workers*iters {
+		t.Errorf("rounds = %d, want %d", st.Rounds, workers*iters)
+	}
+}
+
+// TestRecyclingBoundsPool: sustained Lock/Unlock traffic must not grow
+// the slot pool — the whole point of the arena.
+func TestRecyclingBoundsPool(t *testing.T) {
+	const workers = 4
+	m := newTestMutex(t, workers)
+	before := m.Arena().TotalStats().Slots
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			for i := 0; i < 500; i++ {
+				p.Lock()
+				p.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	after := m.Arena().TotalStats().Slots
+	// Transient stragglers can force a handful of constructions, but the
+	// pool must stay O(workers), not O(rounds).
+	if after > before+workers {
+		t.Errorf("slot pool grew from %d to %d over 2000 rounds — recycling is not keeping up", before, after)
+	}
+}
+
+// TestTryLock: a held mutex rejects TryLock; a free one grants it.
+func TestTryLock(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p0, p1 := proc(m, 0), proc(m, 1)
+	if !p0.TryLock() {
+		t.Fatal("TryLock on a free mutex failed")
+	}
+	if p1.TryLock() {
+		t.Fatal("TryLock succeeded while the mutex was held")
+	}
+	p0.Unlock()
+	// p1 already burned its one TAS on the old round, but the new round
+	// installed by Unlock is fair game.
+	if !p1.TryLock() {
+		t.Fatal("TryLock on a released mutex failed")
+	}
+	p1.Unlock()
+}
+
+// TestLockAfterTryLockLoss: losing a TryLock must not wedge Lock.
+func TestLockAfterTryLockLoss(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p0, p1 := proc(m, 0), proc(m, 1)
+	p0.Lock()
+	if p1.TryLock() {
+		t.Fatal("TryLock succeeded while held")
+	}
+	done := make(chan struct{})
+	go func() {
+		p1.Lock()
+		p1.Unlock()
+		close(done)
+	}()
+	p0.Unlock()
+	<-done
+}
+
+// TestUnlockPanics documents misuse.
+func TestUnlockPanics(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p := proc(m, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	p.Unlock()
+}
+
+// TestLockWhileHeldPanics: re-entrant Lock on the same proc is a bug, not
+// a deadlock.
+func TestLockWhileHeldPanics(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p := proc(m, 0)
+	p.Lock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-entrant Lock did not panic")
+		}
+	}()
+	p.Lock()
+}
+
+// TestProcIDRange: out-of-range ids are rejected up front.
+func TestProcIDRange(t *testing.T) {
+	m := newTestMutex(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range proc id did not panic")
+		}
+	}()
+	m.Proc(2, concurrent.NewHandle(2, 1))
+}
+
+// TestStepsMonotone: the step counter accumulates across rounds.
+func TestStepsMonotone(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p := proc(m, 0)
+	last := 0
+	for i := 0; i < 5; i++ {
+		p.Lock()
+		p.Unlock()
+		now := p.Steps()
+		if now <= last {
+			t.Fatalf("steps not monotone: %d after %d at round %d", now, last, i)
+		}
+		last = now
+	}
+}
+
+// TestContentionStats: under forced contention the loser count moves.
+// (Without the barrier and the yield inside the critical section, 200
+// uncontended microsecond-scale iterations can fit in one scheduler
+// timeslice and the workers never overlap.)
+func TestContentionStats(t *testing.T) {
+	const workers = 4
+	m := newTestMutex(t, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			<-start
+			for i := 0; i < 200; i++ {
+				p.Lock()
+				runtime.Gosched() // let waiters pile onto this round
+				p.Unlock()
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	st := m.Stats()
+	if st.Rounds != workers*200 {
+		t.Errorf("rounds = %d, want %d", st.Rounds, workers*200)
+	}
+	if st.Contended == 0 {
+		t.Error("contended = 0 across 800 overlapping rounds — stats not wired")
+	}
+}

@@ -18,8 +18,9 @@ import (
 
 // Register is one atomic 64-bit shared register.
 type Register struct {
-	id int
-	v  atomic.Int64
+	id   int
+	init shm.Value
+	v    atomic.Int64
 }
 
 // RegisterID implements shm.Register.
@@ -28,8 +29,14 @@ func (r *Register) RegisterID() int { return r.id }
 // Space allocates atomic registers. Allocation is expected to happen
 // during object construction, before goroutines start; it is not
 // goroutine-safe.
+//
+// A Space remembers every register it allocated together with its initial
+// value, so the whole footprint can be restored with Reset. This is the
+// reuse hook the arena subsystem builds on: one-shot objects become
+// recyclable by resetting their register space between rounds instead of
+// re-allocating it.
 type Space struct {
-	count int
+	regs []*Register
 }
 
 var _ shm.Space = (*Space)(nil)
@@ -39,15 +46,28 @@ func NewSpace() *Space { return &Space{} }
 
 // NewRegister implements shm.Space.
 func (s *Space) NewRegister(init shm.Value) shm.Register {
-	r := &Register{id: s.count}
-	s.count++
+	r := &Register{id: len(s.regs), init: init}
 	r.v.Store(init)
+	s.regs = append(s.regs, r)
 	return r
 }
 
 // Registers returns the number of registers allocated so far (the space
 // complexity of the constructed objects).
-func (s *Space) Registers() int { return s.count }
+func (s *Space) Registers() int { return len(s.regs) }
+
+// Reset restores every register to its initial value, returning all
+// objects built on this space to their pristine one-shot state. The
+// caller must guarantee quiescence: no Handle may be executing Read or
+// Write on the space's registers concurrently with Reset. (The arena's
+// round refcounting provides exactly that guarantee.) The stores are
+// atomic, so a Reset followed by publication through an atomic pointer
+// is race-detector clean.
+func (s *Space) Reset() {
+	for _, r := range s.regs {
+		r.v.Store(r.init)
+	}
+}
 
 // Handle is the per-goroutine execution context. Each Handle must be used
 // by a single goroutine; create one per participating process.

@@ -87,3 +87,51 @@ func TestCoinBounds(t *testing.T) {
 		t.Errorf("Coin(0.5): %d/10000 heads", heads)
 	}
 }
+
+// TestSpaceReset: the register-reuse hook restores every register to its
+// initial value without changing the footprint.
+func TestSpaceReset(t *testing.T) {
+	s := NewSpace()
+	r7 := s.NewRegister(7)
+	r0 := s.NewRegister(0)
+	h := NewHandle(0, 1)
+	h.Write(r7, 99)
+	h.Write(r0, -3)
+	if s.Registers() != 2 {
+		t.Fatalf("registers = %d, want 2", s.Registers())
+	}
+	s.Reset()
+	if got := h.Read(r7); got != 7 {
+		t.Errorf("after Reset r7 = %d, want 7", got)
+	}
+	if got := h.Read(r0); got != 0 {
+		t.Errorf("after Reset r0 = %d, want 0", got)
+	}
+	if s.Registers() != 2 {
+		t.Errorf("Reset changed register count to %d", s.Registers())
+	}
+}
+
+// TestResetMakesObjectsReusable: a one-shot object on a reset space
+// behaves exactly like a fresh one — the arena's recycling contract.
+func TestResetMakesObjectsReusable(t *testing.T) {
+	s := NewSpace()
+	le := twoproc.New(s)
+	for round := 0; round < 50; round++ {
+		var won [2]bool
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				h := NewHandle(id, int64(round*2+id)+1)
+				won[id] = le.Elect(h, id)
+			}(i)
+		}
+		wg.Wait()
+		if won[0] == won[1] {
+			t.Fatalf("round %d: outcomes %v, want exactly one winner", round, won)
+		}
+		s.Reset()
+	}
+}

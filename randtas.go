@@ -27,7 +27,10 @@
 // Construct an object for n processes, hand each participating goroutine
 // its own Proc, and call TAS or Elect at most once per Proc:
 //
-//	obj := randtas.NewTAS(randtas.Options{N: 8})
+//	obj, err := randtas.NewTAS(randtas.Options{N: 8})
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	var wg sync.WaitGroup
 //	for i := 0; i < 8; i++ {
 //	    wg.Add(1)
@@ -40,6 +43,19 @@
 //	}
 //	wg.Wait()
 //
+// TAS and LeaderElection objects are one-shot, exactly as in the paper.
+// For long-lived synchronization build an Arena — a sharded pool of
+// recyclable TAS instances — and chain them into a reusable Mutex:
+//
+//	m, err := randtas.NewMutex(randtas.ArenaOptions{Options: randtas.Options{N: 8}})
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	p := m.Proc(0) // one MutexProc per goroutine
+//	p.Lock()
+//	// critical section
+//	p.Unlock()
+//
 // The step-complexity experiments of the paper run on a deterministic
 // simulator with adversarial schedulers; see cmd/tasbench and the
 // internal/sim package.
@@ -50,6 +66,7 @@ import (
 	"math/rand"
 
 	"repro/internal/agtv"
+	"repro/internal/arena"
 	"repro/internal/combiner"
 	"repro/internal/concurrent"
 	"repro/internal/core"
@@ -254,6 +271,134 @@ func (p *TASProc) Read() int { return p.obj.Read(p.h) }
 
 // Steps reports the shared-memory steps this process has taken.
 func (p *TASProc) Steps() int { return p.h.Steps() }
+
+// ArenaOptions configures an Arena (and a Mutex built on one).
+type ArenaOptions struct {
+	// Options selects N, the algorithm, and the seed, exactly as for
+	// one-shot objects. Every slot in the arena is an N-process TAS of
+	// the chosen algorithm.
+	Options
+	// Shards is the number of independent free lists (default
+	// arena.DefaultShards). More shards means less contention recycling
+	// slots under heavy traffic.
+	Shards int
+	// Prealloc is the number of slots built up front per shard (default
+	// arena.DefaultPrealloc). A Mutex recycles steadily with as few as
+	// two live slots.
+	Prealloc int
+}
+
+// ArenaShardStats re-exports the arena's per-shard counters.
+type ArenaShardStats = arena.ShardStats
+
+// MutexStats re-exports the mutex counters.
+type MutexStats = arena.MutexStats
+
+// Arena is a sharded pool of recyclable test-and-set instances: acquiring
+// a pristine one-shot TAS is an O(1) lock-free free-list pop, and
+// recycling resets the instance's registers instead of re-allocating its
+// O(n) footprint. It is the building block for long-lived objects such as
+// Mutex.
+type Arena struct {
+	opts ArenaOptions
+	a    *arena.Arena
+}
+
+// NewArena builds an arena of opts.Algorithm TAS slots.
+func NewArena(opts ArenaOptions) (*Arena, error) {
+	// Validate up front — without constructing a throwaway elector,
+	// whose registers can be expensive (RatRaceOriginal is Θ(n³)) — so
+	// the slot factory below is infallible.
+	if opts.N < 1 {
+		return nil, fmt.Errorf("randtas: Options.N must be ≥ 1, got %d", opts.N)
+	}
+	if opts.Algorithm < Combined || opts.Algorithm > AGTV {
+		return nil, fmt.Errorf("randtas: unknown algorithm %v", opts.Algorithm)
+	}
+	a, err := arena.New(arena.Config{
+		N:        opts.N,
+		Shards:   opts.Shards,
+		Prealloc: opts.Prealloc,
+		Factory: func(s *concurrent.Space, n int) *tas.TAS {
+			le, ferr := buildElector(s, opts.Options)
+			if ferr != nil {
+				// Unreachable: options were validated above and
+				// buildElector is deterministic in them.
+				panic(ferr)
+			}
+			return tas.New(s, le)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{opts: opts, a: a}, nil
+}
+
+// NewMutex builds a reusable mutex on this arena. Any number of mutexes
+// may share one arena.
+func (a *Arena) NewMutex() *Mutex {
+	return &Mutex{opts: a.opts, m: arena.NewMutex(a.a)}
+}
+
+// ShardStats snapshots the per-shard pool counters (hits, steals,
+// construction misses, recycles, slot and register footprint).
+func (a *Arena) ShardStats() []ArenaShardStats { return a.a.Stats() }
+
+// Stats sums ShardStats across all shards.
+func (a *Arena) Stats() ArenaShardStats { return a.a.TotalStats() }
+
+// Mutex is a long-lived lock for up to N processes built by chaining
+// one-shot TAS rounds from an Arena: Lock wins the current round's
+// election, Unlock installs a fresh round for the waiters and recycles
+// the old one. It uses only atomic registers (plus one atomic pointer
+// to publish rounds) — no compare-and-swap in the election itself.
+type Mutex struct {
+	opts ArenaOptions
+	m    *arena.Mutex
+}
+
+// NewMutex is the convenience constructor: a mutex on a private arena.
+func NewMutex(opts ArenaOptions) (*Mutex, error) {
+	a, err := NewArena(opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.NewMutex(), nil
+}
+
+// Proc returns the access point for process id (0 ≤ id < N). Each
+// MutexProc belongs to one goroutine; concurrent users must hold
+// distinct ids. Unlike one-shot Procs, a MutexProc is reusable: it may
+// Lock and Unlock any number of times.
+func (m *Mutex) Proc(id int) *MutexProc {
+	if id < 0 || id >= m.opts.N {
+		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, m.opts.N))
+	}
+	return &MutexProc{p: m.m.Proc(id, newHandle(id, m.opts.Options))}
+}
+
+// Stats snapshots the mutex's round and contention counters.
+func (m *Mutex) Stats() MutexStats { return m.m.Stats() }
+
+// MutexProc is one goroutine's handle on a Mutex.
+type MutexProc struct {
+	p *arena.MutexProc
+}
+
+// Lock acquires the mutex, blocking until this proc wins a TAS round.
+func (p *MutexProc) Lock() { p.p.Lock() }
+
+// TryLock makes a single attempt at the current round and reports whether
+// the mutex was acquired. It never blocks.
+func (p *MutexProc) TryLock() bool { return p.p.TryLock() }
+
+// Unlock releases the mutex. It panics if this proc does not hold it.
+func (p *MutexProc) Unlock() { p.p.Unlock() }
+
+// Steps reports the cumulative shared-memory steps this proc has taken
+// across all rounds; it is monotone over the proc's lifetime.
+func (p *MutexProc) Steps() int { return p.p.Steps() }
 
 func newHandle(id int, opts Options) *concurrent.Handle {
 	seed := opts.Seed

@@ -2,6 +2,7 @@ package randtas
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -207,5 +208,152 @@ func TestStepsReported(t *testing.T) {
 	p.TAS()
 	if p.Steps() < 1 || p.Steps() > 200 {
 		t.Errorf("winner took %d steps", p.Steps())
+	}
+}
+
+// TestConcurrentStress is the real-contention workout for the concurrent
+// backend: many goroutines hammer one TAS object per trial across every
+// algorithm, with a start barrier so attempts genuinely overlap. It
+// asserts the one-winner property and that per-proc Steps() accounting is
+// monotone and sane. Run with -race to validate the memory discipline.
+func TestConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention stress is slow under -race")
+	}
+	const k = 64
+	for _, algo := range allAlgorithms {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 5; seed++ {
+				obj, err := NewTAS(Options{N: k, Algorithm: algo, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				start := make(chan struct{})
+				var (
+					wg      sync.WaitGroup
+					winners int32
+					steps   [k]int
+				)
+				for i := 0; i < k; i++ {
+					wg.Add(1)
+					go func(id int, p *TASProc) {
+						defer wg.Done()
+						if p.Steps() != 0 {
+							t.Errorf("proc %d: nonzero steps before TAS", id)
+						}
+						<-start
+						r := p.TAS()
+						mid := p.Steps()
+						if r == 0 {
+							atomic.AddInt32(&winners, 1)
+						}
+						if mid < 1 {
+							t.Errorf("proc %d: TAS took %d steps", id, mid)
+						}
+						// Read costs exactly one step: monotone accounting.
+						p.Read()
+						if after := p.Steps(); after != mid+1 {
+							t.Errorf("proc %d: steps went %d -> %d across one Read", id, mid, after)
+						}
+						steps[id] = p.Steps()
+					}(i, obj.Proc(i))
+				}
+				close(start)
+				wg.Wait()
+				if winners != 1 {
+					t.Fatalf("seed %d: %d winners, want 1", seed, winners)
+				}
+				total := 0
+				for _, s := range steps {
+					total += s
+				}
+				if total < 2*k {
+					t.Errorf("seed %d: total steps %d < %d — step accounting lost work", seed, total, 2*k)
+				}
+			}
+		})
+	}
+}
+
+// TestMutexMutualExclusion drives the public reusable Mutex from 8 real
+// goroutines and checks the guarded counter is exact.
+func TestMutexMutualExclusion(t *testing.T) {
+	for _, algo := range []Algorithm{Combined, RatRace, AGTV} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			t.Parallel()
+			const workers, iters = 8, 250
+			m, err := NewMutex(ArenaOptions{Options: Options{N: workers, Algorithm: algo, Seed: 42}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter := 0
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(p *MutexProc) {
+					defer wg.Done()
+					<-start
+					for i := 0; i < iters; i++ {
+						p.Lock()
+						counter++
+						p.Unlock()
+					}
+				}(m.Proc(w))
+			}
+			close(start)
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("counter = %d, want %d", counter, workers*iters)
+			}
+			if st := m.Stats(); st.Rounds != workers*iters {
+				t.Errorf("rounds = %d, want %d", st.Rounds, workers*iters)
+			}
+		})
+	}
+}
+
+// TestArenaShared: several mutexes drawing from one shared arena recycle
+// from the same pool and the shard stats add up.
+func TestArenaShared(t *testing.T) {
+	a, err := NewArena(ArenaOptions{Options: Options{N: 4, Seed: 7}, Shards: 2, Prealloc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := a.NewMutex(), a.NewMutex()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p1, p2 := m1.Proc(id), m2.Proc(id)
+			for i := 0; i < 100; i++ {
+				p1.Lock()
+				p1.Unlock()
+				p2.Lock()
+				p2.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Slots == 0 || st.Puts == 0 {
+		t.Errorf("shared arena stats not moving: %+v", st)
+	}
+	if got := len(a.ShardStats()); got != 2 {
+		t.Errorf("ShardStats returned %d shards, want 2", got)
+	}
+}
+
+// TestMutexInvalidOptions covers the arena constructors' validation.
+func TestMutexInvalidOptions(t *testing.T) {
+	if _, err := NewMutex(ArenaOptions{Options: Options{N: 0}}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewArena(ArenaOptions{Options: Options{N: 2, Algorithm: Algorithm(99)}}); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }
