@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/combiner"
+	"repro/internal/concurrent"
 	"repro/internal/core"
 	"repro/internal/groupelect"
 	"repro/internal/lowerbound"
@@ -364,37 +365,94 @@ func BenchmarkSimStepOverhead(b *testing.B) {
 func BenchmarkMutex(b *testing.B) {
 	for _, algo := range []Algorithm{Combined, RatRace, AGTV} {
 		b.Run(algo.String(), func(b *testing.B) {
-			n := 2 * runtime.GOMAXPROCS(0) // ids for however many workers RunParallel spawns
-			m, err := NewMutex(ArenaOptions{Options: Options{N: n, Algorithm: algo, Seed: 1}})
-			if err != nil {
-				b.Fatal(err)
-			}
-			var nextID atomic.Int64
-			counter := 0 // guarded by m; validates exclusion during the bench
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				id := int(nextID.Add(1)) - 1
-				if id >= n {
-					b.Errorf("more parallel workers than proc ids (%d)", n)
-					return
-				}
-				p := m.Proc(id)
-				for pb.Next() {
-					p.Lock()
-					counter++
-					p.Unlock()
-				}
-			})
-			b.StopTimer()
-			if counter != b.N {
-				b.Fatalf("counter = %d, want %d", counter, b.N)
-			}
-			st := m.Stats()
-			b.ReportMetric(float64(st.Contended)/float64(b.N), "lostTAS/op")
-			b.ReportMetric(float64(m.m.Arena().TotalStats().Slots), "slots")
+			benchMutexWorkload(b, algo, false)
 		})
 	}
+}
+
+// benchMutexWorkload is the shared Lock/Unlock workload of BenchmarkMutex
+// and BenchmarkMutexBaseline, so the A/B pair can never drift apart.
+func benchMutexWorkload(b *testing.B, algo Algorithm, noFastPath bool) {
+	n := 2 * runtime.GOMAXPROCS(0) // ids for however many workers RunParallel spawns
+	m, err := NewMutex(ArenaOptions{Options: Options{N: n, Algorithm: algo, Seed: 1}, NoFastPath: noFastPath})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nextID atomic.Int64
+	counter := 0 // guarded by m; validates exclusion during the bench
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextID.Add(1)) - 1
+		if id >= n {
+			b.Errorf("more parallel workers than proc ids (%d)", n)
+			return
+		}
+		p := m.Proc(id)
+		for pb.Next() {
+			p.Lock()
+			counter++
+			p.Unlock()
+		}
+	})
+	b.StopTimer()
+	if counter != b.N {
+		b.Fatalf("counter = %d, want %d", counter, b.N)
+	}
+	st := m.Stats()
+	b.ReportMetric(float64(st.Contended)/float64(b.N), "lostTAS/op")
+	b.ReportMetric(float64(m.m.Arena().TotalStats().Slots), "slots")
+}
+
+// E14a — the same workload as BenchmarkMutex on the portable baseline
+// paths (ArenaOptions.NoFastPath: interface-dispatched steps, no
+// uncontended doorway, full-footprint resets). The gap between this and
+// BenchmarkMutex is the fast-path overhaul, measurable inside one
+// binary; cmd/tasbench -mode=compare reports the same A/B as JSON.
+func BenchmarkMutexBaseline(b *testing.B) {
+	for _, algo := range []Algorithm{Combined, RatRace, AGTV} {
+		b.Run(algo.String(), func(b *testing.B) {
+			benchMutexWorkload(b, algo, true)
+		})
+	}
+}
+
+// Register-bank recycling in isolation: a 512-register space with 8
+// registers touched per round. The dirty-window Reset pays O(touched);
+// FullReset pays O(footprint) — the before/after of tentpole item (4).
+func BenchmarkSpaceReset(b *testing.B) {
+	const regs, touched = 512, 8
+	mkSpace := func() (*concurrent.Space, []shm.Register) {
+		s := concurrent.NewSpace()
+		rs := make([]shm.Register, regs)
+		for i := range rs {
+			rs[i] = s.NewRegister(0)
+		}
+		s.Seal()
+		return s, rs
+	}
+	b.Run("dirty-window", func(b *testing.B) {
+		s, rs := mkSpace()
+		h := concurrent.NewHandle(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < touched; j++ {
+				h.Write(rs[(i*7+j*61)%regs], 1)
+			}
+			s.Reset()
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		s, rs := mkSpace()
+		h := concurrent.NewHandle(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < touched; j++ {
+				h.Write(rs[(i*7+j*61)%regs], 1)
+			}
+			s.FullReset()
+		}
+	})
 }
 
 // E14b — the arena pool in isolation: Get/Put must be O(1) and

@@ -1,0 +1,258 @@
+// Compare mode: the before/after harness for the concurrent-backend
+// fast-path overhaul (PR 2). It measures the same Mutex workload twice
+// inside one binary —
+//
+//   - baseline:  ArenaOptions.NoFastPath, i.e. the portable interface
+//     code paths of the original arena: interface-dispatched election
+//     steps, no uncontended doorway, full-footprint register resets on
+//     recycle;
+//   - optimized: the default fast path: devirtualized steps, the
+//     constant-step doorway, dirty-window resets;
+//
+// and emits both numbers as JSON (default BENCH_PR2.json), seeding the
+// repository's benchmark trajectory. Two workloads per algorithm: a
+// single-goroutine Lock/Unlock loop (uncontended ns/op, the dominant
+// serving regime of a well-sharded lock) and the multi-goroutine
+// throughput run of -mode=throughput (ops/sec).
+//
+// The -preref flag records externally measured pre-PR numbers (from
+// `go test -bench=Mutex` at the previous commit) alongside the
+// in-binary baseline, so the committed artifact carries both the
+// emulated and the true historical baseline.
+//
+// Usage:
+//
+//	tasbench -mode=compare [-goroutines G] [-duration D] [-algos a,b,c]
+//	         [-out BENCH_PR2.json] [-preref combined=35796,ratrace=427]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	randtas "repro"
+	"repro/internal/harness"
+)
+
+type compareConfig struct {
+	goroutines int
+	duration   time.Duration
+	algos      string
+	shards     int
+	prealloc   int
+	work       int
+	seed       int64
+	out        string
+	preref     string
+}
+
+// speedupFloor gates the compare run: the optimized side must not be
+// slower than the baseline beyond measurement noise, or the run exits
+// non-zero (this is what makes the CI bench job a regression gate, not
+// just a report).
+const speedupFloor = 0.90
+
+// compareSide is one measured configuration (baseline or optimized).
+type compareSide struct {
+	UncontendedNsPerOp float64 `json:"uncontended_ns_per_op"`
+	UncontendedOps     int     `json:"uncontended_ops"`
+	ThroughputOpsSec   float64 `json:"throughput_ops_per_sec"`
+	StepsPerOp         float64 `json:"steps_per_op"`
+}
+
+type compareAlgo struct {
+	Algorithm          string      `json:"algorithm"`
+	Baseline           compareSide `json:"baseline"`
+	Optimized          compareSide `json:"optimized"`
+	UncontendedSpeedup float64     `json:"uncontended_speedup"`
+	ThroughputSpeedup  float64     `json:"throughput_speedup"`
+	// PrePRReferenceNsPerOp is the externally measured BenchmarkMutex
+	// ns/op at the pre-PR commit on the same machine (via -preref);
+	// zero when not supplied.
+	PrePRReferenceNsPerOp float64 `json:"pre_pr_reference_ns_per_op,omitempty"`
+}
+
+type compareReport struct {
+	Schema     string        `json:"schema"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Goroutines int           `json:"goroutines"`
+	Duration   string        `json:"duration_per_measurement"`
+	Note       string        `json:"note"`
+	Results    []compareAlgo `json:"results"`
+}
+
+// measureUncontended runs a single proc's Lock/Unlock loop for
+// cfg.duration, with cfg.work spin iterations inside the critical
+// section (matching the throughput leg's regime).
+func measureUncontended(cfg compareConfig, algo randtas.Algorithm, noFastPath bool) (compareSide, error) {
+	m, err := randtas.NewMutex(randtas.ArenaOptions{
+		Options:    randtas.Options{N: 2, Algorithm: algo, Seed: cfg.seed},
+		Shards:     cfg.shards,
+		Prealloc:   cfg.prealloc,
+		NoFastPath: noFastPath,
+	})
+	if err != nil {
+		return compareSide{}, err
+	}
+	p := m.Proc(0)
+	ops := 0
+	spin := 0.0
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ { // amortize the clock read
+			p.Lock()
+			for w := 0; w < cfg.work; w++ {
+				spin += float64(w)
+			}
+			p.Unlock()
+			ops++
+		}
+	}
+	elapsed := time.Since(start)
+	_ = spin
+	return compareSide{
+		UncontendedNsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		UncontendedOps:     ops,
+		StepsPerOp:         float64(p.Steps()) / float64(ops),
+	}, nil
+}
+
+// measureSide fills one compareSide: the uncontended loop plus the
+// contended throughput run.
+func measureSide(cfg compareConfig, algo randtas.Algorithm, noFastPath bool) (compareSide, error) {
+	side, err := measureUncontended(cfg, algo, noFastPath)
+	if err != nil {
+		return compareSide{}, err
+	}
+	res, err := runThroughputOne(throughputConfig{
+		goroutines: cfg.goroutines,
+		duration:   cfg.duration,
+		shards:     cfg.shards,
+		prealloc:   cfg.prealloc,
+		work:       cfg.work,
+		seed:       cfg.seed,
+		noFastPath: noFastPath,
+	}, algo)
+	if err != nil {
+		return compareSide{}, err
+	}
+	side.ThroughputOpsSec = float64(res.ops) / res.elapsed.Seconds()
+	return side, nil
+}
+
+// parsePreref parses "combined=35796,ratrace=427" into a name→ns map.
+func parsePreref(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -preref entry %q (want algo=ns)", kv)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -preref value %q: %v", kv, err)
+		}
+		out[parts[0]] = v
+	}
+	return out, nil
+}
+
+func runCompare(cfg compareConfig) error {
+	algos, err := throughputAlgos(cfg.algos)
+	if err != nil {
+		return err
+	}
+	preref, err := parsePreref(cfg.preref)
+	if err != nil {
+		return err
+	}
+	report := compareReport{
+		Schema:     "randtas-bench-compare/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Goroutines: cfg.goroutines,
+		Duration:   cfg.duration.String(),
+		Note: "baseline = ArenaOptions.NoFastPath (interface dispatch, no doorway, full resets); " +
+			"optimized = default fast path (devirtualized steps, uncontended doorway, dirty-window resets)",
+	}
+	tbl := harness.Table{
+		Title: "Fast-path overhaul: baseline (NoFastPath) vs optimized, same binary",
+		Headers: []string{"algorithm", "uncont ns/op (base)", "uncont ns/op (opt)", "speedup",
+			"ops/sec (base)", "ops/sec (opt)", "speedup"},
+		Notes: []string{
+			"uncontended: one goroutine Lock/Unlock; throughput: -mode=throughput workload.",
+		},
+	}
+	for _, algo := range algos {
+		base, err := measureSide(cfg, algo, true)
+		if err != nil {
+			return err
+		}
+		opt, err := measureSide(cfg, algo, false)
+		if err != nil {
+			return err
+		}
+		r := compareAlgo{
+			Algorithm:             algo.String(),
+			Baseline:              base,
+			Optimized:             opt,
+			UncontendedSpeedup:    base.UncontendedNsPerOp / opt.UncontendedNsPerOp,
+			ThroughputSpeedup:     opt.ThroughputOpsSec / base.ThroughputOpsSec,
+			PrePRReferenceNsPerOp: preref[algo.String()],
+		}
+		report.Results = append(report.Results, r)
+		tbl.AddRow(algo.String(),
+			fmt.Sprintf("%.1f", base.UncontendedNsPerOp),
+			fmt.Sprintf("%.1f", opt.UncontendedNsPerOp),
+			fmt.Sprintf("%.2fx", r.UncontendedSpeedup),
+			fmt.Sprintf("%.0f", base.ThroughputOpsSec),
+			fmt.Sprintf("%.0f", opt.ThroughputOpsSec),
+			fmt.Sprintf("%.2fx", r.ThroughputSpeedup),
+		)
+	}
+	fmt.Println(tbl.String())
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(cfg.out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+
+	// Regression gate: the fast path must not lose to its own baseline
+	// (beyond measurement noise). Checked after the report is written so
+	// a failing run still leaves the evidence behind.
+	var regressions []string
+	for _, r := range report.Results {
+		if r.UncontendedSpeedup < speedupFloor {
+			regressions = append(regressions, fmt.Sprintf("%s uncontended %.2fx", r.Algorithm, r.UncontendedSpeedup))
+		}
+		if r.ThroughputSpeedup < speedupFloor {
+			regressions = append(regressions, fmt.Sprintf("%s throughput %.2fx", r.Algorithm, r.ThroughputSpeedup))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("fast path slower than NoFastPath baseline (floor %.2fx): %s",
+			speedupFloor, strings.Join(regressions, ", "))
+	}
+	return nil
+}

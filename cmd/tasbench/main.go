@@ -7,6 +7,9 @@
 //	tasbench [-mode=experiments] [-experiment all|E1|E2|...] [-trials N] [-seed S] [-quick]
 //	tasbench -mode=throughput [-goroutines G] [-duration D] [-algos a,b,c]
 //	         [-shards S] [-prealloc P] [-work W] [-seed S]
+//	tasbench -mode=compare [-goroutines G] [-duration D] [-algos a,b,c]
+//	         [-shards S] [-prealloc P] [-work W]
+//	         [-out BENCH_PR2.json] [-preref algo=ns,...]
 //
 // Each experiment prints a fixed-width table whose *shape* (who wins, by
 // what growth rate, where crossovers fall) reproduces the corresponding
@@ -40,22 +43,41 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables) or 'throughput' (real-goroutine Mutex load test)")
+		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables), 'throughput' (real-goroutine Mutex load test) or 'compare' (fast-path before/after JSON)")
 		experiment = flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 		trials     = flag.Int("trials", 100, "Monte-Carlo trials per table cell")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		quick      = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 
-		goroutines = flag.Int("goroutines", 8, "throughput: concurrent lockers")
-		duration   = flag.Duration("duration", 2*time.Second, "throughput: load duration per algorithm")
-		algos      = flag.String("algos", "combined,logstar,ratrace,agtv", "throughput: comma-separated algorithms")
-		shards     = flag.Int("shards", 0, "throughput: arena shards (0 = default)")
-		prealloc   = flag.Int("prealloc", 0, "throughput: preallocated slots per shard (0 = default)")
-		work       = flag.Int("work", 0, "throughput: spin iterations inside the critical section")
+		goroutines = flag.Int("goroutines", 8, "throughput/compare: concurrent lockers")
+		duration   = flag.Duration("duration", 2*time.Second, "throughput/compare: load duration per algorithm")
+		algos      = flag.String("algos", "combined,logstar,ratrace,agtv", "throughput/compare: comma-separated algorithms")
+		shards     = flag.Int("shards", 0, "throughput/compare: arena shards (0 = default)")
+		prealloc   = flag.Int("prealloc", 0, "throughput/compare: preallocated slots per shard (0 = default)")
+		work       = flag.Int("work", 0, "throughput/compare: spin iterations inside the critical section")
+
+		out    = flag.String("out", "BENCH_PR2.json", "compare: output JSON path")
+		preref = flag.String("preref", "", "compare: externally measured pre-PR ns/op, e.g. combined=35796,agtv=102")
 	)
 	flag.Parse()
 
 	switch *mode {
+	case "compare":
+		err := runCompare(compareConfig{
+			goroutines: *goroutines,
+			duration:   *duration,
+			algos:      *algos,
+			shards:     *shards,
+			prealloc:   *prealloc,
+			work:       *work,
+			seed:       *seed,
+			out:        *out,
+			preref:     *preref,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
 	case "throughput":
 		err := runThroughput(throughputConfig{
 			goroutines: *goroutines,
@@ -73,7 +95,7 @@ func main() {
 	case "experiments":
 		// fall through to the simulator tables below
 	default:
-		fatalf("tasbench: unknown -mode %q (want 'experiments' or 'throughput')", *mode)
+		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput' or 'compare')", *mode)
 	}
 
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}

@@ -36,6 +36,7 @@ type throughputConfig struct {
 	prealloc   int
 	work       int
 	seed       int64
+	noFastPath bool // compare mode: force the portable baseline paths
 }
 
 // throughputAlgos parses the -algos list against the public algorithm
@@ -93,9 +94,10 @@ type throughputResult struct {
 // workers for cfg.duration and merges the per-worker measurements.
 func runThroughputOne(cfg throughputConfig, algo randtas.Algorithm) (throughputResult, error) {
 	arena, err := randtas.NewArena(randtas.ArenaOptions{
-		Options:  randtas.Options{N: cfg.goroutines, Algorithm: algo, Seed: cfg.seed},
-		Shards:   cfg.shards,
-		Prealloc: cfg.prealloc,
+		Options:    randtas.Options{N: cfg.goroutines, Algorithm: algo, Seed: cfg.seed},
+		Shards:     cfg.shards,
+		Prealloc:   cfg.prealloc,
+		NoFastPath: cfg.noFastPath,
 	})
 	if err != nil {
 		return throughputResult{}, err

@@ -34,15 +34,17 @@ import (
 	"repro/internal/tas"
 )
 
-// Factory builds a fresh one-shot TAS object for n processes on the given
-// space. Because recycling is implemented as Space.Reset, the returned
-// object must keep ALL mutable election state in registers allocated on s
-// during this call (the repository-wide convention): registers allocated
-// later are never reset, and plain struct fields survive recycling
-// unchanged. (Diagnostic fields like ratrace's BackupFellOff flag are
-// sticky across rounds for exactly that reason — harmless for
+// Factory builds a fresh one-shot leader election for n processes on the
+// given space; the arena turns it into a TAS object itself (optionally
+// fronting it with the uncontended doorway, see Config.NoDoorway).
+// Because recycling is implemented as Space.Reset, the returned elector
+// must keep ALL mutable election state in registers allocated on s
+// during this call (the repository-wide convention): the space is sealed
+// right after the factory returns, and plain struct fields survive
+// recycling unchanged. (Diagnostic fields like ratrace's BackupFellOff
+// flag are sticky across rounds for exactly that reason — harmless for
 // correctness, but don't put real election state there.)
-type Factory func(s *concurrent.Space, n int) *tas.TAS
+type Factory func(s *concurrent.Space, n int) tas.LeaderElector
 
 // Config sizes an Arena.
 type Config struct {
@@ -57,8 +59,21 @@ type Config struct {
 	// DefaultPrealloc is used. A Mutex needs at least 2 live slots
 	// (current round + next round) to recycle steadily.
 	Prealloc int
-	// Factory builds each slot's TAS object. Required.
+	// Factory builds each slot's leader election. Required.
 	Factory Factory
+	// NoDoorway skips the constant-step uncontended doorway
+	// (tas.FastPath) normally composed in front of each slot's election.
+	// Set it when the factory's elector is already O(1) solo (a small
+	// AGTV tournament, say) and the doorway's four extra steps would
+	// outweigh what it saves.
+	NoDoorway bool
+	// Plain forces the portable interface code paths everywhere: no
+	// doorway, interface-dispatched election steps, and full-footprint
+	// register resets on recycle instead of the dirty window. It exists
+	// so cmd/tasbench -mode=compare can measure the fast-path overhaul
+	// against its own baseline inside one binary; leave it false in
+	// production.
+	Plain bool
 }
 
 // DefaultShards and DefaultPrealloc size an Arena when Config leaves the
@@ -184,6 +199,8 @@ type Arena struct {
 	n       int
 	factory Factory
 	shards  []shard
+	doorway bool
+	plain   bool
 }
 
 // New builds an arena and preallocates cfg.Prealloc slots per shard.
@@ -205,7 +222,13 @@ func New(cfg Config) (*Arena, error) {
 	if prealloc == 0 {
 		prealloc = DefaultPrealloc
 	}
-	a := &Arena{n: cfg.N, factory: cfg.Factory, shards: make([]shard, shards)}
+	a := &Arena{
+		n:       cfg.N,
+		factory: cfg.Factory,
+		shards:  make([]shard, shards),
+		doorway: !cfg.NoDoorway && !cfg.Plain,
+		plain:   cfg.Plain,
+	}
 	for i := range a.shards {
 		for j := 0; j < prealloc; j++ {
 			s := a.build(uint32(i))
@@ -223,7 +246,14 @@ func (a *Arena) Shards() int { return len(a.shards) }
 
 func (a *Arena) build(shardIdx uint32) *Slot {
 	space := concurrent.NewSpace()
-	obj := a.factory(space, a.n)
+	le := a.factory(space, a.n)
+	if a.doorway {
+		le = tas.NewFastPath(space, le)
+	}
+	obj := tas.New(space, le)
+	// The slot's register footprint is now fixed; any later NewRegister
+	// would escape Reset and race with the bank sweep, so seal it.
+	space.Seal()
 	s := &Slot{Obj: obj, space: space, shard: shardIdx}
 	a.shards[shardIdx].register(s)
 	return s
@@ -252,11 +282,18 @@ func (a *Arena) Get(hint int) *Slot {
 }
 
 // Put resets the slot's registers and recycles it into its home shard's
-// free list. The caller must guarantee that no process is still executing
-// on the slot's object (the Mutex round protocol enforces this with
-// refcounts). A slot must not be Put twice without an intervening Get.
+// free list. Only the dirty window — registers actually written since
+// the slot was handed out — is rewritten, so recycling costs
+// O(touched), not O(footprint). The caller must guarantee that no
+// process is still executing on the slot's object (the Mutex round
+// protocol enforces this with refcounts). A slot must not be Put twice
+// without an intervening Get.
 func (a *Arena) Put(s *Slot) {
-	s.space.Reset()
+	if a.plain {
+		s.space.FullReset()
+	} else {
+		s.space.Reset()
+	}
 	sh := &a.shards[s.shard]
 	sh.push(s)
 	sh.puts.Add(1)

@@ -9,8 +9,8 @@ import (
 	"repro/internal/tas"
 )
 
-func logStarFactory(s *concurrent.Space, n int) *tas.TAS {
-	return tas.New(s, core.NewLogStar(s, n))
+func logStarFactory(s *concurrent.Space, n int) tas.LeaderElector {
+	return core.NewLogStar(s, n)
 }
 
 func newTestArena(t *testing.T, cfg Config) *Arena {

@@ -34,8 +34,9 @@ type Mutex struct {
 	arena *Arena
 	cur   atomic.Pointer[round]
 
-	rounds    atomic.Uint64 // completed Lock/Unlock cycles
-	contended atomic.Uint64 // TAS attempts that lost a round
+	rounds      atomic.Uint64 // completed Lock/Unlock cycles
+	contended   atomic.Uint64 // blocking Lock attempts that lost a round's TAS
+	probeLosses atomic.Uint64 // failed nonblocking TryLock probes
 }
 
 type round struct {
@@ -61,13 +62,22 @@ func (m *Mutex) Arena() *Arena { return m.arena }
 type MutexStats struct {
 	// Rounds is the number of completed Lock/Unlock cycles.
 	Rounds uint64
-	// Contended counts TAS attempts that entered a round and lost.
+	// Contended counts blocking Lock attempts that entered a round and
+	// lost its TAS — real lock contention.
 	Contended uint64
+	// ProbeLosses counts failed nonblocking TryLock calls. They are kept
+	// out of Contended so that throughput reports do not conflate
+	// polling with processes genuinely waiting for the lock.
+	ProbeLosses uint64
 }
 
 // Stats snapshots the mutex counters.
 func (m *Mutex) Stats() MutexStats {
-	return MutexStats{Rounds: m.rounds.Load(), Contended: m.contended.Load()}
+	return MutexStats{
+		Rounds:      m.rounds.Load(),
+		Contended:   m.contended.Load(),
+		ProbeLosses: m.probeLosses.Load(),
+	}
 }
 
 // Proc creates the per-goroutine access point for process id, stepping
@@ -110,7 +120,7 @@ func (p *MutexProc) Lock() {
 			continue
 		}
 		spins = 0
-		if p.tryRound(r) {
+		if p.tryRound(r, true) {
 			return
 		}
 	}
@@ -118,22 +128,25 @@ func (p *MutexProc) Lock() {
 
 // TryLock makes one attempt at the current round and reports whether it
 // acquired the mutex. It never blocks; a false return means some other
-// proc holds (or just won) the lock.
+// proc holds (or just won) the lock. Failed probes are counted in
+// MutexStats.ProbeLosses, not Contended.
 func (p *MutexProc) TryLock() bool {
 	if p.held != nil {
 		panic("arena: TryLock on a MutexProc that already holds the mutex")
 	}
 	r := p.m.cur.Load()
-	if r.seq == p.last {
+	if r.seq == p.last || !p.tryRound(r, false) {
+		p.m.probeLosses.Add(1)
 		return false
 	}
-	return p.tryRound(r)
+	return true
 }
 
 // tryRound enters round r, runs its TAS once, and returns true on a win
 // (holding the round's reference). On a loss or a closed round the
-// reference is released.
-func (p *MutexProc) tryRound(r *round) bool {
+// reference is released. blocking distinguishes a Lock attempt (a loss
+// is real contention) from a TryLock probe (the caller accounts for it).
+func (p *MutexProc) tryRound(r *round, blocking bool) bool {
 	r.refs.Add(1)
 	if r.closed.Load() {
 		// Round already retired; the slot may be reset any moment. Do
@@ -142,11 +155,21 @@ func (p *MutexProc) tryRound(r *round) bool {
 		return false
 	}
 	p.last = r.seq
-	if r.slot.Obj.TAS(p.h) == 0 {
+	won := false
+	if p.m.arena.plain {
+		won = r.slot.Obj.TAS(p.h) == 0
+	} else {
+		// The fast path: devirtualized steps, and (unless the arena was
+		// built NoDoorway) the constant-step uncontended doorway.
+		won = r.slot.Obj.TASFast(p.h) == 0
+	}
+	if won {
 		p.held = r // keep our reference until Unlock
 		return true
 	}
-	p.m.contended.Add(1)
+	if blocking {
+		p.m.contended.Add(1)
+	}
 	p.leave(r)
 	return false
 }

@@ -171,6 +171,111 @@ func TestStepsMonotone(t *testing.T) {
 	}
 }
 
+// TestTryLockLossAccounting: failed TryLock probes land in ProbeLosses,
+// not Contended — polling must not read as lock contention.
+func TestTryLockLossAccounting(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p0, p1 := proc(m, 0), proc(m, 1)
+	p0.Lock()
+	for i := 0; i < 3; i++ {
+		if p1.TryLock() {
+			t.Fatal("TryLock succeeded while held")
+		}
+	}
+	st := m.Stats()
+	if st.ProbeLosses != 3 {
+		t.Errorf("probe losses = %d, want 3", st.ProbeLosses)
+	}
+	if st.Contended != 0 {
+		t.Errorf("contended = %d after TryLock-only losses, want 0", st.Contended)
+	}
+	p0.Unlock()
+	if !p1.TryLock() {
+		t.Fatal("TryLock on a released mutex failed")
+	}
+	p1.Unlock()
+	if got := m.Stats().ProbeLosses; got != 3 {
+		t.Errorf("probe losses moved to %d after a successful TryLock, want 3", got)
+	}
+}
+
+// TestPlainModeMutex: the NoFastPath/Plain escape hatch (interface
+// dispatch, no doorway, full resets) must remain a correct mutex — it is
+// the baseline side of cmd/tasbench -mode=compare.
+func TestPlainModeMutex(t *testing.T) {
+	a, err := New(Config{N: 4, Shards: 2, Prealloc: 2, Factory: logStarFactory, Plain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutex(a)
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			for i := 0; i < 200; i++ {
+				p.Lock()
+				counter++
+				p.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != 4*200 {
+		t.Fatalf("counter = %d, want %d", counter, 4*200)
+	}
+}
+
+// TestSlotChurnStress hammers slot recycling end to end under the race
+// detector: workers mix blocking Locks with TryLock polling, forcing
+// rounds to open, close and recycle while late arrivals are still
+// bouncing off them. This is the dirty-window Reset's adversarial
+// workload — every recycled slot must come back pristine, or some round
+// would elect zero or two winners and the guarded counter would drift.
+func TestSlotChurnStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 300
+	)
+	m := newTestMutex(t, workers)
+	counter := 0
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			<-start
+			for i := 0; i < iters; i++ {
+				if id%2 == 0 && p.TryLock() {
+					counter++
+					p.Unlock()
+					continue
+				}
+				p.Lock()
+				counter++
+				runtime.Gosched() // widen the window for churn
+				p.Unlock()
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (slot recycling corrupted a round)", counter, workers*iters)
+	}
+	st := m.Arena().TotalStats()
+	if st.Puts == 0 {
+		t.Error("no slots recycled during churn")
+	}
+	if st.Slots > 2*workers {
+		t.Errorf("pool grew to %d slots — recycling not keeping up", st.Slots)
+	}
+}
+
 // TestContentionStats: under forced contention the loser count moves.
 // (Without the barrier and the yield inside the critical section, 200
 // uncontended microsecond-scale iterations can fit in one scheduler

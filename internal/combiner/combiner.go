@@ -31,9 +31,8 @@
 package combiner
 
 import (
-	"math/rand"
-
 	"repro/internal/ratrace"
+	"repro/internal/rng"
 	"repro/internal/shm"
 	"repro/internal/twoproc"
 )
@@ -181,11 +180,13 @@ type fiber struct {
 }
 
 // fiberHandle relays shared-memory steps to the combiner and answers local
-// coins from its own deterministic stream.
+// coins from its own deterministic stream (an embedded splitmix64: two
+// fibers per Elect used to mean two heap-allocated math/rand states per
+// call on the production hot path).
 type fiberHandle struct {
 	id  int
 	f   *fiber
-	rng *rand.Rand
+	rng rng.SplitMix64
 	op  fiberOp // reused; resp channel allocated once
 }
 
@@ -219,21 +220,12 @@ func (fh *fiberHandle) relay() shm.Value {
 
 func (fh *fiberHandle) Intn(n int) int { return fh.rng.Intn(n) }
 
-func (fh *fiberHandle) Coin(p float64) bool {
-	switch {
-	case p <= 0:
-		return false
-	case p >= 1:
-		return true
-	default:
-		return fh.rng.Float64() < p
-	}
-}
+func (fh *fiberHandle) Coin(p float64) bool { return fh.rng.Coin(p) }
 
 // startFiber launches run against a relay handle.
 func startFiber(id int, seed int64, run func(h shm.Handle) bool) *fiber {
 	f := &fiber{ops: make(chan fiberEvent), kill: make(chan struct{})}
-	fh := &fiberHandle{id: id, f: f, rng: rand.New(rand.NewSource(seed))}
+	fh := &fiberHandle{id: id, f: f, rng: rng.New(uint64(seed))}
 	fh.op.resp = make(chan shm.Value)
 	go func() {
 		defer func() {

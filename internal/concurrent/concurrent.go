@@ -7,117 +7,297 @@
 // that the runtime is (at worst) an adaptive adversary — this is exactly
 // the Section 4 motivation for combining algorithms so that the adaptive
 // bound always holds.
+//
+// # The fast path
+//
+// The paper's step-complexity model charges one unit per Read or Write
+// and nothing else; real hardware charges for everything around the
+// atomic op too. This backend therefore keeps two congruent surfaces:
+//
+//   - the portable shm interfaces (Read/Write on shm.Register), used by
+//     any algorithm and required by the simulator-compatible code; and
+//   - a concrete, devirtualized surface (ReadReg/WriteReg on *Register,
+//     plus the Elector fast-path protocol) with no interface dispatch
+//     and no per-step type assertions, inlinable into the election step
+//     loops of internal/tas, internal/core and internal/arena.
+//
+// Both surfaces perform the same atomic operations and the same step
+// accounting, so an execution is indistinguishable across them.
+//
+// Registers are carved out of contiguous cache-line-padded banks owned
+// by their Space: one allocation per bank instead of one per register,
+// no false sharing between neighbouring registers, and Reset becomes a
+// sequential sweep over the banks that skips everything the last round
+// never wrote (the dirty window).
 package concurrent
 
 import (
-	"math/rand"
+	"math/bits"
 	"sync/atomic"
+	"unsafe"
 
+	"repro/internal/rng"
 	"repro/internal/shm"
 )
 
-// Register is one atomic 64-bit shared register.
+// cacheLine is the coherence granularity the register padding targets.
+const cacheLine = 64
+
+// bankSize is the number of registers per bank. 64 registers × 64 bytes
+// is one 4 KiB block, which the Go allocator serves from a page-aligned
+// size class, keeping every register on its own cache line — and 64 is
+// exactly one bit per register in the bank's uint64 dirty map.
+const bankSize = 64
+
+// Register is one atomic 64-bit shared register, padded to a full cache
+// line so that processes contending on neighbouring registers of the
+// same object never false-share. Registers live inside the banks of the
+// Space that allocated them; their addresses are stable for the life of
+// the Space.
 type Register struct {
-	id   int
-	init shm.Value
-	v    atomic.Int64
+	v       atomic.Int64
+	init    shm.Value
+	bankMap *atomic.Uint64 // the owning bank's dirty bitmap; nil = untracked
+	id      int32
+	dirty   atomic.Int32 // set on first Write since the last Reset
+	_       [cacheLine - 32]byte
 }
+
+// Compile-time proof that a Register occupies exactly one cache line.
+var _ [cacheLine]byte = [unsafe.Sizeof(Register{})]byte{}
 
 // RegisterID implements shm.Register.
-func (r *Register) RegisterID() int { return r.id }
+func (r *Register) RegisterID() int { return int(r.id) }
 
-// Space allocates atomic registers. Allocation is expected to happen
-// during object construction, before goroutines start; it is not
-// goroutine-safe.
-//
-// A Space remembers every register it allocated together with its initial
-// value, so the whole footprint can be restored with Reset. This is the
-// reuse hook the arena subsystem builds on: one-shot objects become
-// recyclable by resetting their register space between rounds instead of
-// re-allocating it.
-type Space struct {
-	regs []*Register
+// bank is one contiguous cache-line-padded block of registers plus the
+// block's dirty window: a 64-bit map with one bit per register, set on
+// the register's first Write since the last Reset. One load tells Reset
+// exactly which registers to restore — no per-register scan. The map
+// sits on its own line ahead of the registers so that marking it never
+// contends with the register payloads.
+type bank struct {
+	dirtyMap atomic.Uint64
+	_        [cacheLine - 8]byte
+	used     int // registers allocated in this bank
+	_        [cacheLine - 8]byte
+	regs     [bankSize]Register
 }
+
+// Space allocates atomic registers out of contiguous padded banks.
+// Allocation must happen during object construction, before goroutines
+// start; it is not goroutine-safe. Call Seal once construction is done —
+// afterwards NewRegister panics, turning the late-allocation bug (which
+// the bank layout makes invalid, not merely slow) into an immediate
+// failure. The arena seals every slot space automatically.
+//
+// A Space remembers every register it allocated together with its
+// initial value, so the whole footprint can be restored with Reset. This
+// is the reuse hook the arena subsystem builds on: one-shot objects
+// become recyclable by resetting their register space between rounds
+// instead of re-allocating it.
+type Space struct {
+	banks  []*bank
+	n      int
+	sealed bool
+	small  bool // set at Seal: footprint below smallSpaceThreshold
+}
+
+// smallSpaceThreshold is the footprint below which dirty-window tracking
+// is a net loss: the window costs up to three extra atomic ops per first
+// write of a register per round, which only pays off when Reset gets to
+// skip many untouched registers. Sealing a space at or below the
+// threshold disables tracking; its Reset just sweeps the whole (tiny)
+// footprint.
+const smallSpaceThreshold = 16
 
 var _ shm.Space = (*Space)(nil)
 
 // NewSpace returns an empty register space.
 func NewSpace() *Space { return &Space{} }
 
-// NewRegister implements shm.Space.
+// NewRegister implements shm.Space. It panics if the space has been
+// sealed: register footprints are fixed up front (the paper's space
+// accounting), and with the bank layout a late allocation would race
+// with Reset's bank sweep.
 func (s *Space) NewRegister(init shm.Value) shm.Register {
-	r := &Register{id: len(s.regs), init: init}
+	return s.alloc(init)
+}
+
+func (s *Space) alloc(init shm.Value) *Register {
+	if s.sealed {
+		panic("concurrent: NewRegister on a sealed Space — register footprints are fixed before goroutines start")
+	}
+	off := s.n % bankSize
+	if off == 0 {
+		s.banks = append(s.banks, new(bank))
+	}
+	b := s.banks[len(s.banks)-1]
+	r := &b.regs[off]
+	r.id = int32(s.n)
+	r.init = init
+	r.bankMap = &b.dirtyMap
 	r.v.Store(init)
-	s.regs = append(s.regs, r)
+	b.used = off + 1
+	s.n++
 	return r
 }
 
+// Seal marks construction complete: any further NewRegister call is a
+// programming error and panics. Sealing is idempotent. Sealing also
+// fixes the reset strategy: small footprints opt out of dirty-window
+// tracking (see smallSpaceThreshold).
+func (s *Space) Seal() {
+	if !s.sealed && s.n <= smallSpaceThreshold {
+		s.small = true
+		for _, b := range s.banks {
+			for i := 0; i < b.used; i++ {
+				b.regs[i].bankMap = nil // writes skip window maintenance
+			}
+		}
+	}
+	s.sealed = true
+}
+
+// Sealed reports whether the space has been sealed.
+func (s *Space) Sealed() bool { return s.sealed }
+
 // Registers returns the number of registers allocated so far (the space
 // complexity of the constructed objects).
-func (s *Space) Registers() int { return len(s.regs) }
+func (s *Space) Registers() int { return s.n }
 
-// Reset restores every register to its initial value, returning all
-// objects built on this space to their pristine one-shot state. The
-// caller must guarantee quiescence: no Handle may be executing Read or
-// Write on the space's registers concurrently with Reset. (The arena's
-// round refcounting provides exactly that guarantee.) The stores are
-// atomic, so a Reset followed by publication through an atomic pointer
-// is race-detector clean.
+// Banks returns the number of contiguous register banks backing the
+// space — the allocation count of the whole register footprint.
+func (s *Space) Banks() int { return len(s.banks) }
+
+// Reset restores every register written since the previous Reset to its
+// initial value, returning all objects built on this space to their
+// pristine one-shot state. Only the dirty window is rewritten: banks
+// whose summary flag is clear are skipped outright, and clean registers
+// inside dirty banks are skipped per-register, so recycling a slot costs
+// O(registers actually touched), not O(footprint). The caller must
+// guarantee quiescence: no Handle may be executing Read or Write on the
+// space's registers concurrently with Reset. (The arena's round
+// refcounting provides exactly that guarantee.) The stores are atomic,
+// so a Reset followed by publication through an atomic pointer is
+// race-detector clean.
 func (s *Space) Reset() {
-	for _, r := range s.regs {
-		r.v.Store(r.init)
+	if s.small {
+		// Untracked small footprint: a bare value sweep, no dirty flags
+		// to consult or clear.
+		for _, b := range s.banks {
+			for i := 0; i < b.used; i++ {
+				r := &b.regs[i]
+				r.v.Store(r.init)
+			}
+		}
+		return
+	}
+	for _, b := range s.banks {
+		m := b.dirtyMap.Load()
+		if m == 0 {
+			continue
+		}
+		b.dirtyMap.Store(0)
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			r := &b.regs[i]
+			r.v.Store(r.init)
+			r.dirty.Store(0)
+		}
+	}
+}
+
+// FullReset unconditionally rewrites every register to its initial
+// value, ignoring the dirty window. It is the pre-optimization baseline
+// kept for apples-to-apples benchmarking (cmd/tasbench -mode=compare)
+// and as a debugging escape hatch; Reset is state-equivalent and
+// strictly cheaper.
+func (s *Space) FullReset() {
+	for _, b := range s.banks {
+		b.dirtyMap.Store(0)
+		for i := 0; i < b.used; i++ {
+			r := &b.regs[i]
+			r.v.Store(r.init)
+			r.dirty.Store(0)
+		}
 	}
 }
 
 // Handle is the per-goroutine execution context. Each Handle must be used
-// by a single goroutine; create one per participating process.
+// by a single goroutine; create one per participating process. The coin
+// stream is an embedded splitmix64 generator: no allocation at handle
+// creation and no dispatch per flip.
 type Handle struct {
 	id    int
-	rng   *rand.Rand
 	steps int
+	rng   rng.SplitMix64
 }
 
 var _ shm.Handle = (*Handle)(nil)
 
 // NewHandle creates the context for process id with a deterministic coin
-// stream derived from seed. Distinct processes must use distinct ids.
+// stream derived from seed. Distinct processes must use distinct ids;
+// mixing the id into the seed decorrelates streams even when callers
+// reuse one seed across processes.
 func NewHandle(id int, seed int64) *Handle {
-	return &Handle{id: id, rng: rand.New(rand.NewSource(seed))}
+	return &Handle{id: id, rng: rng.New(uint64(seed) ^ uint64(id)*0x632be59bd9b4e019)}
 }
 
 // ID implements shm.Handle.
 func (h *Handle) ID() int { return h.id }
 
+// ReadReg is the devirtualized Read: one atomic load on a concrete
+// register, no interface dispatch, no type assertion. One step.
+func (h *Handle) ReadReg(r *Register) shm.Value {
+	h.steps++
+	return r.v.Load()
+}
+
+// WriteReg is the devirtualized Write: one atomic store plus dirty-window
+// maintenance. The register's dirty flag lives on the register's own
+// cache line — which the store just claimed exclusively — and the shared
+// bank map is touched at most once per register per round (and never for
+// untracked small spaces), so the tracking adds no coherence traffic on
+// the hot path. One step.
+func (h *Handle) WriteReg(r *Register, v shm.Value) {
+	h.steps++
+	r.v.Store(v)
+	if r.bankMap != nil && r.dirty.Load() == 0 {
+		r.dirty.Store(1)
+		r.bankMap.Or(1 << (uint(r.id) % bankSize))
+	}
+}
+
 // Read implements shm.Handle with an atomic load.
 func (h *Handle) Read(r shm.Register) shm.Value {
-	h.steps++
-	return mustRegister(r).v.Load()
+	return h.ReadReg(mustRegister(r))
 }
 
 // Write implements shm.Handle with an atomic store.
 func (h *Handle) Write(r shm.Register, v shm.Value) {
-	h.steps++
-	mustRegister(r).v.Store(v)
+	h.WriteReg(mustRegister(r), v)
 }
 
-// Intn implements shm.Handle.
+// Intn implements shm.Handle. n must be positive.
 func (h *Handle) Intn(n int) int { return h.rng.Intn(n) }
 
-// Coin implements shm.Handle.
-func (h *Handle) Coin(p float64) bool {
-	switch {
-	case p <= 0:
-		return false
-	case p >= 1:
-		return true
-	default:
-		return h.rng.Float64() < p
-	}
-}
+// Coin implements shm.Handle by a single integer threshold comparison.
+func (h *Handle) Coin(p float64) bool { return h.rng.Coin(p) }
 
 // Steps returns the number of shared-memory operations this handle has
 // performed — the same step measure the simulator counts.
 func (h *Handle) Steps() int { return h.steps }
+
+// Elector is the devirtualized fast-path protocol: leader electors that
+// implement it offer a step loop specialized to this backend's concrete
+// Handle and Register types (no interface dispatch per step). An
+// ElectFast call must be observably identical to the elector's portable
+// Elect — same shared-memory operations, same step counts, same coin
+// consumption — so the two surfaces are interchangeable mid-workload.
+type Elector interface {
+	ElectFast(h *Handle) bool
+}
 
 func mustRegister(r shm.Register) *Register {
 	reg, ok := r.(*Register)

@@ -1,17 +1,22 @@
-package concurrent
+// Black-box tests of the concurrent backend. They live in an external
+// test package because the building-block packages (twoproc, ...) now
+// import concurrent for their devirtualized fast paths.
+package concurrent_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
+	"repro/internal/concurrent"
 	"repro/internal/shm"
 	"repro/internal/twoproc"
 )
 
 func TestRegisterAtomicOps(t *testing.T) {
-	s := NewSpace()
+	s := concurrent.NewSpace()
 	r := s.NewRegister(7)
-	h := NewHandle(0, 1)
+	h := concurrent.NewHandle(0, 1)
 	if got := h.Read(r); got != 7 {
 		t.Fatalf("initial read = %d, want 7", got)
 	}
@@ -30,14 +35,14 @@ func TestRegisterAtomicOps(t *testing.T) {
 // TestConcurrentContention hammers one register from many goroutines under
 // the race detector.
 func TestConcurrentContention(t *testing.T) {
-	s := NewSpace()
+	s := concurrent.NewSpace()
 	r := s.NewRegister(0)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			h := NewHandle(id, int64(id)+1)
+			h := concurrent.NewHandle(id, int64(id)+1)
 			for j := 0; j < 1000; j++ {
 				h.Write(r, shm.Value(id))
 				_ = h.Read(r)
@@ -50,7 +55,7 @@ func TestConcurrentContention(t *testing.T) {
 // TestTwoProcLEOnRealBackend runs the algorithm code unchanged on atomics.
 func TestTwoProcLEOnRealBackend(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
-		s := NewSpace()
+		s := concurrent.NewSpace()
 		le := twoproc.New(s)
 		var won [2]bool
 		var wg sync.WaitGroup
@@ -58,7 +63,7 @@ func TestTwoProcLEOnRealBackend(t *testing.T) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				h := NewHandle(id, int64(trial*2+id)+1)
+				h := concurrent.NewHandle(id, int64(trial*2+id)+1)
 				won[id] = le.Elect(h, id)
 			}(i)
 		}
@@ -69,8 +74,37 @@ func TestTwoProcLEOnRealBackend(t *testing.T) {
 	}
 }
 
+// TestTwoProcFastMatchesPortable: the devirtualized ElectFast keeps the
+// exactly-one-winner property under real concurrency, and a mixed pair
+// (one side fast, one portable) interoperates — the two surfaces hit the
+// same registers the same way.
+func TestTwoProcFastMatchesPortable(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		s := concurrent.NewSpace()
+		le := twoproc.New(s)
+		var won [2]bool
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				h := concurrent.NewHandle(id, int64(trial*2+id)+1)
+				if (trial+id)%2 == 0 {
+					won[id] = le.ElectFast(h, id)
+				} else {
+					won[id] = le.Elect(h, id)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if won[0] == won[1] {
+			t.Fatalf("trial %d: outcomes %v", trial, won)
+		}
+	}
+}
+
 func TestCoinBounds(t *testing.T) {
-	h := NewHandle(0, 9)
+	h := concurrent.NewHandle(0, 9)
 	if h.Coin(0) {
 		t.Error("Coin(0) returned true")
 	}
@@ -88,13 +122,57 @@ func TestCoinBounds(t *testing.T) {
 	}
 }
 
+// TestCoinThreshold checks the integer-threshold Coin against skewed
+// probabilities, not just the fair coin.
+func TestCoinThreshold(t *testing.T) {
+	for _, p := range []float64{0.1, 0.9} {
+		h := concurrent.NewHandle(0, int64(p*100)+3)
+		heads := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if h.Coin(p) {
+				heads++
+			}
+		}
+		got := float64(heads) / n
+		if got < p-0.02 || got > p+0.02 {
+			t.Errorf("Coin(%.1f): empirical %.3f", p, got)
+		}
+	}
+}
+
+// TestIntnUniform: Intn respects bounds and is roughly uniform.
+func TestIntnUniform(t *testing.T) {
+	h := concurrent.NewHandle(1, 77)
+	var buckets [8]int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		v := h.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", v)
+		}
+		buckets[v]++
+	}
+	for b, c := range buckets {
+		if c < n/8-n/40 || c > n/8+n/40 {
+			t.Errorf("bucket %d has %d/%d draws", b, c, n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	h.Intn(0)
+}
+
 // TestSpaceReset: the register-reuse hook restores every register to its
 // initial value without changing the footprint.
 func TestSpaceReset(t *testing.T) {
-	s := NewSpace()
+	s := concurrent.NewSpace()
 	r7 := s.NewRegister(7)
 	r0 := s.NewRegister(0)
-	h := NewHandle(0, 1)
+	h := concurrent.NewHandle(0, 1)
 	h.Write(r7, 99)
 	h.Write(r0, -3)
 	if s.Registers() != 2 {
@@ -112,11 +190,99 @@ func TestSpaceReset(t *testing.T) {
 	}
 }
 
+// TestResetDirtyWindowEquivalence is the property test for the
+// dirty-window optimization: under randomized write patterns (random
+// subsets of registers, random values, several handles, several rounds),
+// a dirty-tracked Reset must leave the space state-equivalent to a
+// FullReset of an identically-treated twin space — and both equivalent
+// to the pristine initial state.
+func TestResetDirtyWindowEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nRegs := 1 + rnd.Intn(300) // spans multiple banks
+		dirty, full := concurrent.NewSpace(), concurrent.NewSpace()
+		inits := make([]shm.Value, nRegs)
+		dRegs := make([]shm.Register, nRegs)
+		fRegs := make([]shm.Register, nRegs)
+		for i := range dRegs {
+			inits[i] = shm.Value(rnd.Intn(100) - 50)
+			dRegs[i] = dirty.NewRegister(inits[i])
+			fRegs[i] = full.NewRegister(inits[i])
+		}
+		dirty.Seal()
+		full.Seal()
+		h := concurrent.NewHandle(0, int64(trial)+1)
+		for round := 0; round < 3; round++ {
+			// Write a random subset with identical values to both spaces.
+			for i := 0; i < nRegs; i++ {
+				if rnd.Intn(3) == 0 {
+					v := shm.Value(rnd.Int63n(1000))
+					h.Write(dRegs[i], v)
+					h.Write(fRegs[i], v)
+				}
+			}
+			dirty.Reset()
+			full.FullReset()
+			for i := 0; i < nRegs; i++ {
+				dv, fv := h.Read(dRegs[i]), h.Read(fRegs[i])
+				if dv != fv {
+					t.Fatalf("trial %d round %d reg %d: dirty-window reset %d != full reset %d", trial, round, i, dv, fv)
+				}
+				if dv != inits[i] {
+					t.Fatalf("trial %d round %d reg %d: value %d, want initial %d", trial, round, i, dv, inits[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterPointerStability: banks never move, so registers allocated
+// early remain valid as the space grows past many bank boundaries.
+func TestRegisterPointerStability(t *testing.T) {
+	s := concurrent.NewSpace()
+	early := s.NewRegister(5)
+	h := concurrent.NewHandle(0, 3)
+	for i := 0; i < 500; i++ { // force several new banks
+		s.NewRegister(shm.Value(i))
+	}
+	h.Write(early, 123)
+	if got := h.Read(early); got != 123 {
+		t.Fatalf("early register read %d after bank growth, want 123", got)
+	}
+	if s.Banks() < 2 {
+		t.Fatalf("expected multiple banks for 501 registers, got %d", s.Banks())
+	}
+	s.Reset()
+	if got := h.Read(early); got != 5 {
+		t.Fatalf("early register = %d after Reset, want 5", got)
+	}
+}
+
+// TestSealedSpacePanics: the late-allocation guard.
+func TestSealedSpacePanics(t *testing.T) {
+	s := concurrent.NewSpace()
+	s.NewRegister(0)
+	if s.Sealed() {
+		t.Fatal("fresh space reports sealed")
+	}
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Seal did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegister on a sealed space did not panic")
+		}
+	}()
+	s.NewRegister(1)
+}
+
 // TestResetMakesObjectsReusable: a one-shot object on a reset space
 // behaves exactly like a fresh one — the arena's recycling contract.
 func TestResetMakesObjectsReusable(t *testing.T) {
-	s := NewSpace()
+	s := concurrent.NewSpace()
 	le := twoproc.New(s)
+	s.Seal()
 	for round := 0; round < 50; round++ {
 		var won [2]bool
 		var wg sync.WaitGroup
@@ -124,7 +290,7 @@ func TestResetMakesObjectsReusable(t *testing.T) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				h := NewHandle(id, int64(round*2+id)+1)
+				h := concurrent.NewHandle(id, int64(round*2+id)+1)
 				won[id] = le.Elect(h, id)
 			}(i)
 		}

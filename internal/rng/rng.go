@@ -1,0 +1,67 @@
+// Package rng provides the repository's local coin-flip generator: an
+// inlined splitmix64 stream (Steele, Lea & Flood, OOPSLA 2014).
+//
+// The paper's step-complexity model treats local coin flips as free, but
+// on real hardware every flip in the production backend used to pay a
+// heap-allocated math/rand.Rand (a ~5 KB lagged-Fibonacci state) plus an
+// interface dispatch into its Source per call. SplitMix64 is the
+// opposite trade: 8 bytes of state embedded by value in its owner, no
+// allocation, no dispatch, and every method small enough for the
+// compiler to inline into the election step loops.
+//
+// The generator is used for algorithm coin flips only (probabilistic
+// routing in splitters, sifters and two-process elections), where the
+// requirement is statistical independence of streams seeded with nearby
+// seeds — exactly the property splitmix64's finalizer provides. It is
+// not a cryptographic generator.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is an 8-byte, allocation-free PRNG stream. The zero value
+// is a valid generator (the stream seeded with 0); use New to seed.
+// A SplitMix64 is confined to one goroutine, like the shm.Handle that
+// embeds it.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds — even
+// consecutive integers — yield statistically independent streams.
+func New(seed uint64) SplitMix64 { return SplitMix64{state: seed} }
+
+// Next returns the next 64 uniform pseudo-random bits.
+func (g *SplitMix64) Next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n) by Lemire's multiply-shift
+// reduction (the bias of at most n/2^64 is far below anything the
+// algorithms or experiments can observe). n must be positive, matching
+// math/rand.Intn.
+func (g *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	hi, _ := bits.Mul64(g.Next(), uint64(n))
+	return int(hi)
+}
+
+// Coin returns true with probability p (clamped to [0, 1]) using a
+// single integer threshold comparison: no float division, no second
+// draw. For p in (0,1) the threshold p·2^64 is below 2^64 (p ≤ 1−2^−53
+// keeps the product exactly representable), so the conversion to uint64
+// never overflows.
+func (g *SplitMix64) Coin(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.Next() < uint64(p*(1<<64))
+}

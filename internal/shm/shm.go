@@ -21,6 +21,19 @@
 //     experiments), and
 //   - internal/concurrent: real sync/atomic registers for use by actual
 //     goroutines (the production backend of the public randtas package).
+//
+// The two backends deliberately sit at different points of the
+// portability/performance trade. The simulator needs the indirection:
+// its registers and handles interpose the adversary and the step-token
+// handshake, so algorithms reach it through these interfaces. The
+// concurrent backend additionally exposes a concrete devirtualized
+// surface (concurrent.Handle.ReadReg/WriteReg on *concurrent.Register,
+// and the concurrent.Elector fast-path protocol) with identical
+// semantics and step accounting; hot algorithm packages cache concrete
+// register pointers at construction time and provide *Fast step loops
+// that skip interface dispatch and per-step type assertions entirely.
+// Algorithms remain correct using only the interfaces below — the fast
+// paths are an optimization, never a requirement.
 package shm
 
 // Value is the contents of a register. The paper's algorithms need only

@@ -15,7 +15,10 @@
 // what RatRace's primary tree needs (Section 3.1).
 package splitter
 
-import "repro/internal/shm"
+import (
+	"repro/internal/concurrent"
+	"repro/internal/shm"
+)
 
 // Outcome is the result of a split() call.
 type Outcome uint8
@@ -48,11 +51,19 @@ const noProcess = shm.Value(-1)
 type Splitter struct {
 	x shm.Register // last process to enter the doorway
 	y shm.Register // doorway closed flag
+
+	// Concrete registers cached at construction when the space is the
+	// concurrent backend; nil otherwise. They let SplitFast run the same
+	// four steps with no interface dispatch or type assertions.
+	xc, yc *concurrent.Register
 }
 
 // New allocates a deterministic splitter on s.
 func New(s shm.Space) *Splitter {
-	return &Splitter{x: s.NewRegister(noProcess), y: s.NewRegister(0)}
+	sp := &Splitter{x: s.NewRegister(noProcess), y: s.NewRegister(0)}
+	sp.xc, _ = sp.x.(*concurrent.Register)
+	sp.yc, _ = sp.y.(*concurrent.Register)
+	return sp
 }
 
 // Split performs the split() operation for the process behind h.
@@ -69,17 +80,40 @@ func (sp *Splitter) Split(h shm.Handle) Outcome {
 	return Right
 }
 
+// SplitFast is Split specialized for the concurrent backend: identical
+// steps, devirtualized. Falls back to Split when the splitter was built
+// on a different backend.
+func (sp *Splitter) SplitFast(h *concurrent.Handle) Outcome {
+	if sp.xc == nil {
+		return sp.Split(h)
+	}
+	h.WriteReg(sp.xc, shm.Value(h.ID()))
+	if h.ReadReg(sp.yc) != 0 {
+		return Left
+	}
+	h.WriteReg(sp.yc, 1)
+	if h.ReadReg(sp.xc) == shm.Value(h.ID()) {
+		return Stop
+	}
+	return Right
+}
+
 // RSplitter is the randomized splitter: at most one split() call returns
 // Stop, a solo call returns Stop, and a non-Stop call returns Left or Right
 // independently with probability 1/2 each.
 type RSplitter struct {
 	x shm.Register
 	y shm.Register
+
+	xc, yc *concurrent.Register // cached concrete registers, as in Splitter
 }
 
 // NewRandomized allocates a randomized splitter on s.
 func NewRandomized(s shm.Space) *RSplitter {
-	return &RSplitter{x: s.NewRegister(noProcess), y: s.NewRegister(0)}
+	sp := &RSplitter{x: s.NewRegister(noProcess), y: s.NewRegister(0)}
+	sp.xc, _ = sp.x.(*concurrent.Register)
+	sp.yc, _ = sp.y.(*concurrent.Register)
+	return sp
 }
 
 // Split performs the randomized split() operation. It takes at most 4
@@ -94,6 +128,29 @@ func (sp *RSplitter) Split(h shm.Handle) Outcome {
 		return Stop
 	}
 	return randDirection(h)
+}
+
+// SplitFast is the randomized Split specialized for the concurrent
+// backend.
+func (sp *RSplitter) SplitFast(h *concurrent.Handle) Outcome {
+	if sp.xc == nil {
+		return sp.Split(h)
+	}
+	h.WriteReg(sp.xc, shm.Value(h.ID()))
+	if h.ReadReg(sp.yc) != 0 {
+		if h.Coin(0.5) {
+			return Left
+		}
+		return Right
+	}
+	h.WriteReg(sp.yc, 1)
+	if h.ReadReg(sp.xc) == shm.Value(h.ID()) {
+		return Stop
+	}
+	if h.Coin(0.5) {
+		return Left
+	}
+	return Right
 }
 
 func randDirection(h shm.Handle) Outcome {

@@ -1,0 +1,90 @@
+// The uncontended doorway: a constant-step fast path in front of any
+// leader election.
+//
+// A long-lived lock chained from one-shot TAS rounds (internal/arena)
+// pays a full n-process election per acquisition even when nobody else
+// wants the lock. The classic remedy — the same move RatRace makes at
+// its primary-tree leaves, and the fast-path idea running through
+// Giakkoupis–Woelfel's "Efficient Randomized Test-And-Set
+// Implementations" — is to front the election with a splitter: a solo
+// (or early, unobstructed) caller wins the splitter in 4 steps and only
+// has to survive a two-process final, while everyone else falls through
+// to the full election. Uncontended acquisitions then cost O(1) steps
+// regardless of the inner algorithm; contended ones pay 4 extra steps.
+package tas
+
+import (
+	"repro/internal/concurrent"
+	"repro/internal/shm"
+	"repro/internal/splitter"
+	"repro/internal/twoproc"
+)
+
+// FastPath wraps an inner leader election with a constant-step
+// uncontended doorway. It is itself a LeaderElector (and a
+// concurrent.Elector), so it composes with New like any other elector.
+//
+// Protocol: every caller first enters a deterministic splitter.
+//
+//   - The (unique) Stop caller skips the inner election entirely and
+//     plays slot 0 of a two-process final.
+//   - Everyone else runs the inner election; its unique winner plays
+//     slot 1 of the final. Inner losers lose.
+//
+// Exactly-one-winner: the final has at most one contender per slot
+// (at most one Stop caller; at most one inner winner), so at most one
+// caller wins overall. If all participants complete, at least one slot
+// of the final is occupied — either some caller received Stop, or all
+// of them entered the inner election, which elects exactly one — and a
+// final with at least one contender elects exactly one. A solo caller
+// always receives Stop and wins the final unopposed in O(1) expected
+// steps (Tromp–Vitányi).
+type FastPath struct {
+	sp    *splitter.Splitter
+	final *twoproc.LE
+	inner LeaderElector
+
+	innerFast concurrent.Elector // inner's fast path, when it has one
+}
+
+var _ LeaderElector = (*FastPath)(nil)
+
+// NewFastPath allocates the doorway (one splitter + one two-process
+// final, four registers) on s in front of inner. Inner must be built on
+// the same space so that a Space.Reset recycles doorway and inner
+// together.
+func NewFastPath(s shm.Space, inner LeaderElector) *FastPath {
+	f := &FastPath{sp: splitter.New(s), final: twoproc.New(s), inner: inner}
+	f.innerFast, _ = inner.(concurrent.Elector)
+	return f
+}
+
+// Elect implements LeaderElector.
+func (f *FastPath) Elect(h shm.Handle) bool {
+	if f.sp.Split(h) == splitter.Stop {
+		return f.final.Elect(h, 0)
+	}
+	if f.inner.Elect(h) {
+		return f.final.Elect(h, 1)
+	}
+	return false
+}
+
+// ElectFast implements concurrent.Elector: the identical protocol with
+// doorway and final devirtualized (and the inner election too, when it
+// offers a fast path).
+func (f *FastPath) ElectFast(h *concurrent.Handle) bool {
+	if f.sp.SplitFast(h) == splitter.Stop {
+		return f.final.ElectFast(h, 0)
+	}
+	var won bool
+	if f.innerFast != nil {
+		won = f.innerFast.ElectFast(h)
+	} else {
+		won = f.inner.Elect(h)
+	}
+	if won {
+		return f.final.ElectFast(h, 1)
+	}
+	return false
+}

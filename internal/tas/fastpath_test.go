@@ -1,0 +1,145 @@
+package tas
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/agtv"
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// TestFastPathOneWinner: the doorway-wrapped election keeps the
+// exactly-one-winner property across schedules on the simulator, for
+// every inner elector.
+func TestFastPathOneWinner(t *testing.T) {
+	const n = 16
+	for name, mk := range electorFactories(n) {
+		for _, k := range []int{1, 2, 7, 16} {
+			for seed := int64(0); seed < 20; seed++ {
+				sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
+				le := NewFastPath(sys, mk(sys))
+				winners := 0
+				res := sys.Run(sim.NewRandomOblivious(seed+31), func(h shm.Handle) {
+					if le.Elect(h) {
+						winners++
+					}
+				})
+				for pid, ok := range res.Finished {
+					if !ok {
+						t.Fatalf("%s: process %d unfinished", name, pid)
+					}
+				}
+				if winners != 1 {
+					t.Fatalf("%s k=%d seed=%d: %d winners, want 1", name, k, seed, winners)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathSoloSteps: the whole point of the doorway — a solo caller
+// wins a doorway-wrapped TAS in O(1) steps regardless of the inner
+// election's depth: done-read (1) + splitter (4) + two-process final
+// (expected 2, more only on coin ties that cannot happen solo).
+func TestFastPathSoloSteps(t *testing.T) {
+	s := concurrent.NewSpace()
+	obj := New(s, NewFastPath(s, logStarBuilder(s, 1024)))
+	s.Seal()
+	h := concurrent.NewHandle(0, 7)
+	if got := obj.TASFast(h); got != 0 {
+		t.Fatalf("solo TASFast = %d, want 0", got)
+	}
+	if h.Steps() > 8 {
+		t.Errorf("solo doorway TAS took %d steps, want ≤ 8 (inner n=1024 election bypassed)", h.Steps())
+	}
+}
+
+// TestElectFastMatchesPortable enforces the concurrent.Elector contract
+// across every devirtualized elector: the fast and portable surfaces
+// must be interchangeable mid-election. Each trial splits real
+// goroutines between ElectFast and Elect on one shared object; any
+// divergence between the hand-specialized loop and its portable twin
+// breaks the exactly-one-winner invariant here.
+func TestElectFastMatchesPortable(t *testing.T) {
+	const k = 8
+	builders := map[string]func(s shm.Space) LeaderElector{
+		"logstar":          func(s shm.Space) LeaderElector { return core.NewLogStar(s, k) },
+		"sifting":          func(s shm.Space) LeaderElector { return core.NewSifting(s, k) },
+		"adaptive-sifting": func(s shm.Space) LeaderElector { return core.NewAdaptiveSifting(s, k) },
+		"agtv":             func(s shm.Space) LeaderElector { return agtv.New(s, k) },
+		"fastpath-logstar": func(s shm.Space) LeaderElector { return NewFastPath(s, core.NewLogStar(s, k)) },
+	}
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				s := concurrent.NewSpace()
+				le := mk(s)
+				s.Seal()
+				fast, ok := le.(concurrent.Elector)
+				if !ok {
+					t.Fatalf("%s does not implement concurrent.Elector", name)
+				}
+				var wg sync.WaitGroup
+				var winners int32
+				for i := 0; i < k; i++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						h := concurrent.NewHandle(id, int64(trial*k+id)+1)
+						var won bool
+						if id%2 == 0 {
+							won = fast.ElectFast(h)
+						} else {
+							won = le.Elect(h)
+						}
+						if won {
+							atomic.AddInt32(&winners, 1)
+						}
+					}(i)
+				}
+				wg.Wait()
+				if winners != 1 {
+					t.Fatalf("trial %d: %d winners, want 1", trial, winners)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathConcurrentBackend drives the devirtualized ElectFast path
+// from real goroutines: exactly one winner per trial, with portable and
+// fast surfaces mixed to prove they are interchangeable.
+func TestFastPathConcurrentBackend(t *testing.T) {
+	const k = 8
+	for trial := 0; trial < 50; trial++ {
+		s := concurrent.NewSpace()
+		obj := New(s, NewFastPath(s, logStarBuilder(s, k)))
+		s.Seal()
+		var wg sync.WaitGroup
+		var zeros int32
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				h := concurrent.NewHandle(id, int64(trial*k+id)+1)
+				var r int
+				if id%2 == 0 {
+					r = obj.TASFast(h)
+				} else {
+					r = obj.TAS(h)
+				}
+				if r == 0 {
+					atomic.AddInt32(&zeros, 1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if zeros != 1 {
+			t.Fatalf("trial %d: %d winners, want 1", trial, zeros)
+		}
+	}
+}

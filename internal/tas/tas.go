@@ -21,7 +21,10 @@
 // not linearized yet.
 package tas
 
-import "repro/internal/shm"
+import (
+	"repro/internal/concurrent"
+	"repro/internal/shm"
+)
 
 // LeaderElector is the interface the transformation consumes. All leader
 // elections in this repository (core chains, RatRace variants, AGTV
@@ -37,11 +40,20 @@ type LeaderElector interface {
 type TAS struct {
 	le   LeaderElector
 	done shm.Register
+
+	// Cached at construction for the devirtualized TASFast/ReadFast:
+	// the concrete done register (concurrent backend only) and the
+	// elector's fast path when it offers one.
+	doneC  *concurrent.Register
+	leFast concurrent.Elector
 }
 
 // New builds a TAS object from le, allocating its done register on s.
 func New(s shm.Space, le LeaderElector) *TAS {
-	return &TAS{le: le, done: s.NewRegister(0)}
+	t := &TAS{le: le, done: s.NewRegister(0)}
+	t.doneC, _ = t.done.(*concurrent.Register)
+	t.leFast, _ = le.(concurrent.Elector)
+	return t
 }
 
 // TAS sets the bit and returns its previous value (0 for the unique
@@ -57,11 +69,47 @@ func (t *TAS) TAS(h shm.Handle) int {
 	return 1
 }
 
+// TASFast is TAS specialized for the concurrent backend: the same
+// transformation — done-read, elect, possible done-write — with the step
+// loop devirtualized end to end when the elector provides a fast path.
+// Observably identical to TAS (same steps, same linearization argument);
+// falls back to the portable path off the concurrent backend.
+func (t *TAS) TASFast(h *concurrent.Handle) int {
+	if t.doneC == nil {
+		return t.TAS(h)
+	}
+	if h.ReadReg(t.doneC) == 1 {
+		return 1
+	}
+	var won bool
+	if t.leFast != nil {
+		won = t.leFast.ElectFast(h)
+	} else {
+		won = t.le.Elect(h)
+	}
+	if won {
+		return 0
+	}
+	h.WriteReg(t.doneC, 1)
+	return 1
+}
+
 // Read returns the current value of the bit without setting it (one step).
 // It is linearizable alongside TAS: the bit is observably 1 only after
 // some loser finished, which implies the winner's TAS already happened.
 func (t *TAS) Read(h shm.Handle) int {
 	if h.Read(t.done) == 1 {
+		return 1
+	}
+	return 0
+}
+
+// ReadFast is Read specialized for the concurrent backend.
+func (t *TAS) ReadFast(h *concurrent.Handle) int {
+	if t.doneC == nil {
+		return t.Read(h)
+	}
+	if h.ReadReg(t.doneC) == 1 {
 		return 1
 	}
 	return 0

@@ -31,7 +31,10 @@
 // adversary, and a solo caller finishes after 2 steps.
 package twoproc
 
-import "repro/internal/shm"
+import (
+	"repro/internal/concurrent"
+	"repro/internal/shm"
+)
 
 const (
 	down shm.Value = 0
@@ -43,11 +46,18 @@ const (
 // registers.
 type LE struct {
 	flags [2]shm.Register
+
+	// Concrete registers cached at construction on the concurrent
+	// backend (nil otherwise), backing the devirtualized ElectFast.
+	cflags [2]*concurrent.Register
 }
 
 // New allocates a two-process leader election on s.
 func New(s shm.Space) *LE {
-	return &LE{flags: [2]shm.Register{s.NewRegister(down), s.NewRegister(down)}}
+	l := &LE{flags: [2]shm.Register{s.NewRegister(down), s.NewRegister(down)}}
+	l.cflags[0], _ = l.flags[0].(*concurrent.Register)
+	l.cflags[1], _ = l.flags[1].(*concurrent.Register)
+	return l
 }
 
 // Elect runs the election for the caller occupying the given slot (0 or 1)
@@ -72,6 +82,33 @@ func (l *LE) Elect(h shm.Handle, slot int) bool {
 			last = down
 		}
 		h.Write(mine, last)
+	}
+}
+
+// ElectFast is Elect specialized for the concurrent backend: the same
+// protocol — same steps, same coin consumption — with every Read, Write
+// and Coin devirtualized. Falls back to Elect off that backend.
+func (l *LE) ElectFast(h *concurrent.Handle, slot int) bool {
+	mine, other := l.cflags[slot], l.cflags[1-slot]
+	if mine == nil {
+		return l.Elect(h, slot)
+	}
+	last := up
+	h.WriteReg(mine, up)
+	for {
+		v := h.ReadReg(other)
+		switch {
+		case last == up && v == down:
+			return true
+		case last == down && v == up:
+			return false
+		}
+		if h.Coin(0.5) {
+			last = up
+		} else {
+			last = down
+		}
+		h.WriteReg(mine, last)
 	}
 }
 
@@ -126,6 +163,20 @@ func (l *LE3) Elect(h shm.Handle, role Role) bool {
 		return l.semifinal.Elect(h, 0) && l.final.Elect(h, 0)
 	case FromRight:
 		return l.semifinal.Elect(h, 1) && l.final.Elect(h, 0)
+	default:
+		panic("twoproc: invalid role")
+	}
+}
+
+// ElectFast is Elect specialized for the concurrent backend.
+func (l *LE3) ElectFast(h *concurrent.Handle, role Role) bool {
+	switch role {
+	case Here:
+		return l.final.ElectFast(h, 1)
+	case FromLeft:
+		return l.semifinal.ElectFast(h, 0) && l.final.ElectFast(h, 0)
+	case FromRight:
+		return l.semifinal.ElectFast(h, 1) && l.final.ElectFast(h, 0)
 	default:
 		panic("twoproc: invalid role")
 	}

@@ -179,6 +179,7 @@ func NewLeaderElection(opts Options) (*LeaderElection, error) {
 	if err != nil {
 		return nil, err
 	}
+	space.Seal() // footprint fixed before any goroutine steps
 	return &LeaderElection{opts: opts, space: space, le: le}, nil
 }
 
@@ -205,6 +206,11 @@ type Proc struct {
 // Elect may be called once; further calls panic.
 func (p *Proc) Elect() bool {
 	p.markUsed("Elect")
+	// Devirtualized step loop when the algorithm offers one; observably
+	// identical to the portable path.
+	if fast, ok := p.le.(concurrent.Elector); ok {
+		return fast.ElectFast(p.h)
+	}
 	return p.le.Elect(p.h)
 }
 
@@ -233,7 +239,9 @@ func NewTAS(opts Options) (*TASObject, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TASObject{opts: opts, space: space, obj: tas.New(space, le)}, nil
+	obj := tas.New(space, le)
+	space.Seal() // footprint fixed before any goroutine steps
+	return &TASObject{opts: opts, space: space, obj: obj}, nil
 }
 
 // Registers returns the object's register footprint.
@@ -262,12 +270,12 @@ func (p *TASProc) TAS() int {
 		panic("randtas: TAS called twice on one TASProc (objects are one-shot)")
 	}
 	p.used = true
-	return p.obj.TAS(p.h)
+	return p.obj.TASFast(p.h)
 }
 
 // Read returns the current bit without setting it. It may be called any
 // number of times.
-func (p *TASProc) Read() int { return p.obj.Read(p.h) }
+func (p *TASProc) Read() int { return p.obj.ReadFast(p.h) }
 
 // Steps reports the shared-memory steps this process has taken.
 func (p *TASProc) Steps() int { return p.h.Steps() }
@@ -286,6 +294,13 @@ type ArenaOptions struct {
 	// arena.DefaultPrealloc). A Mutex recycles steadily with as few as
 	// two live slots.
 	Prealloc int
+	// NoFastPath disables the concurrent backend's fast-path machinery —
+	// the devirtualized step loops, the constant-step uncontended
+	// doorway, and the dirty-window register recycling — and forces the
+	// portable interface paths everywhere. It exists so cmd/tasbench
+	// -mode=compare can measure the fast-path overhaul against its own
+	// baseline within one binary; leave it false in production.
+	NoFastPath bool
 }
 
 // ArenaShardStats re-exports the arena's per-shard counters.
@@ -319,14 +334,19 @@ func NewArena(opts ArenaOptions) (*Arena, error) {
 		N:        opts.N,
 		Shards:   opts.Shards,
 		Prealloc: opts.Prealloc,
-		Factory: func(s *concurrent.Space, n int) *tas.TAS {
+		Plain:    opts.NoFastPath,
+		// The doorway pays four extra steps under contention to make
+		// solo acquisitions O(1); skip it when the inner election is
+		// already about that cheap solo (a shallow AGTV tournament).
+		NoDoorway: opts.Algorithm == AGTV && opts.N <= 8,
+		Factory: func(s *concurrent.Space, n int) tas.LeaderElector {
 			le, ferr := buildElector(s, opts.Options)
 			if ferr != nil {
 				// Unreachable: options were validated above and
 				// buildElector is deterministic in them.
 				panic(ferr)
 			}
-			return tas.New(s, le)
+			return le
 		},
 	})
 	if err != nil {
