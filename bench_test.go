@@ -29,18 +29,24 @@ import (
 
 // benchLE runs one leader election per iteration at contention k and
 // reports the mean max-steps metric (the paper's expected individual step
-// complexity).
+// complexity). The System and elector are constructed once and
+// Reset-recycled per iteration, as the harness trial driver does.
 func benchLE(b *testing.B, k, n int, mk func(s shm.Space) interface {
 	Elect(h shm.Handle) bool
 }, mkAdv func(seed int64) sim.Adversary) {
 	b.Helper()
+	sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+	defer sys.Release()
+	le := mk(sys)
+	body := func(h shm.Handle) {
+		le.Elect(h)
+	}
+	var res sim.Result
 	totalMax := 0
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-		le := mk(sys)
-		res := sys.Run(mkAdv(int64(i)+977), func(h shm.Handle) {
-			le.Elect(h)
-		})
+		sys.Reset(int64(i))
+		sys.RunInto(mkAdv(int64(i)+977), body, &res)
 		totalMax += res.MaxSteps
 	}
 	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
@@ -52,15 +58,19 @@ func randomAdv(seed int64) sim.Adversary { return sim.NewRandomOblivious(seed) }
 func BenchmarkGroupElectFig1(b *testing.B) {
 	for _, k := range []int{8, 64, 512} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+			defer sys.Release()
+			ge := groupelect.NewFig1(sys, 4096)
 			elected := 0
+			body := func(h shm.Handle) {
+				if ge.Elect(h) {
+					elected++
+				}
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-				ge := groupelect.NewFig1(sys, 4096)
-				sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
-					if ge.Elect(h) {
-						elected++
-					}
-				})
+				sys.Reset(int64(i))
+				sys.Run(sim.NewRandomOblivious(int64(i)), body)
 			}
 			b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
 		})
@@ -142,27 +152,37 @@ func BenchmarkRatRaceSpace(b *testing.B) {
 func BenchmarkCombinerAttack(b *testing.B) {
 	for _, k := range []int{16, 64} {
 		b.Run(fmt.Sprintf("naive/k=%d", k), func(b *testing.B) {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+			defer sys.Release()
+			chain := core.NewLogStar(sys, k)
+			body := func(h shm.Handle) {
+				chain.Elect(h)
+			}
+			var res sim.Result
 			totalMax := 0
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-				chain := core.NewLogStar(sys, k)
-				res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
-					chain.Elect(h)
-				})
+				sys.Reset(int64(i))
+				sys.RunInto(sim.NewAscendingLocation(chain.IsArrayRegister), body, &res)
 				totalMax += res.MaxSteps
 			}
 			b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
 		})
 		b.Run(fmt.Sprintf("combined/k=%d", k), func(b *testing.B) {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+			defer sys.Release()
+			rr := ratrace.NewSpaceEfficient(sys, k)
+			chain := core.NewLogStar(sys, k)
+			comb := combiner.New(sys, rr, chain)
+			body := func(h shm.Handle) {
+				comb.Elect(h)
+			}
+			var res sim.Result
 			totalMax := 0
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-				rr := ratrace.NewSpaceEfficient(sys, k)
-				chain := core.NewLogStar(sys, k)
-				comb := combiner.New(sys, rr, chain)
-				res := sys.Run(sim.NewAscendingLocation(chain.IsArrayRegister), func(h shm.Handle) {
-					comb.Elect(h)
-				})
+				sys.Reset(int64(i))
+				sys.RunInto(sim.NewAscendingLocation(chain.IsArrayRegister), body, &res)
 				totalMax += res.MaxSteps
 			}
 			b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
@@ -227,32 +247,40 @@ func BenchmarkLeafOccupancy(b *testing.B) {
 func BenchmarkAdversarySeparation(b *testing.B) {
 	const k = 64
 	b.Run("fig1-ascending", func(b *testing.B) {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+		defer sys.Release()
+		ge := groupelect.NewFig1(sys, 1024)
+		ids := map[int]bool{}
+		for _, id := range ge.ArrayRegisterIDs() {
+			ids[id] = true
+		}
 		elected := 0
-		for i := 0; i < b.N; i++ {
-			sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-			ge := groupelect.NewFig1(sys, 1024)
-			ids := map[int]bool{}
-			for _, id := range ge.ArrayRegisterIDs() {
-				ids[id] = true
+		body := func(h shm.Handle) {
+			if ge.Elect(h) {
+				elected++
 			}
-			sys.Run(sim.NewAscendingLocation(func(r int) bool { return ids[r] }), func(h shm.Handle) {
-				if ge.Elect(h) {
-					elected++
-				}
-			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Reset(int64(i))
+			sys.Run(sim.NewAscendingLocation(func(r int) bool { return ids[r] }), body)
 		}
 		b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
 	})
 	b.Run("sifter-readersfirst", func(b *testing.B) {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+		defer sys.Release()
+		ge := groupelect.NewSifter(sys, groupelect.SifterPi(k))
 		elected := 0
+		body := func(h shm.Handle) {
+			if ge.Elect(h) {
+				elected++
+			}
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-			ge := groupelect.NewSifter(sys, groupelect.SifterPi(k))
-			sys.Run(sim.NewReadersFirst(), func(h shm.Handle) {
-				if ge.Elect(h) {
-					elected++
-				}
-			})
+			sys.Reset(int64(i))
+			sys.Run(sim.NewReadersFirst(), body)
 		}
 		b.ReportMetric(float64(elected)/float64(b.N), "elected/op")
 	})
@@ -260,13 +288,18 @@ func BenchmarkAdversarySeparation(b *testing.B) {
 
 // E11 — the two-process building block.
 func BenchmarkTwoProcLE(b *testing.B) {
+	sys := sim.NewSystem(sim.Config{N: 2, Seed: 0, Reuse: true})
+	defer sys.Release()
+	le := twoproc.New(sys)
+	body := func(h shm.Handle) {
+		le.Elect(h, h.ID())
+	}
+	var res sim.Result
 	totalMax := 0
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys := sim.NewSystem(sim.Config{N: 2, Seed: int64(i)})
-		le := twoproc.New(sys)
-		res := sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
-			le.Elect(h, h.ID())
-		})
+		sys.Reset(int64(i))
+		sys.RunInto(sim.NewRandomOblivious(int64(i)), body, &res)
 		totalMax += res.MaxSteps
 	}
 	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
@@ -275,13 +308,18 @@ func BenchmarkTwoProcLE(b *testing.B) {
 // E12 — the TAS-from-LE transformation overhead.
 func BenchmarkTASFromLE(b *testing.B) {
 	const k = 64
+	sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+	defer sys.Release()
+	obj := tas.New(sys, core.NewLogStar(sys, k))
+	body := func(h shm.Handle) {
+		obj.TAS(h)
+	}
+	var res sim.Result
 	totalMax := 0
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
-		obj := tas.New(sys, core.NewLogStar(sys, k))
-		res := sys.Run(sim.NewRandomOblivious(int64(i)), func(h shm.Handle) {
-			obj.TAS(h)
-		})
+		sys.Reset(int64(i))
+		sys.RunInto(sim.NewRandomOblivious(int64(i)), body, &res)
 		totalMax += res.MaxSteps
 	}
 	b.ReportMetric(float64(totalMax)/float64(b.N), "maxsteps/op")
@@ -338,6 +376,40 @@ func BenchmarkCASBaselineTAS(b *testing.B) {
 			b.Fatalf("%d winners", zeros)
 		}
 	}
+}
+
+// Ablation — the simulator trial engine before/after (PR 3): one full
+// harness trial per iteration on the representative cell (log* chain,
+// n=1024, k=16, random-oblivious schedule). "fresh" pays the pre-PR driver
+// shape — a new System and a full algorithm construction per trial —
+// while "pooled" Reset-recycles one System as harness.Run's workers do.
+func BenchmarkSimTrial(b *testing.B) {
+	const n, k = 1024, 16
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := sim.NewSystem(sim.Config{N: k, Seed: int64(i)})
+			le := core.NewLogStar(sys, n)
+			sys.Run(sim.NewRandomOblivious(int64(i)+977), func(h shm.Handle) {
+				le.Elect(h)
+			})
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		sys := sim.NewSystem(sim.Config{N: k, Seed: 0, Reuse: true})
+		defer sys.Release()
+		le := core.NewLogStar(sys, n)
+		body := func(h shm.Handle) {
+			le.Elect(h)
+		}
+		var res sim.Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Reset(int64(i))
+			sys.RunInto(sim.NewRandomOblivious(int64(i)+977), body, &res)
+		}
+	})
 }
 
 // Ablation — the simulator's step-handshake overhead (DESIGN.md).

@@ -49,6 +49,11 @@ type compareConfig struct {
 	seed       int64
 	out        string
 	preref     string
+
+	// Sim-throughput section (see simcompare.go).
+	simTrials int
+	simOut    string
+	simPreRef float64
 }
 
 // speedupFloor gates the compare run: the optimized side must not be
@@ -254,5 +259,8 @@ func runCompare(cfg compareConfig) error {
 		return fmt.Errorf("fast path slower than NoFastPath baseline (floor %.2fx): %s",
 			speedupFloor, strings.Join(regressions, ", "))
 	}
-	return nil
+
+	// Sim-throughput section: the simulator engine before/after, with its
+	// own artifact and gates.
+	return runSimCompare(cfg)
 }

@@ -56,8 +56,12 @@ func main() {
 		prealloc   = flag.Int("prealloc", 0, "throughput/compare: preallocated slots per shard (0 = default)")
 		work       = flag.Int("work", 0, "throughput/compare: spin iterations inside the critical section")
 
-		out    = flag.String("out", "BENCH_PR2.json", "compare: output JSON path")
+		out    = flag.String("out", "BENCH_PR2.json", "compare: mutex output JSON path")
 		preref = flag.String("preref", "", "compare: externally measured pre-PR ns/op, e.g. combined=35796,agtv=102")
+
+		simTrials = flag.Int("simtrials", 2000, "compare: trials for the sim-throughput section")
+		simOut    = flag.String("simout", "BENCH_PR3.json", "compare: sim-throughput output JSON path")
+		simPreRef = flag.Float64("simpreref", 0, "compare: externally measured pre-PR engine ns/trial on the sim cell")
 	)
 	flag.Parse()
 
@@ -73,6 +77,9 @@ func main() {
 			seed:       *seed,
 			out:        *out,
 			preref:     *preref,
+			simTrials:  *simTrials,
+			simOut:     *simOut,
+			simPreRef:  *simPreRef,
 		})
 		if err != nil {
 			fatalf("tasbench: %v", err)
@@ -198,6 +205,25 @@ func combinedFactory(s shm.Space, n int) (harness.Elector, func(int) bool) {
 
 func randomObl(seed int64) sim.Adversary { return sim.NewRandomOblivious(seed) }
 
+// measure runs one Monte Carlo cell through the parallel harness driver,
+// exiting with a descriptive message if any trial violates the one-winner
+// contract.
+func measure(algo string, f harness.Factory, n, k, trials int, seed int64, adv harness.AdversaryFactory) harness.StepStats {
+	st, err := harness.Run(harness.Spec{
+		Algorithm: algo,
+		Factory:   f,
+		N:         n,
+		K:         k,
+		Trials:    trials,
+		BaseSeed:  seed,
+		Adversary: adv,
+	})
+	if err != nil {
+		fatalf("tasbench: %v", err)
+	}
+	return st
+}
+
 // --- E1: Figure 1 group election performance --------------------------------
 
 func runE1(c config) []harness.Table {
@@ -210,17 +236,21 @@ func runE1(c config) []harness.Table {
 	for _, k := range c.ks([]int{2, 8, 32, 128, 512, 2048}) {
 		sum := 0
 		trials := c.t(c.trials)
+		sys := sim.NewSystem(sim.Config{N: k, Seed: c.seed, Reuse: true})
+		ge := groupelect.NewFig1(sys, n)
+		elected := 0
+		body := func(h shm.Handle) {
+			if ge.Elect(h) {
+				elected++
+			}
+		}
 		for t := 0; t < trials; t++ {
-			sys := sim.NewSystem(sim.Config{N: k, Seed: c.seed + int64(t)})
-			ge := groupelect.NewFig1(sys, n)
-			elected := 0
-			sys.Run(sim.NewRandomOblivious(c.seed+int64(t)+999), func(h shm.Handle) {
-				if ge.Elect(h) {
-					elected++
-				}
-			})
+			sys.Reset(c.seed + int64(t))
+			elected = 0
+			sys.Run(sim.NewRandomOblivious(c.seed+int64(t)+999), body)
 			sum += elected
 		}
+		sys.Release()
 		mean := float64(sum) / float64(trials)
 		bound := 2*math.Log2(float64(k)) + 6
 		tbl.AddRow(k, mean, bound, mean <= bound)
@@ -238,7 +268,7 @@ func runE2(c config) []harness.Table {
 	}
 	const n = 1 << 12
 	for _, k := range c.ks([]int{2, 8, 64, 512, 4096}) {
-		st := harness.MeasureSteps(logStarFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
+		st := measure("logstar", logStarFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
 		steps.AddRow(k, st.MeanMax, st.P95Max, markov.LogStar(float64(k)), fmt.Sprintf("%d/%d", st.Winners, st.Trials))
 	}
 	space := harness.Table{
@@ -265,7 +295,7 @@ func runE3(c config) []harness.Table {
 	}
 	const n = 1 << 12
 	for _, k := range c.ks([]int{2, 8, 64, 512, 4096}) {
-		st := harness.MeasureSteps(siftingFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
+		st := measure("sifting", siftingFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
 		nonAdaptive.AddRow(k, st.MeanMax, st.P95Max, markov.LogLog(float64(n)))
 	}
 	adaptive := harness.Table{
@@ -274,7 +304,7 @@ func runE3(c config) []harness.Table {
 		Notes:   []string{"Theorem 2.4: growth must track log log k."},
 	}
 	for _, k := range c.ks([]int{2, 8, 64, 512, 4096}) {
-		st := harness.MeasureSteps(adaptiveSiftFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
+		st := measure("adaptive-sifting", adaptiveSiftFactory, n, k, c.t(c.trials), c.seed, harness.Oblivious(randomObl))
 		adaptive.AddRow(k, st.MeanMax, st.P95Max, markov.LogLog(float64(k)))
 	}
 	return []harness.Table{nonAdaptive, adaptive}
@@ -290,7 +320,7 @@ func runE4(c config) []harness.Table {
 	}
 	const n = 1 << 10
 	for _, k := range c.ks([]int{2, 8, 64, 256, 1024}) {
-		st := harness.MeasureSteps(ratraceSEFactory, n, k, c.t(c.trials),
+		st := measure("ratrace-se", ratraceSEFactory, n, k, c.t(c.trials),
 			c.seed, func(int64, func(int) bool) sim.Adversary { return sim.NewLockstep() })
 		steps.AddRow(k, st.MeanMax, st.P95Max, st.WorstMax, math.Log2(float64(k)))
 	}
@@ -321,9 +351,9 @@ func runE5(c config) []harness.Table {
 		},
 	}
 	for _, k := range c.ks([]int{8, 16, 32, 64, 128}) {
-		naive := harness.MeasureSteps(logStarFactory, k, k, 1, c.seed,
+		naive := measure("logstar", logStarFactory, k, k, 1, c.seed,
 			func(_ int64, isArr func(int) bool) sim.Adversary { return sim.NewAscendingLocation(isArr) })
-		comb := harness.MeasureSteps(combinedFactory, k, k, 1, c.seed,
+		comb := measure("combined", combinedFactory, k, k, 1, c.seed,
 			func(_ int64, isArr func(int) bool) sim.Adversary { return sim.NewAscendingLocation(isArr) })
 		attack.AddRow(k, naive.WorstMax, comb.WorstMax)
 	}
@@ -333,8 +363,8 @@ func runE5(c config) []harness.Table {
 	}
 	const n = 512
 	for _, k := range c.ks([]int{4, 32, 256}) {
-		plain := harness.MeasureSteps(logStarFactory, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
-		comb := harness.MeasureSteps(combinedFactory, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
+		plain := measure("logstar", logStarFactory, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
+		comb := measure("combined", combinedFactory, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
 		weak.AddRow(k, plain.MeanMax, comb.MeanMax, comb.MeanMax/plain.MeanMax)
 	}
 	return []harness.Table{attack, weak}
@@ -473,28 +503,32 @@ type geWithLayout struct {
 func measureGE(c config, k int, mk func(s shm.Space) geWithLayout, ascending, readersFirst bool) float64 {
 	trials := c.t(40)
 	sum := 0
+	sys := sim.NewSystem(sim.Config{N: k, Seed: c.seed, Reuse: true})
+	defer sys.Release()
+	g := mk(sys)
+	ids := map[int]bool{}
+	for _, id := range g.arrayIDs {
+		ids[id] = true
+	}
+	elected := 0
+	body := func(h shm.Handle) {
+		if g.ge.Elect(h) {
+			elected++
+		}
+	}
 	for t := 0; t < trials; t++ {
-		sys := sim.NewSystem(sim.Config{N: k, Seed: c.seed + int64(t)})
-		g := mk(sys)
+		sys.Reset(c.seed + int64(t))
 		var adv sim.Adversary
 		switch {
 		case ascending:
-			ids := map[int]bool{}
-			for _, id := range g.arrayIDs {
-				ids[id] = true
-			}
 			adv = sim.NewAscendingLocation(func(r int) bool { return ids[r] })
 		case readersFirst:
 			adv = sim.NewReadersFirst()
 		default:
 			adv = sim.NewRandomOblivious(c.seed + int64(t) + 7)
 		}
-		elected := 0
-		sys.Run(adv, func(h shm.Handle) {
-			if g.ge.Elect(h) {
-				elected++
-			}
-		})
+		elected = 0
+		sys.Run(adv, body)
 		sum += elected
 	}
 	return float64(sum) / float64(trials)
@@ -512,11 +546,18 @@ func runE10(c config) []harness.Table {
 		},
 	}
 	const n = 1 << 10
-	factories := []harness.Factory{agtvFactory, ratraceSEFactory, aaFactory, siftingFactory, adaptiveSiftFactory, logStarFactory, combinedFactory}
+	factories := []struct {
+		name string
+		f    harness.Factory
+	}{
+		{"agtv", agtvFactory}, {"ratrace-se", ratraceSEFactory}, {"aa", aaFactory},
+		{"sifting", siftingFactory}, {"adaptive-sifting", adaptiveSiftFactory},
+		{"logstar", logStarFactory}, {"combined", combinedFactory},
+	}
 	for _, k := range c.ks([]int{2, 16, 128, 1024}) {
 		row := []interface{}{k}
 		for _, f := range factories {
-			st := harness.MeasureSteps(f, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
+			st := measure(f.name, f.f, n, k, c.t(40), c.seed, harness.Oblivious(randomObl))
 			row = append(row, st.MeanMax)
 		}
 		tbl.AddRow(row...)
@@ -545,15 +586,19 @@ func runE11(c config) []harness.Table {
 	for _, a := range advs {
 		var maxes []int
 		sum := 0
+		sys := sim.NewSystem(sim.Config{N: 2, Seed: c.seed, Reuse: true})
+		le := twoproc.New(sys)
+		body := func(h shm.Handle) {
+			le.Elect(h, h.ID())
+		}
+		var res sim.Result
 		for t := 0; t < trials; t++ {
-			sys := sim.NewSystem(sim.Config{N: 2, Seed: c.seed + int64(t)})
-			le := twoproc.New(sys)
-			res := sys.Run(a.mk(c.seed+int64(t)), func(h shm.Handle) {
-				le.Elect(h, h.ID())
-			})
+			sys.Reset(c.seed + int64(t))
+			sys.RunInto(a.mk(c.seed+int64(t)), body, &res)
 			sum += res.MaxSteps
 			maxes = append(maxes, res.MaxSteps)
 		}
+		sys.Release()
 		sort.Ints(maxes)
 		tbl.AddRow(a.name, float64(sum)/float64(trials), maxes[len(maxes)*99/100])
 	}

@@ -1,0 +1,242 @@
+// Sim-throughput section of compare mode: the before/after harness for
+// the simulator engine overhaul (PR 3). It measures the same
+// representative Monte Carlo cell — the log* chain at n=1024, k=16 under
+// the random-oblivious schedule — three ways inside one binary:
+//
+//   - baseline:  the pre-PR trial driver shape — a fresh System and a
+//     full algorithm construction per trial, strictly sequential;
+//   - pooled(1): the overhauled driver on a single worker — one System
+//     per worker, Reset-recycled between trials;
+//   - parallel:  the same driver on GOMAXPROCS workers;
+//
+// and emits the numbers as JSON (default BENCH_PR3.json). The committed
+// artifact additionally records the true pre-PR engine measurement taken
+// at the previous commit via -simpreref (the in-binary baseline runs on
+// the new rendezvous/RNG core, so it understates the total engine gain).
+//
+// Two gates make the CI bench job a regression guard, not a report: the
+// pooled driver must beat the per-trial-construction baseline by at least
+// simSpeedupFloor, and the parallel sweep's StepStats must be
+// byte-identical to the sequential sweep's.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// simSpeedupFloor gates pooled(1) against the in-binary baseline. The
+// committed artifact shows ~12×; 2× leaves headroom for noisy CI runners
+// while still catching any real engine regression.
+const simSpeedupFloor = 2.0
+
+// Representative cell: matches BenchmarkSimTrial and the E2 sweep shape.
+const (
+	simCellN = 1024
+	simCellK = 16
+)
+
+type simSide struct {
+	NsPerTrial     float64 `json:"ns_per_trial"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	BytesPerTrial  float64 `json:"bytes_per_trial"`
+}
+
+type simReport struct {
+	Schema     string `json:"schema"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Cell       string `json:"cell"`
+	Trials     int    `json:"trials"`
+	Note       string `json:"note"`
+
+	Baseline     simSide `json:"baseline"`
+	PooledSingle simSide `json:"pooled_single_worker"`
+	Parallel     simSide `json:"parallel"`
+	Workers      int     `json:"parallel_workers"`
+
+	SpeedupPooled   float64 `json:"speedup_pooled_vs_baseline"`
+	SpeedupParallel float64 `json:"speedup_parallel_vs_baseline"`
+
+	ParallelMatchesSequential bool `json:"parallel_matches_sequential"`
+
+	// PrePRReferenceNsPerTrial is the externally measured ns/trial of the
+	// pre-PR engine (two-channel handshake, math/rand coins, per-trial
+	// construction) on the same cell and machine, supplied via -simpreref;
+	// zero when not supplied.
+	PrePRReferenceNsPerTrial float64 `json:"pre_pr_reference_ns_per_trial,omitempty"`
+	SpeedupVsPrePR           float64 `json:"speedup_vs_pre_pr,omitempty"`
+}
+
+func simCellSpec(trials, workers int, seed int64) harness.Spec {
+	return harness.Spec{
+		Algorithm: "logstar",
+		Factory: func(s shm.Space, n int) (harness.Elector, func(int) bool) {
+			le := core.NewLogStar(s, n)
+			return le, le.IsArrayRegister
+		},
+		N:        simCellN,
+		K:        simCellK,
+		Trials:   trials,
+		BaseSeed: seed,
+		Adversary: harness.Oblivious(func(s int64) sim.Adversary {
+			return sim.NewRandomOblivious(s)
+		}),
+		Workers: workers,
+	}
+}
+
+// measureSim times fn over `trials` trials, attributing allocation deltas
+// to the trial loop. The GC runs beforehand so the deltas measure the
+// loop, not leftover garbage.
+func measureSim(trials int, fn func()) simSide {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return simSide{
+		NsPerTrial:     float64(elapsed.Nanoseconds()) / float64(trials),
+		TrialsPerSec:   float64(trials) / elapsed.Seconds(),
+		AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+		BytesPerTrial:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(trials),
+	}
+}
+
+// simBaseline is the pre-PR driver shape: fresh System, fresh algorithm
+// construction, sequential trials. Seeds follow the documented
+// TrialSeed mapping so all three legs run the same executions.
+func simBaseline(trials int, seed int64) error {
+	for t := 0; t < trials; t++ {
+		trialSeed := harness.TrialSeed(seed, t)
+		sys := sim.NewSystem(sim.Config{N: simCellK, Seed: trialSeed})
+		le := core.NewLogStar(sys, simCellN)
+		winners := 0
+		sys.Run(sim.NewRandomOblivious(trialSeed^harness.AdversarySeedMix), func(h shm.Handle) {
+			if le.Elect(h) {
+				winners++
+			}
+		})
+		if winners != 1 {
+			return fmt.Errorf("baseline trial %d elected %d winners", t, winners)
+		}
+	}
+	return nil
+}
+
+func runSimCompare(cfg compareConfig) error {
+	trials := cfg.simTrials
+	workers := runtime.GOMAXPROCS(0)
+	report := simReport{
+		Schema:     "randtas-bench-sim/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: workers,
+		Cell:       fmt.Sprintf("logstar n=%d k=%d random-oblivious", simCellN, simCellK),
+		Trials:     trials,
+		Workers:    workers,
+		Note: "baseline = fresh System + algorithm construction per trial, sequential (pre-PR driver shape); " +
+			"pooled = harness.Run, one Reset-recycled System per worker; " +
+			"pre_pr_reference = engine with two-channel handshake and math/rand coins, measured at the previous commit",
+		PrePRReferenceNsPerTrial: cfg.simPreRef,
+	}
+
+	var err error
+	report.Baseline = measureSim(trials, func() {
+		if err == nil {
+			err = simBaseline(trials, cfg.seed)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	var stSeq, stPooled, stPar harness.StepStats
+	// The sequential reference sweep for the byte-identical check runs
+	// untimed first; pooled(1) is then a timed run of the same spec.
+	if stSeq, err = harness.Run(simCellSpec(trials, 1, cfg.seed)); err != nil {
+		return err
+	}
+	report.PooledSingle = measureSim(trials, func() {
+		if err == nil {
+			stPooled, err = harness.Run(simCellSpec(trials, 1, cfg.seed))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	report.Parallel = measureSim(trials, func() {
+		if err == nil {
+			stPar, err = harness.Run(simCellSpec(trials, 0, cfg.seed))
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	report.ParallelMatchesSequential = reflect.DeepEqual(stSeq, stPooled) && reflect.DeepEqual(stSeq, stPar)
+	report.SpeedupPooled = report.Baseline.NsPerTrial / report.PooledSingle.NsPerTrial
+	report.SpeedupParallel = report.Baseline.NsPerTrial / report.Parallel.NsPerTrial
+	if report.PrePRReferenceNsPerTrial > 0 {
+		report.SpeedupVsPrePR = report.PrePRReferenceNsPerTrial / report.PooledSingle.NsPerTrial
+	}
+
+	tbl := harness.Table{
+		Title:   fmt.Sprintf("Simulator engine: %s, %d trials", report.Cell, trials),
+		Headers: []string{"engine", "ns/trial", "trials/sec", "allocs/trial", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("parallel = %d workers; parallel output byte-identical to sequential: %v",
+				workers, report.ParallelMatchesSequential),
+		},
+	}
+	addSide := func(name string, s simSide, speedup float64) {
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f", s.NsPerTrial),
+			fmt.Sprintf("%.0f", s.TrialsPerSec),
+			fmt.Sprintf("%.1f", s.AllocsPerTrial),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	addSide("baseline (fresh/trial)", report.Baseline, 1.0)
+	addSide("pooled (1 worker)", report.PooledSingle, report.SpeedupPooled)
+	addSide(fmt.Sprintf("parallel (%d workers)", workers), report.Parallel, report.SpeedupParallel)
+	fmt.Println(tbl.String())
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(cfg.simOut, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.simOut)
+
+	// Regression gates, checked after the report is written so a failing
+	// run still leaves the evidence behind.
+	if !report.ParallelMatchesSequential {
+		return fmt.Errorf("parallel sweep output diverges from sequential:\nseq:    %+v\npooled: %+v\npar:    %+v",
+			stSeq, stPooled, stPar)
+	}
+	if report.SpeedupPooled < simSpeedupFloor {
+		return fmt.Errorf("pooled trial driver only %.2fx over per-trial construction (floor %.2fx)",
+			report.SpeedupPooled, simSpeedupFloor)
+	}
+	return nil
+}

@@ -2,6 +2,11 @@
 // Ω(log n) space lower bound of Theorem 5.1) against a chosen leader
 // election and reports the covering structure it constructs.
 //
+// The space bound holds for every coin fixing (Section 5.1), so -seed
+// picks one fixing; distinct seeds explore distinct deterministic
+// restrictions of the algorithm. Seeds map to coin streams via the
+// engine v2 (splitmix64) seed mapping.
+//
 // Usage:
 //
 //	tascover [-n 64] [-seed 1] [-algo logstar|sifting|ratrace|agtv]
@@ -41,7 +46,8 @@ func main() {
 	fmt.Printf("  surviving groups:        %d   (Lemma 5.4 bound f(n-4) = %d)\n", res.Groups, f[*n-4])
 	fmt.Printf("  registers covered:       %d   (Theorem 5.1 bound log2(n)-1 = %d)\n", res.CoveredRegisters, bound)
 	fmt.Printf("  max cover per register:  %d   (construction bound 4)\n", res.MaxCoverPerRegister)
-	fmt.Printf("  algorithm registers:     %d\n", res.TotalRegisters)
+	fmt.Printf("  algorithm registers:     %d   (%d touched by the construction)\n",
+		res.TotalRegisters, res.TouchedRegisters)
 	if len(res.Violations) > 0 {
 		fmt.Printf("\nINVARIANT VIOLATIONS (%d):\n", len(res.Violations))
 		for _, v := range res.Violations {

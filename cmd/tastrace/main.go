@@ -2,6 +2,11 @@
 // leader election under a chosen adversary — a teaching and debugging aid
 // for the simulator and the algorithms.
 //
+// Traces are deterministic in (seed, adversary, algorithm) under the
+// engine v2 seed→schedule mapping (splitmix64 coin streams); traces
+// recorded before the engine overhaul replay under the same flags but
+// with different coin outcomes.
+//
 // Usage:
 //
 //	tastrace [-k 4] [-n 8] [-seed 1] [-algo logstar] [-adv roundrobin] [-max 200]
@@ -94,7 +99,7 @@ func main() {
 		if !res.Finished[pid] {
 			status = "cut off"
 		}
-		fmt.Printf("p%-3d %-8s %3d steps\n", pid, status, res.Steps[pid])
+		fmt.Printf("p%-3d %-8s %3d steps  %3d coins\n", pid, status, res.Steps[pid], sys.CoinsOf(pid))
 	}
 	fmt.Printf("\ntotal steps %d, registers %d, touched %d\n",
 		res.TotalSteps, sys.RegisterCount(), sys.TouchedRegisters())

@@ -2,12 +2,24 @@
 // contention levels, drives algorithms under chosen adversaries on the
 // simulator, aggregates step statistics, and formats the tables that
 // cmd/tasbench prints and EXPERIMENTS.md records.
+//
+// The trial driver (Run) shards a cell's Monte Carlo trials across worker
+// goroutines, each owning one pooled simulator System that is
+// Reset-recycled between trials: the algorithm's registers and objects are
+// constructed once per worker, not once per trial. Trial t always runs
+// with seed TrialSeed(base, t) regardless of which worker executes it, and
+// aggregation accumulates integers keyed by trial index, so the resulting
+// StepStats is byte-identical whether the sweep runs on one worker or
+// many.
 package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -18,18 +30,52 @@ type Elector interface {
 	Elect(h shm.Handle) bool
 }
 
-// Factory builds a fresh elector (and its registers) for each trial.
-// The returned attack predicate, if non-nil, is the static layout
-// knowledge handed to sim.NewAscendingLocation.
+// Factory builds an elector (and its registers) on the given space. The
+// driver calls it once per worker System and reuses the elector across
+// that worker's trials — sim.System.Reset restores the registers, and
+// every elector in this repository keeps all cross-election state in
+// registers, so a reset System makes the elector as good as fresh. The
+// returned attack predicate, if non-nil, is the static layout knowledge
+// handed to sim.NewAscendingLocation.
 type Factory func(s shm.Space, n int) (le Elector, isArrayReg func(int) bool)
 
 // AdversaryFactory builds a fresh adversary per trial. The attack
-// adversaries are stateful, so they cannot be shared across runs.
+// adversaries are stateful, so they cannot be shared across trials.
 type AdversaryFactory func(seed int64, isArrayReg func(int) bool) sim.Adversary
 
 // Oblivious wraps a seed-only adversary constructor.
 func Oblivious(mk func(seed int64) sim.Adversary) AdversaryFactory {
 	return func(seed int64, _ func(int) bool) sim.Adversary { return mk(seed) }
+}
+
+// TrialSeed is the documented base-seed→trial-seed mapping: trial t of a
+// sweep runs on a System seeded with TrialSeed(base, t), and its adversary
+// is built with TrialSeed(base, t) ^ AdversarySeedMix. The mapping is
+// independent of worker count and scheduling.
+func TrialSeed(base int64, trial int) int64 { return base + int64(trial)*1_000_003 }
+
+// AdversarySeedMix decorrelates the adversary's seed from the processes'
+// coin seed within a trial.
+const AdversarySeedMix int64 = 0x5DEECE66D
+
+// Spec describes one Monte Carlo cell: an algorithm at capacity N run at
+// contention K under an adversary, for Trials executions.
+type Spec struct {
+	// Algorithm names the cell in error messages and reports.
+	Algorithm string
+	// Factory builds the elector; see Factory for the reuse contract.
+	Factory Factory
+	// N is the object capacity, K the number of participating processes.
+	N, K int
+	// Trials is the number of Monte Carlo executions.
+	Trials int
+	// BaseSeed determines every trial seed via TrialSeed.
+	BaseSeed int64
+	// Adversary builds the per-trial schedule.
+	Adversary AdversaryFactory
+	// Workers is the number of parallel trial workers; 0 means
+	// GOMAXPROCS. The output is identical for every worker count.
+	Workers int
 }
 
 // StepStats aggregates per-trial maximum step counts for one (k, algo,
@@ -42,37 +88,113 @@ type StepStats struct {
 	WorstMax  int     // worst observed
 	MeanTotal float64 // mean total steps across all processes
 	Registers int     // allocated registers (identical across trials)
-	Winners   int     // total winners observed (must equal Trials)
+	Winners   int     // total winners observed (equals Trials on success)
 }
 
-// MeasureSteps runs `trials` executions at contention k (the object is
-// built for capacity n) and aggregates step statistics.
-func MeasureSteps(factory Factory, n, k, trials int, baseSeed int64, mkAdv AdversaryFactory) StepStats {
-	maxes := make([]int, 0, trials)
-	st := StepStats{K: k, Trials: trials}
-	for t := 0; t < trials; t++ {
-		seed := baseSeed + int64(t)*1_000_003
-		sys := sim.NewSystem(sim.Config{N: k, Seed: seed})
-		le, isArray := factory(sys, n)
-		adv := mkAdv(seed^0x5DEECE66D, isArray)
+// Run executes spec's Monte Carlo cell and aggregates step statistics.
+// Trials are sharded across spec.Workers goroutines, each owning one
+// pooled System; the aggregate is byte-identical for every worker count.
+// A trial that elects anything other than exactly one winner aborts the
+// sweep with a descriptive error naming the algorithm, contention, and
+// trial seed — a wrong winner count is a safety violation, not a data
+// point.
+func Run(spec Spec) (StepStats, error) {
+	if spec.Trials <= 0 {
+		return StepStats{}, fmt.Errorf("harness: %s: non-positive trial count %d", spec.Algorithm, spec.Trials)
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Trials {
+		workers = spec.Trials
+	}
+
+	maxes := make([]int, spec.Trials)
+	totals := make([]int, spec.Trials)
+	registers := 0 // written by worker 0; identical on every worker
+	errs := make([]error, workers)
+	errTrials := make([]int, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+
+	worker := func(w int) {
+		sys := sim.NewSystem(sim.Config{N: spec.K, Seed: spec.BaseSeed, Reuse: true})
+		defer sys.Release()
+		le, isArray := spec.Factory(sys, spec.N)
+		if w == 0 {
+			registers = sys.RegisterCount()
+		}
 		winners := 0
-		res := sys.Run(adv, func(h shm.Handle) {
+		body := func(h shm.Handle) {
 			if le.Elect(h) {
 				winners++
 			}
-		})
-		st.Winners += winners
-		st.MeanMax += float64(res.MaxSteps)
-		st.MeanTotal += float64(res.TotalSteps)
-		st.Registers = res.Registers
-		maxes = append(maxes, res.MaxSteps)
+		}
+		var res sim.Result
+		for !failed.Load() {
+			t := int(next.Add(1)) - 1
+			if t >= spec.Trials {
+				return
+			}
+			seed := TrialSeed(spec.BaseSeed, t)
+			sys.Reset(seed)
+			adv := spec.Adversary(seed^AdversarySeedMix, isArray)
+			winners = 0
+			sys.RunInto(adv, body, &res)
+			if winners != 1 {
+				errs[w] = fmt.Errorf(
+					"harness: %s trial %d (k=%d, n=%d, seed=%d) elected %d winners, want exactly 1",
+					spec.Algorithm, t, spec.K, spec.N, seed, winners)
+				errTrials[w] = t
+				failed.Store(true)
+				return
+			}
+			maxes[t] = res.MaxSteps
+			totals[t] = res.TotalSteps
+		}
 	}
-	st.MeanMax /= float64(trials)
-	st.MeanTotal /= float64(trials)
-	sort.Ints(maxes)
-	st.P95Max = maxes[(len(maxes)*95)/100]
-	st.WorstMax = maxes[len(maxes)-1]
-	return st
+
+	if workers == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Fail fast on the earliest trial that violated the one-winner
+	// contract (earliest by trial index, for a stable message).
+	var err error
+	errTrial := -1
+	for w := range errs {
+		if errs[w] != nil && (errTrial < 0 || errTrials[w] < errTrial) {
+			err, errTrial = errs[w], errTrials[w]
+		}
+	}
+	if err != nil {
+		return StepStats{}, err
+	}
+
+	st := StepStats{K: spec.K, Trials: spec.Trials, Registers: registers, Winners: spec.Trials}
+	sumMax, sumTotal := 0, 0
+	for t := 0; t < spec.Trials; t++ {
+		sumMax += maxes[t]
+		sumTotal += totals[t]
+	}
+	st.MeanMax = float64(sumMax) / float64(spec.Trials)
+	st.MeanTotal = float64(sumTotal) / float64(spec.Trials)
+	sorted := append([]int(nil), maxes...)
+	sort.Ints(sorted)
+	st.P95Max = sorted[(len(sorted)*95)/100]
+	st.WorstMax = sorted[len(sorted)-1]
+	return st, nil
 }
 
 // Table is a simple fixed-width text table.

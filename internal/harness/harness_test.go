@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -9,14 +10,31 @@ import (
 	"repro/internal/sim"
 )
 
-func TestMeasureSteps(t *testing.T) {
-	factory := func(s shm.Space, n int) (Elector, func(int) bool) {
-		le := core.NewLogStar(s, n)
-		return le, le.IsArrayRegister
+func logStarFactory(s shm.Space, n int) (Elector, func(int) bool) {
+	le := core.NewLogStar(s, n)
+	return le, le.IsArrayRegister
+}
+
+func logStarSpec(trials, workers int) Spec {
+	return Spec{
+		Algorithm: "logstar",
+		Factory:   logStarFactory,
+		N:         32,
+		K:         8,
+		Trials:    trials,
+		BaseSeed:  1,
+		Adversary: Oblivious(func(seed int64) sim.Adversary {
+			return sim.NewRandomOblivious(seed)
+		}),
+		Workers: workers,
 	}
-	st := MeasureSteps(factory, 32, 8, 20, 1, Oblivious(func(seed int64) sim.Adversary {
-		return sim.NewRandomOblivious(seed)
-	}))
+}
+
+func TestRun(t *testing.T) {
+	st, err := Run(logStarSpec(20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Winners != st.Trials {
 		t.Errorf("winners = %d, want %d (one per trial)", st.Winners, st.Trials)
 	}
@@ -28,6 +46,98 @@ func TestMeasureSteps(t *testing.T) {
 	}
 	if st.MeanTotal < st.MeanMax {
 		t.Errorf("total below max: %+v", st)
+	}
+}
+
+// TestSequentialParallelEquivalence is the harness half of the engine
+// determinism contract: the aggregated StepStats of a sweep must be
+// byte-identical whether its trials run on one worker or many, across
+// several algorithms and worker counts.
+func TestSequentialParallelEquivalence(t *testing.T) {
+	specs := map[string]func(trials, workers int) Spec{
+		"logstar": logStarSpec,
+		"sifting": func(trials, workers int) Spec {
+			return Spec{
+				Algorithm: "sifting",
+				Factory: func(s shm.Space, n int) (Elector, func(int) bool) {
+					return core.NewSifting(s, n), nil
+				},
+				N:      64,
+				K:      16,
+				Trials: trials,
+				// Different base seed exercises the seed mapping too.
+				BaseSeed: 42,
+				Adversary: Oblivious(func(seed int64) sim.Adversary {
+					return sim.NewRandomOblivious(seed)
+				}),
+				Workers: workers,
+			}
+		},
+	}
+	for name, mk := range specs {
+		seq, err := Run(mk(60, 1))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, err := Run(mk(60, workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s: workers=%d stats diverge from sequential:\nseq: %+v\npar: %+v",
+					name, workers, seq, par)
+			}
+		}
+	}
+}
+
+// brokenElector violates the one-winner contract: everybody wins.
+type brokenElector struct{}
+
+func (brokenElector) Elect(h shm.Handle) bool { return true }
+
+func TestRunFailsFastOnWinnerViolation(t *testing.T) {
+	spec := Spec{
+		Algorithm: "everybody-wins",
+		Factory: func(s shm.Space, n int) (Elector, func(int) bool) {
+			s.NewRegister(0) // an elector must own at least one register
+			return brokenElector{}, nil
+		},
+		N:      8,
+		K:      4,
+		Trials: 10,
+		// BaseSeed chosen so the failing trial seed is easy to assert.
+		BaseSeed: 7,
+		Adversary: Oblivious(func(seed int64) sim.Adversary {
+			return sim.NewRoundRobin()
+		}),
+		Workers: 1,
+	}
+	_, err := Run(spec)
+	if err == nil {
+		t.Fatal("Run accepted a 4-winner election")
+	}
+	msg := err.Error()
+	for _, want := range []string{"everybody-wins", "trial 0", "k=4", "seed=7", "4 winners"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+
+	// The violation must also surface from the parallel path.
+	spec.Workers = 4
+	if _, err := Run(spec); err == nil {
+		t.Error("parallel Run accepted a 4-winner election")
+	}
+}
+
+func TestTrialSeedMapping(t *testing.T) {
+	if TrialSeed(5, 0) != 5 {
+		t.Errorf("TrialSeed(5, 0) = %d, want 5", TrialSeed(5, 0))
+	}
+	if TrialSeed(5, 3) != 5+3*1_000_003 {
+		t.Errorf("TrialSeed(5, 3) = %d", TrialSeed(5, 3))
 	}
 }
 

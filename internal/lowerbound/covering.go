@@ -27,6 +27,9 @@ type CoveringResult struct {
 	MaxCoverPerRegister int
 	// TotalRegisters is the algorithm's allocated register count.
 	TotalRegisters int
+	// TouchedRegisters is how many registers the construction's partial
+	// executions actually read or wrote.
+	TouchedRegisters int
 	// Violations collects any departures from the construction's
 	// invariants (none are expected for a correct leader election).
 	Violations []string
@@ -150,6 +153,7 @@ func RunCovering(n int, seed int64, setup func(s shm.Space) func(h shm.Handle)) 
 	}
 
 	// Tally the final covering.
+	res.TouchedRegisters = sys.TouchedRegisters()
 	final := coverCounts(sys, reps)
 	res.Groups = len(reps)
 	res.CoveredRegisters = len(final)

@@ -30,14 +30,24 @@ type YaoPoint struct {
 // asserts this maximum is at least 1/4^t for every randomized 2-process
 // TAS; the experiment checks the bound is respected (and shows how loose
 // it is for this particular algorithm).
+//
+// All C(2t,t)·trials replays share one Reset-recycled simulator System, so
+// a replay costs its handful of steps rather than a full TAS construction.
 func TwoProcessTimeBound(t, trials int, seed int64) YaoPoint {
 	point := YaoPoint{T: t, Bound: math.Pow(0.25, float64(t))}
+	sys := sim.NewSystem(sim.Config{N: 2, Seed: seed, Reuse: true})
+	defer sys.Release()
+	le := twoproc.New(sys)
+	obj := tas.New(sys, slotElector{le})
+	body := func(h shm.Handle) {
+		obj.TAS(h)
+	}
 	schedule := make([]int, 2*t)
 	enumerate(schedule, 0, t, t, func(s []int) {
 		point.Schedules++
 		bad := 0
 		for trial := 0; trial < trials; trial++ {
-			if someProcessNeedsT(s, t, seed+int64(trial)*7919) {
+			if someProcessNeedsT(sys, body, s, t, seed+int64(trial)*7919) {
 				bad++
 			}
 		}
@@ -48,17 +58,13 @@ func TwoProcessTimeBound(t, trials int, seed int64) YaoPoint {
 	return point
 }
 
-// someProcessNeedsT replays one schedule and reports whether some process
-// did not finish its TAS() within fewer than t steps (i.e. it either
-// consumed all its scheduled steps without finishing, or finished exactly
-// on its t-th step).
-func someProcessNeedsT(schedule []int, t int, seed int64) bool {
-	sys := sim.NewSystem(sim.Config{N: 2, Seed: seed})
-	le := twoproc.New(sys)
-	obj := tas.New(sys, slotElector{le})
-	sys.Start(func(h shm.Handle) {
-		obj.TAS(h)
-	})
+// someProcessNeedsT replays one schedule on the pooled System and reports
+// whether some process did not finish its TAS() within fewer than t steps
+// (i.e. it either consumed all its scheduled steps without finishing, or
+// finished exactly on its t-th step).
+func someProcessNeedsT(sys *sim.System, body func(shm.Handle), schedule []int, t int, seed int64) bool {
+	sys.Reset(seed)
+	sys.Start(body)
 	defer sys.Close()
 	for _, pid := range schedule {
 		if sys.Parked(pid) {

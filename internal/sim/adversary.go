@@ -1,8 +1,7 @@
 package sim
 
 import (
-	"math/rand"
-
+	"repro/internal/rng"
 	"repro/internal/shm"
 )
 
@@ -156,6 +155,16 @@ type Result struct {
 // consults adv until every process has finished or adv stops. The System is
 // closed on return.
 func (s *System) Run(adv Adversary, body func(h shm.Handle)) Result {
+	var res Result
+	s.RunInto(adv, body, &res)
+	return res
+}
+
+// RunInto is Run writing its summary into res, reusing res's slices when
+// they have capacity. Monte Carlo drivers that Reset-recycle a System pair
+// it with one long-lived Result so a trial allocates nothing for its
+// summary.
+func (s *System) RunInto(adv Adversary, body func(h shm.Handle), res *Result) {
 	s.Start(body)
 	defer s.Close()
 	view := View{sys: s, vis: adv.Visibility()}
@@ -166,12 +175,20 @@ func (s *System) Run(adv Adversary, body func(h shm.Handle)) Result {
 		}
 		s.Step(pid)
 	}
-	res := Result{
-		Steps:      make([]int, s.N()),
-		Finished:   make([]bool, s.N()),
-		TotalSteps: s.time,
-		Registers:  len(s.registers),
+	n := s.N()
+	if cap(res.Steps) < n {
+		res.Steps = make([]int, n)
+	} else {
+		res.Steps = res.Steps[:n]
 	}
+	if cap(res.Finished) < n {
+		res.Finished = make([]bool, n)
+	} else {
+		res.Finished = res.Finished[:n]
+	}
+	res.MaxSteps = 0
+	res.TotalSteps = s.time
+	res.Registers = len(s.registers)
 	for i, p := range s.procs {
 		res.Steps[i] = p.steps
 		res.Finished[i] = p.state == stateDone
@@ -179,7 +196,6 @@ func (s *System) Run(adv Adversary, body func(h shm.Handle)) Result {
 			res.MaxSteps = p.steps
 		}
 	}
-	return res
 }
 
 // RoundRobin is the canonical fair schedule: processes step in cyclic
@@ -210,14 +226,17 @@ func (r *RoundRobin) Next(v View) int {
 
 // RandomOblivious schedules a uniformly random parked process each step.
 // The randomness comes from the adversary's own generator fixed up front,
-// independent of the processes' coins, so the schedule is oblivious.
+// independent of the processes' coins, so the schedule is oblivious. The
+// generator is an embedded splitmix64 stream (engine v2 bumped the
+// seed→schedule mapping from the earlier math/rand source; see the
+// package comment).
 type RandomOblivious struct {
-	rng *rand.Rand
+	rng rng.SplitMix64
 }
 
 // NewRandomOblivious returns an oblivious uniformly-random scheduler.
 func NewRandomOblivious(seed int64) *RandomOblivious {
-	return &RandomOblivious{rng: rand.New(rand.NewSource(seed))}
+	return &RandomOblivious{rng: rng.New(uint64(seed))}
 }
 
 // Visibility implements Adversary.

@@ -4,6 +4,12 @@ package sim
 // honest about its information class: it declares the weakest Visibility
 // that suffices for the attack, and the View filtering guarantees it cannot
 // use more than it declares.
+//
+// All attacks are pure functions of the View (they draw no coins of their
+// own), so they fall on the deterministic side of the engine v2 contract:
+// for a fixed (seed, algorithm) the whole execution, including the trace
+// these adversaries induce, replays bit-identically on a fresh or a Reset
+// System.
 
 // NewAscendingLocation returns the R/W-oblivious attack on the Figure 1
 // group election (and on the Section 2.1 chain built from it).

@@ -3,12 +3,49 @@
 // registers, and an adversary that decides which process takes the next step.
 //
 // Each simulated process runs as a goroutine executing ordinary Go code
-// against the shm abstraction. Every shm.Handle.Read or Write parks the
-// goroutine on an unbuffered channel until the scheduler grants the step, so
-// exactly one goroutine runs at any time and executions are fully
-// deterministic given (seed, adversary). This gives exact step counting —
-// the Go runtime scheduler never influences results — which is what the
-// paper's step-complexity statements require.
+// against the shm abstraction. Control moves between the scheduler and the
+// processes by token passing: every shm.Handle.Read or Write publishes the
+// pending operation in the process's mailbox fields and parks the goroutine
+// until the scheduler grants the step, so exactly one process body runs at
+// any time and executions are fully deterministic given (seed, adversary).
+// This gives exact step counting — the Go runtime scheduler never influences
+// results — which is what the paper's step-complexity statements require.
+//
+// # Rendezvous protocol (engine v2)
+//
+// The scheduler and each process rendezvous through two capacity-1 token
+// channels carrying no data: a per-process resume channel (scheduler →
+// process: start, grant, or exit) and one yield channel shared by all
+// processes (process → scheduler: parked on an op, or body finished).
+// Operation arguments, grant values, and completion flags travel through
+// plain struct fields; the token send/receive pairs provide the
+// happens-before edges that make those fields safe, and because the
+// channels are buffered a sender never blocks — each simulated step costs
+// exactly one park/wake pair per side, with no message copies. At most one
+// process ever holds a token, so all process-body code (including local
+// computation) remains serialized exactly as in engine v1.
+//
+// # Reuse and pooling
+//
+// A System built with Config.Reuse can be recycled across executions:
+// Reset(seed) rewinds registers to their initial values (touched registers
+// only — O(steps), not O(space)), clears per-process counters, and reseeds
+// the per-process coin streams, while Start reuses the parked process
+// goroutines from the previous execution instead of spawning fresh ones.
+// Monte Carlo drivers keep one System per worker and pay construction once
+// per sweep cell instead of once per trial. A Reuse System must be
+// Release()d when abandoned, or its parked goroutines leak; without Reuse
+// the lifecycle is single-shot and Close alone reclaims everything.
+//
+// # Determinism contract and seed mapping
+//
+// Executions are a pure function of (Config.Seed, adversary, algorithm):
+// replaying the same triple — on a fresh System or a Reset one — yields an
+// identical step/grant trace. Engine v2 bumps the documented seed→schedule
+// mapping: per-process coins now come from inlined splitmix64 streams
+// (internal/rng) instead of math/rand generators, so executions are not
+// step-for-step comparable with pre-v2 seeds. All statistical claims are
+// unaffected; tooling that recorded v1 schedules must re-record.
 //
 // The simulator also tracks, per register, the last writer ("visibility" in
 // the paper's Section 5 terminology) and can report every process's pending
@@ -19,8 +56,8 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/rng"
 	"repro/internal/shm"
 )
 
@@ -50,17 +87,20 @@ func (k OpKind) String() string {
 type procState uint8
 
 const (
-	stateCreated procState = iota // goroutine not yet spawned
+	stateCreated procState = iota // not yet running in this execution
 	stateParked                   // published a pending op, awaiting a grant
 	stateDone                     // body returned normally
 	stateKilled                   // crashed by the scheduler (Close or adversary stop)
 )
 
-// errKilled is the sentinel panic value used to unwind a simulated process
+// killedError is the sentinel panic value used to unwind a simulated process
 // whose execution is being abandoned (a crash in the model's sense).
 type killedError struct{}
 
 func (killedError) Error() string { return "sim: process killed" }
+
+// token is the empty rendezvous message; all data rides in mailbox fields.
+type token = struct{}
 
 type pendingOp struct {
 	kind OpKind
@@ -71,7 +111,8 @@ type pendingOp struct {
 type register struct {
 	id     int
 	val    shm.Value
-	writer int // pid of last writer; -1 if never written ("no process visible")
+	init   shm.Value // construction-time value, restored by Reset
+	writer int       // pid of last writer; -1 if never written ("no process visible")
 	reads  int
 	writes int
 }
@@ -79,31 +120,34 @@ type register struct {
 // RegisterID implements shm.Register.
 func (r *register) RegisterID() int { return r.id }
 
-type procMsg struct {
-	done bool
-	op   pendingOp
-}
-
-type grantMsg struct {
-	kill bool
-	val  shm.Value
-}
-
 // Proc is the simulator's implementation of shm.Handle. Each Proc is owned
 // by exactly one simulated process goroutine.
 type Proc struct {
 	id  int
 	sys *System
-	rng *rand.Rand
+	rng rng.SplitMix64
 
-	toSched   chan procMsg
-	fromSched chan grantMsg
+	// resume is the scheduler→process token channel (capacity 1): a start
+	// token at the top of the goroutine loop, a grant token at each step,
+	// an exit token on Release.
+	resume chan token
 
-	// Fields below are owned by the scheduler goroutine.
+	// Mailbox written by the process goroutine before it signals the
+	// shared yield channel; the scheduler's receive orders the writes.
+	pending   pendingOp
+	yieldDone bool // body finished (normally or by kill unwind)
+
+	// Mailbox written by the scheduler before it sends a resume token;
+	// the process's receive orders the writes.
+	body      func(h shm.Handle)
+	grantVal  shm.Value
+	grantKill bool
+
+	// Fields below are owned by the scheduler side.
 	state   procState
-	pending pendingOp
 	steps   int
 	coins   int
+	spawned bool // goroutine is alive (running a body or parked in its loop)
 }
 
 var _ shm.Handle = (*Proc)(nil)
@@ -124,12 +168,13 @@ func (p *Proc) Write(r shm.Register, v shm.Value) {
 }
 
 func (p *Proc) step(op pendingOp) shm.Value {
-	p.toSched <- procMsg{op: op}
-	g := <-p.fromSched
-	if g.kill {
+	p.pending = op
+	p.sys.yield <- token{}
+	<-p.resume
+	if p.grantKill {
 		panic(killedError{})
 	}
-	return g.val
+	return p.grantVal
 }
 
 // Intn implements shm.Handle: a local coin flip, not a shared-memory step.
@@ -147,14 +192,40 @@ func (p *Proc) Coin(prob float64) bool {
 	if f := p.sys.cfg.CoinFunc; f != nil {
 		return f(p.id, prob)
 	}
-	switch {
-	case prob <= 0:
-		return false
-	case prob >= 1:
-		return true
-	default:
-		return p.rng.Float64() < prob
+	return p.rng.Coin(prob)
+}
+
+// loop is the body of a process goroutine: wait for a start token, run the
+// installed body, report completion, and — on a Reuse System — park for the
+// next execution. A nil body is the exit token sent by Release.
+func (p *Proc) loop() {
+	for {
+		<-p.resume
+		body := p.body
+		if body == nil {
+			return
+		}
+		p.runBody(body)
+		if !p.sys.cfg.Reuse {
+			return
+		}
 	}
+}
+
+// runBody executes the process body, converting the kill sentinel into a
+// clean exit and reporting completion to the scheduler. Panics other than
+// the kill sentinel propagate: a bug in algorithm code should crash tests.
+func (p *Proc) runBody(body func(h shm.Handle)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); !ok {
+				panic(r)
+			}
+		}
+		p.yieldDone = true
+		p.sys.yield <- token{}
+	}()
+	body(p)
 }
 
 // StepEvent describes one executed shared-memory step, for tracing.
@@ -171,8 +242,14 @@ type Config struct {
 	// N is the number of simulated processes.
 	N int
 	// Seed determines every local coin flip; two Systems with the same
-	// Seed, body, and schedule produce identical executions.
+	// Seed, body, and schedule produce identical executions. See the
+	// package comment for the engine v2 seed→schedule mapping bump.
 	Seed int64
+	// Reuse keeps process goroutines parked between executions so that
+	// Reset/Start cycles recycle their stacks instead of respawning.
+	// A Reuse System must be Release()d when abandoned; without Reuse
+	// the System is single-shot and Close reclaims everything.
+	Reuse bool
 	// RecordSchedule keeps the granted pid sequence for replay (used by
 	// the Section 5 lower-bound machinery). Off by default to keep large
 	// sweeps cheap.
@@ -192,17 +269,21 @@ type Config struct {
 }
 
 // System is one simulated shared-memory machine: a set of registers, a set
-// of processes, and the scheduling machinery. A System runs one execution;
-// create a fresh System per trial.
+// of processes, and the scheduling machinery. A System runs one execution
+// at a time; with Config.Reuse it can be Reset and rerun arbitrarily many
+// times, recycling registers, goroutine stacks, and per-process state.
 type System struct {
 	cfg       Config
 	registers []*register
+	touched   []*register // registers read or written in this execution
 	procs     []*Proc
+	yield     chan token // process → scheduler rendezvous, shared
 	schedule  []int
 	time      int
 	parked    int
 	started   bool
 	closed    bool
+	released  bool
 }
 
 var _ shm.Space = (*System)(nil)
@@ -214,20 +295,33 @@ func NewSystem(cfg Config) *System {
 	if cfg.N <= 0 {
 		panic(fmt.Sprintf("sim: invalid process count %d", cfg.N))
 	}
-	s := &System{cfg: cfg, procs: make([]*Proc, cfg.N)}
+	s := &System{
+		cfg:   cfg,
+		procs: make([]*Proc, cfg.N),
+		yield: make(chan token, 1),
+	}
 	for i := range s.procs {
 		s.procs[i] = &Proc{
-			id:        i,
-			sys:       s,
-			rng:       rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed)+uint64(i)*0x9e3779b97f4a7c15) >> 1))),
-			toSched:   make(chan procMsg),
-			fromSched: make(chan grantMsg),
+			id:     i,
+			sys:    s,
+			rng:    rng.New(procSeed(cfg.Seed, i)),
+			resume: make(chan token, 1),
 		}
 	}
 	return s
 }
 
-// splitmix64 decorrelates per-process seeds derived from one System seed.
+// procSeed decorrelates per-process coin streams derived from one System
+// seed. The finalizer must run AFTER the per-process stride is added:
+// splitmix64 streams advance their state by the same golden-ratio
+// constant per draw, so un-scrambled stride-spaced origins would make
+// process p's stream an exact p-draw shift of process 0's.
+func procSeed(seed int64, pid int) uint64 {
+	return splitmix64(uint64(seed) + uint64(pid)*0x9e3779b97f4a7c15)
+}
+
+// splitmix64 is the splitmix64 finalizer, used for seed scrambling only
+// (per-stream generation lives in internal/rng).
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -240,7 +334,7 @@ func (s *System) NewRegister(init shm.Value) shm.Register {
 	if s.started {
 		panic("sim: registers must be allocated before Start")
 	}
-	r := &register{id: len(s.registers), val: init, writer: -1}
+	r := &register{id: len(s.registers), val: init, init: init, writer: -1}
 	s.registers = append(s.registers, r)
 	return r
 }
@@ -258,54 +352,51 @@ func (s *System) N() int { return s.cfg.N }
 
 // Start launches the process goroutines running body and waits until every
 // process is parked on its first shared-memory step or has finished. No
-// steps are executed. Start may be called once per System.
+// steps are executed. Start may be called once per execution; Reset the
+// System to run another.
 //
-// Processes are spawned one at a time, each run up to its first
+// Processes are started one at a time, each run up to its first
 // shared-memory operation before the next starts: together with the
 // step-token protocol this serializes *all* process code (including local
 // computation before the first step), so process bodies may safely share
 // plain test instrumentation without synchronization.
 func (s *System) Start(body func(h shm.Handle)) {
 	if s.started {
-		panic("sim: Start called twice")
+		panic("sim: Start called twice (Reset the System between executions)")
+	}
+	if s.released {
+		panic("sim: Start on a released System")
 	}
 	s.started = true
 	for _, p := range s.procs {
-		go runBody(p, body)
+		p.body = body
+		if !p.spawned {
+			p.spawned = true
+			go p.loop()
+		}
+		p.resume <- token{}
 		s.await(p)
 	}
 }
 
-// runBody executes the process body, converting the kill sentinel into a
-// clean exit and reporting completion to the scheduler. Panics other than
-// the kill sentinel propagate: a bug in algorithm code should crash tests.
-func runBody(p *Proc, body func(h shm.Handle)) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(killedError); !ok {
-				panic(r)
-			}
-		}
-		p.toSched <- procMsg{done: true}
-	}()
-	body(p)
-}
-
 // await blocks until p publishes its next pending op or reports completion.
 func (s *System) await(p *Proc) {
-	msg := <-p.toSched
-	if msg.done {
+	<-s.yield
+	if p.yieldDone {
+		p.yieldDone = false
+		if !s.cfg.Reuse {
+			p.spawned = false // the goroutine exits after a one-shot body
+		}
 		if p.state == stateParked {
 			s.parked--
 		}
 		if p.state == stateKilled {
-			return // completion message of the kill handshake
+			return // completion report of the kill handshake
 		}
 		p.state = stateDone
 		return
 	}
 	p.state = stateParked
-	p.pending = msg.op
 	s.parked++
 }
 
@@ -317,6 +408,9 @@ func (s *System) Step(pid int) StepEvent {
 		panic(fmt.Sprintf("sim: Step(%d) but process is not parked (state %d)", pid, p.state))
 	}
 	op := p.pending
+	if op.reg.reads == 0 && op.reg.writes == 0 {
+		s.touched = append(s.touched, op.reg)
+	}
 	ev := StepEvent{Time: s.time, PID: pid, Kind: op.kind, Reg: op.reg.id}
 	switch op.kind {
 	case OpRead:
@@ -343,7 +437,8 @@ func (s *System) Step(pid int) StepEvent {
 	if s.cfg.StepHook != nil {
 		s.cfg.StepHook(ev)
 	}
-	p.fromSched <- grantMsg{val: ev.Val}
+	p.grantVal = ev.Val
+	p.resume <- token{}
 	s.await(p)
 	return ev
 }
@@ -357,13 +452,16 @@ func (s *System) Kill(pid int) {
 	}
 	p.state = stateKilled
 	s.parked--
-	p.fromSched <- grantMsg{kill: true}
+	p.grantKill = true
+	p.resume <- token{}
 	s.await(p)
+	p.grantKill = false
 }
 
-// Close crashes every still-parked process, releasing their goroutines.
-// It is safe to call multiple times and must be called (directly or via
-// Run) before abandoning a started System.
+// Close crashes every still-parked process. It is safe to call multiple
+// times and must be called (directly or via Run) before abandoning a
+// started System. On a Reuse System the process goroutines stay parked for
+// the next Reset/Start cycle; Release frees them for good.
 func (s *System) Close() {
 	if s.closed {
 		return
@@ -374,6 +472,59 @@ func (s *System) Close() {
 	}
 	for _, p := range s.procs {
 		s.Kill(p.id)
+	}
+}
+
+// Reset returns the System to its initial state so it can run another
+// execution: registers touched by the previous execution are restored to
+// their construction-time values, step and coin counters are cleared, and
+// every process's coin stream is reseeded from seed exactly as
+// NewSystem(Config{Seed: seed}) would. The registers, algorithm objects
+// built on them, and (with Config.Reuse) the process goroutines all
+// survive, so a Reset costs O(steps of the previous execution), not
+// O(space). A running System is Closed first.
+func (s *System) Reset(seed int64) {
+	if s.released {
+		panic("sim: Reset on a released System")
+	}
+	s.Close()
+	for _, r := range s.touched {
+		r.val = r.init
+		r.writer = -1
+		r.reads = 0
+		r.writes = 0
+	}
+	s.touched = s.touched[:0]
+	s.schedule = s.schedule[:0]
+	s.time = 0
+	s.parked = 0
+	s.cfg.Seed = seed
+	for _, p := range s.procs {
+		p.state = stateCreated
+		p.steps = 0
+		p.coins = 0
+		p.rng = rng.New(procSeed(seed, p.id))
+	}
+	s.started = false
+	s.closed = false
+}
+
+// Release permanently shuts the System down. On a Reuse System this
+// terminates the process goroutines parked between executions (a Reuse
+// System that is never Released leaks one goroutine per process); without
+// Reuse it is equivalent to Close. The System cannot be used afterwards.
+func (s *System) Release() {
+	if s.released {
+		return
+	}
+	s.Close()
+	s.released = true
+	for _, p := range s.procs {
+		if p.spawned {
+			p.body = nil // exit token
+			p.resume <- token{}
+			p.spawned = false
+		}
 	}
 }
 
@@ -411,16 +562,8 @@ func (s *System) MaxSteps() int {
 func (s *System) RegisterCount() int { return len(s.registers) }
 
 // TouchedRegisters returns how many registers were read or written at least
-// once.
-func (s *System) TouchedRegisters() int {
-	n := 0
-	for _, r := range s.registers {
-		if r.reads > 0 || r.writes > 0 {
-			n++
-		}
-	}
-	return n
-}
+// once in the current execution.
+func (s *System) TouchedRegisters() int { return len(s.touched) }
 
 // Value returns the current contents of register reg.
 func (s *System) Value(reg int) shm.Value { return s.registers[reg].val }

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/shm"
 )
 
@@ -44,6 +47,286 @@ func TestDeterminism(t *testing.T) {
 			t.Fatalf("final register %d differs: %d vs %d", i, v1[i], v2[i])
 		}
 	}
+}
+
+// goldenTrace is the step/grant trace of the scenario in runGoldenScenario,
+// recorded on the engine v1 (two-channel handshake, math/rand coins) at PR 2.
+// The coin streams are overridden with deterministic functions, so the trace
+// depends only on the scheduling semantics of the engine — not on the RNG —
+// and must survive engine swaps bit for bit.
+const goldenTrace = `0:p0:read:r0:0
+1:p1:read:r0:0
+2:p2:read:r0:0
+3:p3:read:r0:0
+4:p4:read:r0:0
+5:p0:write:r0:1
+6:p1:write:r0:1
+7:p2:write:r0:1
+8:p3:write:r0:1
+9:p4:write:r0:1
+10:p0:write:r3:1
+11:p1:write:r2:1
+12:p2:write:r2:1
+13:p3:write:r2:1
+14:p4:write:r2:1
+15:p0:read:r4:0
+16:p1:read:r3:1
+17:p2:read:r3:1
+18:p3:read:r3:1
+19:p4:read:r3:1
+20:p0:write:r6:0
+21:p0:read:r7:0
+22:p0:write:r7:1
+23:p0:read:r6:0
+24:p0:write:r8:1
+25:p0:read:r9:0
+`
+
+// goldenConfig builds the Config of the golden scenario: 5 processes,
+// deterministic coin overrides (counters shared across processes — legal
+// because the engine serializes all body code), and a trace hook. The
+// returned reset function rewinds the coin counters so the scenario can be
+// replayed on a Reset System.
+func goldenConfig(trace *strings.Builder) (cfg Config, rewind func()) {
+	intnCalls := 0
+	coinCalls := 0
+	cfg = Config{
+		N:    5,
+		Seed: 99,
+		IntnFunc: func(pid, n int) int {
+			intnCalls++
+			return (pid*2654435761 + intnCalls*40503) % n
+		},
+		CoinFunc: func(pid int, prob float64) bool {
+			coinCalls++
+			return (pid+coinCalls)%3 == 0
+		},
+		StepHook: func(ev StepEvent) {
+			fmt.Fprintf(trace, "%d:p%d:%s:r%d:%d\n", ev.Time, ev.PID, ev.Kind, ev.Reg, ev.Val)
+		},
+	}
+	return cfg, func() { intnCalls, coinCalls = 0, 0 }
+}
+
+// TestGoldenTrace replays the golden scenario — core.NewLogStar(·, 16) at
+// k = 5 under the adaptive lockstep adversary, coins overridden — and
+// demands the exact trace recorded on engine v1. This is the regression
+// test for the engine swap: any change to the rendezvous protocol, the
+// start serialization, or the step accounting that alters scheduling
+// semantics shows up as a trace diff.
+func TestGoldenTrace(t *testing.T) {
+	var trace strings.Builder
+	cfg, _ := goldenConfig(&trace)
+	sys := NewSystem(cfg)
+	le := core.NewLogStar(sys, 16)
+	won := 0
+	res := sys.Run(NewLockstep(), func(h shm.Handle) {
+		if le.Elect(h) {
+			won++
+		}
+	})
+	if won != 1 {
+		t.Errorf("golden scenario elected %d winners, want 1", won)
+	}
+	if res.TotalSteps != 26 {
+		t.Errorf("golden scenario took %d steps, want 26", res.TotalSteps)
+	}
+	if got := trace.String(); got != goldenTrace {
+		t.Errorf("trace diverges from the engine v1 recording:\n--- got ---\n%s--- want ---\n%s", got, goldenTrace)
+	}
+}
+
+// TestGoldenTraceAfterReset replays the golden scenario twice on one Reuse
+// System with a Reset in between: the recycled registers, goroutines, and
+// counters must reproduce the identical trace, including when the first
+// execution is cut off mid-flight (dirty registers, killed processes).
+func TestGoldenTraceAfterReset(t *testing.T) {
+	var trace strings.Builder
+	cfg, rewind := goldenConfig(&trace)
+	cfg.Reuse = true
+	sys := NewSystem(cfg)
+	defer sys.Release()
+	le := core.NewLogStar(sys, 16)
+	body := func(h shm.Handle) { le.Elect(h) }
+
+	// A throwaway execution stopped after 7 steps leaves dirty registers
+	// and killed goroutines behind for Reset to clean up.
+	steps := 0
+	sys.Run(&Func{Vis: VisibilityAdaptive, Pick: func(v View) int {
+		if steps >= 7 {
+			return -1
+		}
+		steps++
+		return NewLockstep().Next(v)
+	}}, body)
+
+	for round := 0; round < 2; round++ {
+		sys.Reset(99)
+		rewind()
+		trace.Reset()
+		res := sys.Run(NewLockstep(), body)
+		if res.TotalSteps != 26 {
+			t.Errorf("round %d: %d steps, want 26", round, res.TotalSteps)
+		}
+		if got := trace.String(); got != goldenTrace {
+			t.Errorf("round %d: trace diverges after Reset:\n--- got ---\n%s--- want ---\n%s", round, got, goldenTrace)
+		}
+	}
+}
+
+// TestResetReplaysIdentically checks the Reset half of the determinism
+// contract with the real coin streams: for the same (seed, adversary,
+// algorithm), a Reset-recycled System must reproduce the schedule, final
+// register contents, and step counts of a fresh System — for every seed in
+// a small sweep, interleaved with executions on other seeds that dirty the
+// registers in between.
+func TestResetReplaysIdentically(t *testing.T) {
+	type outcome struct {
+		schedule []int
+		vals     []shm.Value
+		steps    []int
+	}
+	run := func(sys *System, regs []shm.Register) outcome {
+		res := sys.Run(NewRandomOblivious(123), func(h shm.Handle) {
+			for i := 0; i < 6; i++ {
+				slot := h.Intn(len(regs))
+				v := h.Read(regs[slot])
+				if h.Coin(0.5) {
+					h.Write(regs[slot], v+shm.Value(h.ID()+1))
+				} else {
+					h.Write(regs[slot], v-1)
+				}
+			}
+		})
+		out := outcome{schedule: sys.Schedule(), steps: res.Steps}
+		for _, r := range regs {
+			out.vals = append(out.vals, sys.Value(r.RegisterID()))
+		}
+		return out
+	}
+
+	fresh := func(seed int64) outcome {
+		sys := NewSystem(Config{N: 6, Seed: seed, RecordSchedule: true})
+		regs := shm.NewRegisterArray(sys, 4, 7)
+		return run(sys, regs)
+	}
+
+	pooled := NewSystem(Config{N: 6, Seed: 0, Reuse: true, RecordSchedule: true})
+	defer pooled.Release()
+	pregs := shm.NewRegisterArray(pooled, 4, 7)
+
+	for _, seed := range []int64{1, 2, 3, 1, 99, 1} { // repeats must replay too
+		want := fresh(seed)
+		pooled.Reset(seed)
+		got := run(pooled, pregs)
+		if len(want.schedule) == 0 {
+			t.Fatalf("seed %d: no steps recorded", seed)
+		}
+		for i := range want.schedule {
+			if got.schedule[i] != want.schedule[i] {
+				t.Fatalf("seed %d: schedules diverge at step %d: fresh %d, reset %d",
+					seed, i, want.schedule[i], got.schedule[i])
+			}
+		}
+		for i := range want.vals {
+			if got.vals[i] != want.vals[i] {
+				t.Errorf("seed %d: register %d: fresh %d, reset %d", seed, i, want.vals[i], got.vals[i])
+			}
+		}
+		for pid := range want.steps {
+			if got.steps[pid] != want.steps[pid] {
+				t.Errorf("seed %d: process %d steps: fresh %d, reset %d",
+					seed, pid, want.steps[pid], got.steps[pid])
+			}
+		}
+	}
+}
+
+// TestResetRestoresState checks the bookkeeping Reset promises: initial
+// register values (including non-zero ones), visibility, counters, and
+// liveness flags.
+func TestResetRestoresState(t *testing.T) {
+	sys := NewSystem(Config{N: 2, Seed: 1, Reuse: true, RecordSchedule: true})
+	defer sys.Release()
+	r := sys.NewRegister(5)
+	q := sys.NewRegister(-3)
+	sys.Run(NewRoundRobin(), func(h shm.Handle) {
+		h.Write(r, shm.Value(h.ID())+10)
+		_ = h.Read(q)
+		h.Intn(4)
+	})
+	sys.Reset(1)
+	if got := sys.Value(r.RegisterID()); got != 5 {
+		t.Errorf("register r = %d after Reset, want 5", got)
+	}
+	if got := sys.Value(q.RegisterID()); got != -3 {
+		t.Errorf("register q = %d after Reset, want -3", got)
+	}
+	if got := sys.LastWriter(r.RegisterID()); got != -1 {
+		t.Errorf("last writer = %d after Reset, want -1", got)
+	}
+	if sys.TouchedRegisters() != 0 {
+		t.Errorf("touched = %d after Reset, want 0", sys.TouchedRegisters())
+	}
+	if sys.Time() != 0 || sys.MaxSteps() != 0 || sys.CoinsOf(0) != 0 {
+		t.Errorf("counters not cleared: time=%d max=%d coins=%d", sys.Time(), sys.MaxSteps(), sys.CoinsOf(0))
+	}
+	if len(sys.Schedule()) != 0 {
+		t.Errorf("schedule not cleared: %v", sys.Schedule())
+	}
+	if sys.Finished(0) || sys.Parked(0) {
+		t.Error("process liveness not cleared by Reset")
+	}
+	if sys.RegisterCount() != 2 {
+		t.Errorf("RegisterCount = %d after Reset, want 2 (registers survive)", sys.RegisterCount())
+	}
+}
+
+// TestReuseAfterKill checks that executions ended by kills — including a
+// full Close of parked processes — recycle cleanly into the next trial.
+func TestReuseAfterKill(t *testing.T) {
+	sys := NewSystem(Config{N: 3, Seed: 1, Reuse: true})
+	defer sys.Release()
+	r := sys.NewRegister(0)
+	body := func(h shm.Handle) {
+		for i := 0; i < 50; i++ {
+			h.Write(r, shm.Value(i))
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		sys.Reset(int64(trial))
+		sys.Start(body)
+		sys.Step(0)
+		sys.Kill(0) // explicit kill mid-run
+		sys.Close() // kills the remaining parked processes
+		if sys.StepsOf(0) != 1 {
+			t.Fatalf("trial %d: killed process has %d steps, want 1", trial, sys.StepsOf(0))
+		}
+	}
+	// A final complete run must still work after all that unwinding.
+	sys.Reset(7)
+	res := sys.Run(NewRoundRobin(), body)
+	for pid, ok := range res.Finished {
+		if !ok {
+			t.Errorf("process %d did not finish after kill-heavy reuse", pid)
+		}
+	}
+}
+
+// TestReleaseLifecycle checks Release terminates the pooled goroutines and
+// fences off further use.
+func TestReleaseLifecycle(t *testing.T) {
+	sys := NewSystem(Config{N: 2, Seed: 1, Reuse: true})
+	r := sys.NewRegister(0)
+	sys.Run(NewRoundRobin(), func(h shm.Handle) { h.Write(r, 1) })
+	sys.Release()
+	sys.Release() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Start after Release did not panic")
+		}
+	}()
+	sys.Start(func(h shm.Handle) {})
 }
 
 // TestStepCounting checks that exactly the shared-memory operations are
