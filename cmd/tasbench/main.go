@@ -10,12 +10,19 @@
 //	tasbench -mode=compare [-goroutines G] [-duration D] [-algos a,b,c]
 //	         [-shards S] [-prealloc P] [-work W]
 //	         [-out BENCH_PR2.json] [-preref algo=ns,...]
+//	tasbench -mode=simcompare [-simtrials N] [-simout BENCH_PR3.json] [-simpreref NS]
+//	tasbench -mode=net [-clients C] [-pipeline D] [-locks L] [-duration D]
+//	         [-addr host:port] [-netout BENCH_PR4.json] [-netfloor OPS]
 //
 // Each experiment prints a fixed-width table whose *shape* (who wins, by
 // what growth rate, where crossovers fall) reproduces the corresponding
 // theorem of Giakkoupis & Woelfel (PODC 2012). Throughput mode (see
 // throughput.go) reports ops/sec, wait/hold percentiles, and steps/op of
-// sustained Lock/Unlock traffic on real goroutines.
+// sustained Lock/Unlock traffic on real goroutines; compare and
+// simcompare are the regression-gated before/after harnesses of the
+// PR 2 mutex fast path and the PR 3 simulator engine; net mode (see
+// net.go) load-tests the tasd lock daemon over loopback TCP and records
+// BENCH_PR4.json.
 package main
 
 import (
@@ -43,7 +50,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables), 'throughput' (real-goroutine Mutex load test) or 'compare' (fast-path before/after JSON)")
+		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables), 'throughput' (real-goroutine Mutex load test), 'compare' (mutex fast-path before/after JSON), 'simcompare' (simulator engine before/after JSON) or 'net' (tasd loopback load test)")
 		experiment = flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 		trials     = flag.Int("trials", 100, "Monte-Carlo trials per table cell")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -59,13 +66,47 @@ func main() {
 		out    = flag.String("out", "BENCH_PR2.json", "compare: mutex output JSON path")
 		preref = flag.String("preref", "", "compare: externally measured pre-PR ns/op, e.g. combined=35796,agtv=102")
 
-		simTrials = flag.Int("simtrials", 2000, "compare: trials for the sim-throughput section")
-		simOut    = flag.String("simout", "BENCH_PR3.json", "compare: sim-throughput output JSON path")
-		simPreRef = flag.Float64("simpreref", 0, "compare: externally measured pre-PR engine ns/trial on the sim cell")
+		simTrials = flag.Int("simtrials", 2000, "simcompare: trials for the sim-throughput section")
+		simOut    = flag.String("simout", "BENCH_PR3.json", "simcompare: sim-throughput output JSON path")
+		simPreRef = flag.Float64("simpreref", 0, "simcompare: externally measured pre-PR engine ns/trial on the sim cell")
+
+		clients  = flag.Int("clients", 8, "net: concurrent client connections")
+		pipeline = flag.Int("pipeline", 16, "net: ACQUIRE/RELEASE pairs per pipelined batch")
+		nlocks   = flag.Int("locks", 4, "net: distinct named locks")
+		netAddr  = flag.String("addr", "", "net: target a running tasd (empty = in-process loopback server)")
+		netOut   = flag.String("netout", "BENCH_PR4.json", "net: output JSON path")
+		netFloor = flag.Float64("netfloor", 0, "net: fail below this many ops/sec (0 = no gate)")
 	)
 	flag.Parse()
 
 	switch *mode {
+	case "net":
+		err := runNet(netConfig{
+			clients:  *clients,
+			pipeline: *pipeline,
+			locks:    *nlocks,
+			duration: *duration,
+			addr:     *netAddr,
+			algos:    *algos,
+			seed:     *seed,
+			out:      *netOut,
+			floor:    *netFloor,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
+	case "simcompare":
+		err := runSimCompare(compareConfig{
+			seed:      *seed,
+			simTrials: *simTrials,
+			simOut:    *simOut,
+			simPreRef: *simPreRef,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
 	case "compare":
 		err := runCompare(compareConfig{
 			goroutines: *goroutines,
@@ -77,9 +118,6 @@ func main() {
 			seed:       *seed,
 			out:        *out,
 			preref:     *preref,
-			simTrials:  *simTrials,
-			simOut:     *simOut,
-			simPreRef:  *simPreRef,
 		})
 		if err != nil {
 			fatalf("tasbench: %v", err)
@@ -102,7 +140,7 @@ func main() {
 	case "experiments":
 		// fall through to the simulator tables below
 	default:
-		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput' or 'compare')", *mode)
+		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare' or 'net')", *mode)
 	}
 
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}

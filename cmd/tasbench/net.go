@@ -1,0 +1,283 @@
+// Net mode: a loopback load generator for tasd, the TCP lock service.
+//
+// By default it boots an in-process server on an ephemeral loopback
+// port (use -addr to target a standalone tasd) and drives it from
+// -clients concurrent connections, each issuing pipelined batches of
+// -pipeline ACQUIRE/RELEASE pairs spread across -locks named locks.
+// Reported: total acquire/release ops/sec, batch round-trip ("wait")
+// p50/p99, and the server's own counters. Mutual exclusion is verified
+// server-side — every granted acquisition checks a per-lock owner word
+// — and the run fails if the STATS violations counter is nonzero, if
+// any operation errs, or (when we own the server) if the per-lock
+// round counts don't account for every pair issued.
+//
+// The JSON report (default BENCH_PR4.json) extends the repository's
+// benchmark trajectory: PR 2 measured the in-process lock fast path,
+// PR 3 the simulator engine, PR 4 the first network-facing layer.
+//
+// Usage:
+//
+//	tasbench -mode=net [-clients C] [-pipeline D] [-locks L]
+//	         [-duration D] [-addr host:port] [-netout BENCH_PR4.json]
+//	         [-netfloor OPS] [-algos combined,...] [-seed S]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/tasclient"
+)
+
+type netConfig struct {
+	clients  int
+	pipeline int
+	locks    int
+	duration time.Duration
+	addr     string // "" = in-process loopback server
+	algos    string // first entry picks the server algorithm
+	seed     int64
+	out      string
+	floor    float64 // minimum ops/sec gate (0 = off)
+}
+
+type netReport struct {
+	Schema     string `json:"schema"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+
+	Algorithm string `json:"algorithm"`
+	Clients   int    `json:"clients"`
+	Pipeline  int    `json:"pipeline_depth"`
+	Locks     int    `json:"locks"`
+	Duration  string `json:"duration"`
+
+	Ops       int     `json:"ops"`
+	Pairs     int     `json:"acquire_release_pairs"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	WaitP50Us float64 `json:"wait_p50_us"`
+	WaitP99Us float64 `json:"wait_p99_us"`
+
+	ExclusionVerified bool   `json:"exclusion_verified"`
+	Violations        uint64 `json:"violations"`
+	ServerRounds      uint64 `json:"server_rounds"`
+	ServerContended   uint64 `json:"server_contended"`
+	ArenaSlots        uint64 `json:"arena_slots"`
+	ArenaPuts         uint64 `json:"arena_puts"`
+
+	FloorOpsPerSec float64 `json:"floor_ops_per_sec,omitempty"`
+}
+
+type netWorker struct {
+	pairs int
+	rtts  []time.Duration
+	err   error
+}
+
+func runNet(cfg netConfig) error {
+	if cfg.clients < 1 || cfg.pipeline < 1 || cfg.locks < 1 {
+		return fmt.Errorf("net: -clients (%d), -pipeline (%d) and -locks (%d) must all be ≥ 1",
+			cfg.clients, cfg.pipeline, cfg.locks)
+	}
+	algos, err := throughputAlgos(cfg.algos)
+	if err != nil {
+		return err
+	}
+	algo := algos[0]
+
+	addr := cfg.addr
+	var srv *server.Server
+	if addr == "" {
+		srv, err = server.New(server.Config{
+			Addr: "127.0.0.1:0",
+			// A slot per load connection plus slack for the stats probe.
+			MaxClients: cfg.clients + 2,
+			Algorithm:  algo,
+			Seed:       cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.Listen(); err != nil {
+			return err
+		}
+		go srv.Serve()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		addr = srv.Addr().String()
+	}
+
+	fmt.Printf("### net — tasd loopback load (%s, clients=%d, pipeline=%d, locks=%d, D=%v)\n\n",
+		addr, cfg.clients, cfg.pipeline, cfg.locks, cfg.duration)
+
+	workers := make([]netWorker, cfg.clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	deadline := time.Now().Add(cfg.duration)
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &workers[w]
+			c, err := tasclient.Dial(addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer c.Close()
+			// Pre-build the batch shape once; names cycle through the
+			// lock set, offset per client so contention spreads.
+			batch := make([]tasclient.Op, 0, 2*cfg.pipeline)
+			for i := 0; i < cfg.pipeline; i++ {
+				name := fmt.Sprintf("lock-%d", (w+i)%cfg.locks)
+				batch = append(batch,
+					tasclient.Op{Code: tasclient.OpAcquire, Name: name},
+					tasclient.Op{Code: tasclient.OpRelease, Name: name},
+				)
+			}
+			<-start
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				out, err := c.Do(batch)
+				if err != nil {
+					res.err = err
+					return
+				}
+				for i, r := range out {
+					if !r.OK {
+						res.err = fmt.Errorf("batch op %d (%s): %s", i, opLabel(batch[i]), r.Err)
+						return
+					}
+				}
+				res.pairs += cfg.pipeline
+				if len(res.rtts) < sampleCap {
+					res.rtts = append(res.rtts, time.Since(t0))
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	pairs := 0
+	var rtts []time.Duration
+	for w := range workers {
+		if workers[w].err != nil {
+			return fmt.Errorf("net client %d: %v", w, workers[w].err)
+		}
+		pairs += workers[w].pairs
+		rtts = append(rtts, workers[w].rtts...)
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	ops := 2 * pairs // each pair is one ACQUIRE + one RELEASE
+	opsPerSec := float64(ops) / elapsed.Seconds()
+
+	// Server-side verification: the owner-word check must never have
+	// tripped, and — when the server is ours alone — its per-lock round
+	// counts must account for every pair the generator issued.
+	probe, err := tasclient.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("net: stats probe: %v", err)
+	}
+	st, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		return fmt.Errorf("net: stats probe: %v", err)
+	}
+	if st.Violations != 0 {
+		return fmt.Errorf("net: SERVER COUNTED %d MUTUAL-EXCLUSION VIOLATIONS", st.Violations)
+	}
+	var rounds, contended uint64
+	for _, l := range st.Locks {
+		rounds += l.Rounds
+		contended += l.Contended
+	}
+	// A truncated snapshot (huge -locks counts) undercounts rounds by
+	// construction; the equality gate only holds on a complete listing.
+	if srv != nil && !st.Truncated && rounds != uint64(pairs) {
+		return fmt.Errorf("net: server completed %d rounds, generator issued %d pairs (lost or phantom acquisitions)", rounds, pairs)
+	}
+
+	report := netReport{
+		Schema:     "randtas-bench-net/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "loopback load on tasd: ops = ACQUIRE + RELEASE count; wait = pipelined batch round-trip; " +
+			"exclusion_verified = server-side owner check clean and every pair accounted in lock rounds",
+		Algorithm: algo.String(),
+		Clients:   cfg.clients, Pipeline: cfg.pipeline, Locks: cfg.locks,
+		Duration:          elapsed.Round(time.Millisecond).String(),
+		Ops:               ops,
+		Pairs:             pairs,
+		OpsPerSec:         opsPerSec,
+		WaitP50Us:         float64(percentile(rtts, 0.50).Microseconds()),
+		WaitP99Us:         float64(percentile(rtts, 0.99).Microseconds()),
+		ExclusionVerified: true,
+		Violations:        st.Violations,
+		ServerRounds:      rounds,
+		ServerContended:   contended,
+		ArenaSlots:        st.Arena.Slots,
+		ArenaPuts:         st.Arena.Puts,
+		FloorOpsPerSec:    cfg.floor,
+	}
+
+	tbl := harness.Table{
+		Title:   "tasd loopback: sustained acquire/release traffic over TCP",
+		Headers: []string{"algorithm", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "contended", "violations"},
+		Notes: []string{
+			"ops counts ACQUIRE and RELEASE individually; wait = batch round-trip over the wire.",
+			"violations = server-side owner-word check failures (must be 0).",
+		},
+	}
+	tbl.AddRow(algo.String(), ops, fmt.Sprintf("%.0f", opsPerSec),
+		percentile(rtts, 0.50).Round(time.Microsecond).String(),
+		percentile(rtts, 0.99).Round(time.Microsecond).String(),
+		rounds, contended, st.Violations)
+	fmt.Println(tbl.String())
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(cfg.out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+
+	if cfg.floor > 0 && opsPerSec < cfg.floor {
+		return fmt.Errorf("net: %.0f ops/sec below the %.0f floor", opsPerSec, cfg.floor)
+	}
+	return nil
+}
+
+func opLabel(op tasclient.Op) string {
+	switch op.Code {
+	case tasclient.OpAcquire:
+		return "ACQUIRE " + op.Name
+	case tasclient.OpRelease:
+		return "RELEASE " + op.Name
+	default:
+		return op.Name
+	}
+}

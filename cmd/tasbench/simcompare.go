@@ -1,5 +1,5 @@
-// Sim-throughput section of compare mode: the before/after harness for
-// the simulator engine overhaul (PR 3). It measures the same
+// Simcompare mode: the before/after harness for the simulator engine
+// overhaul (PR 3). It measures the same
 // representative Monte Carlo cell — the log* chain at n=1024, k=16 under
 // the random-oblivious schedule — three ways inside one binary:
 //

@@ -42,22 +42,15 @@ type throughputConfig struct {
 // throughputAlgos parses the -algos list against the public algorithm
 // names.
 func throughputAlgos(list string) ([]randtas.Algorithm, error) {
-	byName := map[string]randtas.Algorithm{}
-	for _, a := range []randtas.Algorithm{
-		randtas.Combined, randtas.LogStar, randtas.Sifting,
-		randtas.AdaptiveSifting, randtas.RatRace, randtas.AGTV,
-	} {
-		byName[a.String()] = a
-	}
 	var out []randtas.Algorithm
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown algorithm %q (have: combined, logstar, sifting, adaptive-sifting, ratrace, agtv)", name)
+		a, err := randtas.ParseAlgorithm(name)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, a)
 	}

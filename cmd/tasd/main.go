@@ -1,0 +1,90 @@
+// Command tasd is the TCP lock and leader-election daemon built on the
+// repository's randomized test-and-set arena: named locks
+// (ACQUIRE/TRYACQUIRE/RELEASE), named one-shot leader elections
+// (ELECT), and a STATS counter snapshot, served over the compact binary
+// protocol of internal/wire to any number of tasclient connections.
+//
+// Usage:
+//
+//	tasd [-addr 127.0.0.1:7420] [-max-clients 64] [-algo combined]
+//	     [-shards S] [-prealloc P] [-seed S] [-drain-timeout 10s] [-quiet]
+//
+// Every connected client owns one process slot of the arena, so the
+// paper's per-process wait-freedom guarantees carry over per client.
+// SIGTERM or SIGINT starts a graceful drain: the listener closes,
+// in-flight request batches finish, held locks of departing clients are
+// recovered, and the process exits 0 — or exits 1 if the drain timeout
+// forces connections closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	randtas "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7420", "TCP listen address")
+		maxClients   = flag.Int("max-clients", 64, "maximum simultaneous clients (process slots)")
+		algo         = flag.String("algo", "combined", "TAS algorithm: combined, logstar, sifting, adaptive-sifting, ratrace, ratrace-original, agtv")
+		shards       = flag.Int("shards", 0, "arena shards (0 = default)")
+		prealloc     = flag.Int("prealloc", 0, "preallocated slots per shard (0 = default)")
+		seed         = flag.Int64("seed", 0, "deterministic coin seed (0 = per-run random)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+
+	algorithm, err := randtas.ParseAlgorithm(*algo)
+	if err != nil {
+		log.Fatalf("tasd: %v", err)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	srv, err := server.New(server.Config{
+		Addr:        *addr,
+		MaxClients:  *maxClients,
+		Algorithm:   algorithm,
+		Seed:        *seed,
+		ArenaShards: *shards,
+		Prealloc:    *prealloc,
+		Logf:        logf,
+	})
+	if err != nil {
+		log.Fatalf("tasd: %v", err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("tasd: %v", err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("tasd: serve: %v", err)
+	case sig := <-sigs:
+		logf("tasd: %v — draining (budget %v)", sig, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("tasd: drain incomplete, connections force-closed: %v", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil {
+		log.Fatalf("tasd: serve: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package randtas_test
+
+import (
+	"fmt"
+	"sync"
+
+	randtas "repro"
+)
+
+// ExampleNewTAS: eight goroutines race one one-shot test-and-set;
+// exactly one receives 0 and wins.
+func ExampleNewTAS() {
+	obj, err := randtas.NewTAS(randtas.Options{N: 8})
+	if err != nil {
+		panic(err)
+	}
+	winners := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(p *randtas.TASProc) {
+			defer wg.Done()
+			if p.TAS() == 0 {
+				mu.Lock()
+				winners++
+				mu.Unlock()
+			}
+		}(obj.Proc(i))
+	}
+	wg.Wait()
+	fmt.Println("winners:", winners)
+	// Output: winners: 1
+}
+
+// ExampleNewLeaderElection: like TAS, but the object answers "am I the
+// leader?" directly. RatRace keeps the O(log k) bound even against an
+// adaptive scheduler — the right choice when the contenders are real
+// goroutines.
+func ExampleNewLeaderElection() {
+	le, err := randtas.NewLeaderElection(randtas.Options{N: 4, Algorithm: randtas.RatRace})
+	if err != nil {
+		panic(err)
+	}
+	leaders := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(p *randtas.Proc) {
+			defer wg.Done()
+			if p.Elect() {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+			}
+		}(le.Proc(i))
+	}
+	wg.Wait()
+	fmt.Println("leaders:", leaders)
+	// Output: leaders: 1
+}
+
+// ExampleNewMutex: a reusable lock chained from one-shot TAS rounds.
+// The counter is a plain int — the mutex alone serializes it.
+func ExampleNewMutex() {
+	m, err := randtas.NewMutex(randtas.ArenaOptions{Options: randtas.Options{N: 4}})
+	if err != nil {
+		panic(err)
+	}
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(p *randtas.MutexProc) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Lock()
+				counter++
+				p.Unlock()
+			}
+		}(m.Proc(i))
+	}
+	wg.Wait()
+	fmt.Println("counter:", counter)
+	// Output: counter: 4000
+}
+
+// ExampleNewRegistry: named locks on one shared arena — the in-process
+// surface that cmd/tasd serves over TCP.
+func ExampleNewRegistry() {
+	reg, err := randtas.NewRegistry(randtas.RegistryOptions{
+		ArenaOptions: randtas.ArenaOptions{Options: randtas.Options{N: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := reg.Mutex("build/cache").Proc(0)
+	p.Lock()
+	p.Unlock()
+	p.Lock()
+	p.Unlock()
+	for _, st := range reg.Stats() {
+		fmt.Printf("%s: %d rounds\n", st.Name, st.Rounds)
+	}
+	// Output: build/cache: 2 rounds
+}

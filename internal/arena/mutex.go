@@ -106,7 +106,17 @@ type MutexProc struct {
 func (p *MutexProc) Steps() int { return p.h.Steps() }
 
 // Lock acquires the mutex, blocking until this proc wins a round.
-func (p *MutexProc) Lock() {
+func (p *MutexProc) Lock() { p.lockUntil(nil) }
+
+// LockUntil acquires like Lock but gives up when stop reports true,
+// returning whether the mutex was acquired. stop is polled only while
+// waiting for a round transition, so the uncontended path pays nothing.
+// A lock service uses this to keep blocked waiters drainable: an
+// ordinary Lock cannot be interrupted by closing the waiter's
+// connection.
+func (p *MutexProc) LockUntil(stop func() bool) bool { return p.lockUntil(stop) }
+
+func (p *MutexProc) lockUntil(stop func() bool) bool {
 	if p.held != nil {
 		panic("arena: Lock on a MutexProc that already holds the mutex")
 	}
@@ -116,12 +126,15 @@ func (p *MutexProc) Lock() {
 		if r.seq == p.last {
 			// Already lost this round; one TAS per round per proc, so
 			// wait for the holder to install the next round.
+			if stop != nil && stop() {
+				return false
+			}
 			backoff(&spins)
 			continue
 		}
 		spins = 0
 		if p.tryRound(r, true) {
-			return
+			return true
 		}
 	}
 }

@@ -1,0 +1,174 @@
+// Named-object registry: the arena's service-facing directory.
+//
+// A lock service (cmd/tasd) multiplexes many clients onto *named*
+// synchronization objects — "lock/build-cache", "leader/shard-7" — while
+// the arena itself only hands out anonymous recyclable slots. The
+// Registry bridges the two: a sharded map from names to lazily created
+// Mutexes (long-lived locks chained from arena slots, recycled through
+// the existing free lists round by round) and to named one-shot
+// elections (a single arena slot each, decided once and then read-only).
+//
+// Lookups are the hot path — every ACQUIRE/RELEASE resolves a name — so
+// the map is sharded by name hash (FNV-1a) and the common case is one
+// RLock on one shard. Creation takes the shard's write lock and is
+// per-name-once; the arena's own sharding keeps slot churn contention
+// independent of the registry's.
+package arena
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRegistryShards sizes a Registry when NewRegistry is given a
+// non-positive shard count.
+const DefaultRegistryShards = 8
+
+// Registry maps names to synchronization objects built on one shared
+// Arena. All methods are safe for concurrent use.
+type Registry struct {
+	a      *Arena
+	shards []registryShard
+}
+
+type registryShard struct {
+	mu        sync.RWMutex
+	mutexes   map[string]*Mutex
+	elections map[string]*Slot
+}
+
+// NewRegistry builds a registry over a with the given number of map
+// shards (non-positive means DefaultRegistryShards).
+func NewRegistry(a *Arena, shards int) *Registry {
+	if shards <= 0 {
+		shards = DefaultRegistryShards
+	}
+	r := &Registry{a: a, shards: make([]registryShard, shards)}
+	for i := range r.shards {
+		r.shards[i].mutexes = make(map[string]*Mutex)
+		r.shards[i].elections = make(map[string]*Slot)
+	}
+	return r
+}
+
+// Arena returns the arena backing every named object.
+func (r *Registry) Arena() *Arena { return r.a }
+
+// fnv1a is the 64-bit FNV-1a hash of name — allocation-free, unlike
+// hash/fnv's Writer interface.
+func fnv1a(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+func (r *Registry) shard(name string) *registryShard {
+	return &r.shards[fnv1a(name)%uint64(len(r.shards))]
+}
+
+// Mutex returns the named long-lived lock, creating it on first use.
+// Every mutex draws its rounds from the shared arena, so a thousand
+// named locks recycle through the same slot free lists.
+func (r *Registry) Mutex(name string) *Mutex {
+	sh := r.shard(name)
+	sh.mu.RLock()
+	m := sh.mutexes[name]
+	sh.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m = sh.mutexes[name]; m == nil {
+		m = NewMutex(r.a)
+		sh.mutexes[name] = m
+	}
+	return m
+}
+
+// Election returns the named one-shot election slot, creating it on
+// first use. The slot stays checked out of the arena until Close — a
+// decided election must remain readable (its done bit and winner state
+// live in the slot's registers).
+func (r *Registry) Election(name string) *Slot {
+	sh := r.shard(name)
+	sh.mu.RLock()
+	s := sh.elections[name]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s = sh.elections[name]; s == nil {
+		s = r.a.Get(int(fnv1a(name)))
+		sh.elections[name] = s
+	}
+	return s
+}
+
+// Len reports the number of named mutexes and elections currently
+// registered.
+func (r *Registry) Len() (mutexes, elections int) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		mutexes += len(sh.mutexes)
+		elections += len(sh.elections)
+		sh.mu.RUnlock()
+	}
+	return
+}
+
+// NamedStats is one named mutex's counters.
+type NamedStats struct {
+	// Name is the registry key.
+	Name string
+	// MutexStats are the lock's round/contention counters.
+	MutexStats
+}
+
+// Stats snapshots every named mutex's counters, sorted by name so the
+// output is stable for logs and tests.
+func (r *Registry) Stats() []NamedStats {
+	var out []NamedStats
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name, m := range sh.mutexes {
+			out = append(out, NamedStats{Name: name, MutexStats: m.Stats()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close recycles every named election's slot back into the arena and
+// empties the registry. The caller must guarantee that no process is
+// still stepping on any named object — for a server, that means all
+// connections have drained. Named mutexes need no recycling of their
+// own: each holds exactly one live round whose slot returns to the
+// arena through the normal Lock/Unlock protocol; the final round's slot
+// is simply dropped with the mutex.
+func (r *Registry) Close() {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for name, s := range sh.elections {
+			r.a.Put(s)
+			delete(sh.elections, name)
+		}
+		for name := range sh.mutexes {
+			delete(sh.mutexes, name)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,137 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/concurrent"
+)
+
+// TestRegistryMutexIdentity: repeated lookups of one name return the
+// same mutex, distinct names return distinct mutexes, and lookups are
+// stable across shard boundaries.
+func TestRegistryMutexIdentity(t *testing.T) {
+	a := newTestArena(t, Config{N: 4})
+	r := NewRegistry(a, 4)
+	names := []string{"a", "b", "lock/very/long/name", "", "a"}
+	seen := map[string]*Mutex{}
+	for _, name := range names {
+		m := r.Mutex(name)
+		if prev, ok := seen[name]; ok && prev != m {
+			t.Fatalf("Mutex(%q) returned a different instance on repeat lookup", name)
+		}
+		seen[name] = m
+	}
+	if seen["a"] == seen["b"] {
+		t.Fatal("distinct names share one mutex")
+	}
+	mutexes, elections := r.Len()
+	if mutexes != 4 || elections != 0 {
+		t.Fatalf("Len() = (%d, %d), want (4, 0)", mutexes, elections)
+	}
+}
+
+// TestRegistryConcurrentCreate: many goroutines racing to create the
+// same names must all agree on one instance per name (no duplicate
+// construction escaping the shard lock).
+func TestRegistryConcurrentCreate(t *testing.T) {
+	a := newTestArena(t, Config{N: 8})
+	r := NewRegistry(a, 2)
+	const workers = 8
+	got := make([][]*Mutex, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				got[w] = append(got[w], r.Mutex(fmt.Sprintf("lock-%d", i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range got[w] {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d saw a different instance for lock-%d", w, i)
+			}
+		}
+	}
+}
+
+// TestRegistryNamedLocksShareArena: locks created through the registry
+// recycle their rounds through the shared arena free lists — the slot
+// population stays O(live locks), not O(acquisitions).
+func TestRegistryNamedLocksShareArena(t *testing.T) {
+	a := newTestArena(t, Config{N: 2, Shards: 1, Prealloc: 2})
+	r := NewRegistry(a, 1)
+	for i := 0; i < 3; i++ {
+		m := r.Mutex(fmt.Sprintf("lock-%d", i))
+		p := m.Proc(0, concurrent.NewHandle(0, int64(i)+1))
+		for j := 0; j < 50; j++ {
+			p.Lock()
+			p.Unlock()
+		}
+	}
+	st := a.TotalStats()
+	if st.Puts < 100 {
+		t.Fatalf("Puts = %d, want ≥ 100 (rounds not recycled)", st.Puts)
+	}
+	// 3 live locks at 1 round each, plus recycling slack; anywhere near
+	// the 150 acquisitions would mean recycling is broken.
+	if st.Slots > 20 {
+		t.Fatalf("Slots = %d after 150 acquisitions on 3 locks (recycling broken?)", st.Slots)
+	}
+}
+
+// TestRegistryElection: a named election is one-shot across all comers —
+// exactly one winner per name, the slot is shared by all lookups, and
+// Close returns it to the arena.
+func TestRegistryElection(t *testing.T) {
+	a := newTestArena(t, Config{N: 4, Shards: 1, Prealloc: 1})
+	r := NewRegistry(a, 2)
+	s := r.Election("leader/x")
+	if s != r.Election("leader/x") {
+		t.Fatal("Election lookups disagree on the slot")
+	}
+	winners := 0
+	for id := 0; id < 4; id++ {
+		if s.Obj.TAS(concurrent.NewHandle(id, int64(id)+1)) == 0 {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners on named election, want 1", winners)
+	}
+	putsBefore := a.TotalStats().Puts
+	r.Close()
+	if got := a.TotalStats().Puts - putsBefore; got != 1 {
+		t.Fatalf("Close recycled %d slots, want 1", got)
+	}
+	if m, e := r.Len(); m != 0 || e != 0 {
+		t.Fatalf("Len() after Close = (%d, %d), want (0, 0)", m, e)
+	}
+}
+
+// TestRegistryStats: per-name counters reflect each lock's own traffic
+// and come back sorted by name.
+func TestRegistryStats(t *testing.T) {
+	a := newTestArena(t, Config{N: 2})
+	r := NewRegistry(a, 4)
+	ops := map[string]int{"zeta": 7, "alpha": 3}
+	for name, k := range ops {
+		p := r.Mutex(name).Proc(0, concurrent.NewHandle(0, 1))
+		for i := 0; i < k; i++ {
+			p.Lock()
+			p.Unlock()
+		}
+	}
+	st := r.Stats()
+	if len(st) != 2 || st[0].Name != "alpha" || st[1].Name != "zeta" {
+		t.Fatalf("Stats() names = %v, want [alpha zeta]", st)
+	}
+	if st[0].Rounds != 3 || st[1].Rounds != 7 {
+		t.Fatalf("Stats() rounds = %d/%d, want 3/7", st[0].Rounds, st[1].Rounds)
+	}
+}

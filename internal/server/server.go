@@ -1,0 +1,702 @@
+// Package server implements tasd, the TCP lock and leader-election
+// daemon over the randtas arena: the first layer of this repository
+// that serves the paper's randomized TAS objects to clients *outside*
+// the process.
+//
+// # Model
+//
+// Every connection owns one process slot — one id in [0, MaxClients) of
+// the arena's N — for its whole lifetime, so the wait-free guarantees
+// of the underlying algorithms apply per connection exactly as they
+// apply per process in the paper. Named objects come from a
+// randtas.Registry: ACQUIRE/TRYACQUIRE/RELEASE drive the named
+// TAS-chaining mutexes (rounds recycled through the arena free lists),
+// ELECT runs a named one-shot leader election, STATS snapshots every
+// counter as JSON.
+//
+// # Batching
+//
+// Each connection is served by one goroutine. The request loop blocks
+// for the first frame, then drains every complete frame already
+// buffered — a pipelining client's whole batch — processes them
+// back-to-back as a single arena pass, and writes all responses in one
+// write. A blocking ACQUIRE first flushes the batch's earlier
+// responses, so pipelined predecessors are never delayed by a
+// contended lock.
+//
+// # Recovery and verification
+//
+// A connection that dies while holding locks has them released by the
+// server (the deferred cleanup runs in the same goroutine, preserving
+// the MutexProc confinement rule), so a crashed client cannot wedge a
+// lock. Mutex procs are retained per (lock, slot) across connections:
+// a recycled slot id resumes its predecessor's round bookkeeping
+// instead of violating the one-TAS-per-round-per-process contract, and
+// named elections keep a per-slot participation bitmap for the same
+// reason. Every successful acquisition is additionally checked
+// server-side against a per-lock owner word; a failed check increments
+// the STATS violations counter — the continuously verified
+// mutual-exclusion invariant that cmd/tasbench -mode=net asserts on.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	randtas "repro"
+	"repro/internal/wire"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:7420").
+	Addr string
+	// MaxClients bounds simultaneously connected clients; each owns one
+	// process slot of the arena's N (default 64). Connections beyond
+	// the bound receive an error frame and are closed.
+	MaxClients int
+	// Algorithm, Seed, ArenaShards, Prealloc configure the backing
+	// arena exactly as randtas.ArenaOptions does.
+	Algorithm   randtas.Algorithm
+	Seed        int64
+	ArenaShards int
+	Prealloc    int
+	// RegistryShards shards the name directory (0 = default).
+	RegistryShards int
+	// MaxFrame bounds accepted request frames (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (connections, drain). Per-request logging would dominate the
+	// request cost and is deliberately absent.
+	Logf func(format string, args ...interface{})
+}
+
+// Server is a tasd instance. Construct with New, bind with Listen, run
+// with Serve, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *randtas.Registry
+	ln       net.Listener
+	ids      chan int
+	started  time.Time
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	active     atomic.Int64
+	opCounts   [6]atomic.Uint64 // indexed by opcode; [0] unused
+	violations atomic.Uint64
+
+	locks     sync.Map // name -> *lockEntry
+	elections sync.Map // name -> *electionEntry
+}
+
+// lockEntry is the server's view of one named lock: the registry mutex,
+// the owner word for the server-side exclusion check, and the retained
+// per-slot procs (see the package comment on slot recycling).
+type lockEntry struct {
+	m     *randtas.Mutex
+	owner atomic.Int64 // holder's slot+1; 0 when free
+	procs []*randtas.MutexProc
+}
+
+// proc returns the retained MutexProc for slot id, creating it on first
+// use. Only the connection currently owning slot id touches procs[id],
+// and slot handoff between connections happens through the ids channel,
+// so the cell needs no further synchronization.
+func (e *lockEntry) proc(id int) *randtas.MutexProc {
+	if e.procs[id] == nil {
+		e.procs[id] = e.m.Proc(id)
+	}
+	return e.procs[id]
+}
+
+// electionEntry is one named election: the one-shot object plus a
+// participation bitmap (a recycled slot id must not run TAS twice) and
+// the winner for STATS.
+type electionEntry struct {
+	t      *randtas.NamedTAS
+	used   []atomic.Uint64
+	winner atomic.Int64 // winner's slot+1; 0 while undecided
+}
+
+// elect runs slot id's (single) participation and returns the ELECT
+// result byte. The TAS object itself arbitrates concurrent calls —
+// that is exactly what the paper's objects are for — so there is no
+// server-side lock here, only the reuse guard.
+func (e *electionEntry) elect(id int) byte {
+	// Set-bit via an explicit CAS loop rather than atomic.Uint64.Or:
+	// the Or intrinsic miscompiles on go1.24.0 (its register loop
+	// clobbers the receiver), and the CAS form is equally correct.
+	bit := uint64(1) << (id % 64)
+	w := &e.used[id/64]
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			// This slot already participated under an earlier
+			// connection; re-running the election with the same
+			// process id would void the one-winner guarantee.
+			return wire.ElectLoser
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	if e.t.Proc(id).TAS() == 0 {
+		e.winner.Store(int64(id) + 1)
+		return wire.ElectLeader
+	}
+	return wire.ElectLoser
+}
+
+// New builds a server and its backing registry; it does not bind yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:7420"
+	}
+	if cfg.MaxClients == 0 {
+		cfg.MaxClients = 64
+	}
+	if cfg.MaxClients < 1 {
+		return nil, fmt.Errorf("server: MaxClients must be ≥ 1, got %d", cfg.MaxClients)
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	reg, err := randtas.NewRegistry(randtas.RegistryOptions{
+		ArenaOptions: randtas.ArenaOptions{
+			Options:  randtas.Options{N: cfg.MaxClients, Algorithm: cfg.Algorithm, Seed: cfg.Seed},
+			Shards:   cfg.ArenaShards,
+			Prealloc: cfg.Prealloc,
+		},
+		RegistryShards: cfg.RegistryShards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		ids:   make(chan int, cfg.MaxClients),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.MaxClients; i++ {
+		s.ids <- i
+	}
+	return s, nil
+}
+
+// Listen binds the configured address. Addr is valid afterwards.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.cfg.Logf("tasd: listening on %s (max %d clients, algorithm %s)",
+		ln.Addr(), s.cfg.MaxClients, s.cfg.Algorithm)
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// when the close was a Shutdown, the accept error otherwise.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		select {
+		case id := <-s.ids:
+			// Registration, the draining re-check, and wg.Add happen
+			// under one lock so a connection either lands before
+			// Shutdown's sweep (and is drained by it) or is rejected —
+			// never an Add racing the drain's Wait.
+			s.mu.Lock()
+			if s.draining.Load() {
+				s.mu.Unlock()
+				nc.Close()
+				s.ids <- id
+				continue
+			}
+			s.conns[nc] = struct{}{}
+			s.wg.Add(1)
+			s.mu.Unlock()
+			s.active.Add(1)
+			go s.handle(nc, id)
+		default:
+			// All process slots are taken: refuse rather than queue, so
+			// admitted clients keep their wait-free slot guarantee.
+			nc.Write(wire.AppendResponse(nil, wire.Response{
+				Status:  wire.StatusError,
+				Payload: []byte(fmt.Sprintf("server full: %d clients connected", s.cfg.MaxClients)),
+			}))
+			nc.Close()
+		}
+	}
+}
+
+// Shutdown drains the server: stop accepting, wake every connection's
+// pending read, let in-flight batches finish, and wait. Blocked
+// ACQUIREs abort with an error (their waiters would otherwise be
+// un-wakeable — see LockUntil). If ctx expires first, remaining
+// connections are force-closed (their held locks are still recovered
+// by the per-connection cleanup). The registry is closed once every
+// connection has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	n := len(s.conns)
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now()) // wake blocked readers; batches in flight complete
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("tasd: draining %d connections", n)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done // cleanup (lock recovery) still runs per connection
+	}
+	s.reg.Close()
+	s.cfg.Logf("tasd: drained")
+	return err
+}
+
+// Registry exposes the backing registry (for in-process inspection and
+// tests).
+func (s *Server) Registry() *randtas.Registry { return s.reg }
+
+// Violations reports the server-side mutual-exclusion check failures.
+func (s *Server) Violations() uint64 { return s.violations.Load() }
+
+// lockEntry returns the server-side state of a named lock, creating it
+// on first use.
+func (s *Server) lockEntry(name string) *lockEntry {
+	if e, ok := s.locks.Load(name); ok {
+		return e.(*lockEntry)
+	}
+	e := &lockEntry{m: s.reg.Mutex(name), procs: make([]*randtas.MutexProc, s.cfg.MaxClients)}
+	actual, _ := s.locks.LoadOrStore(name, e)
+	return actual.(*lockEntry)
+}
+
+// electionEntry returns the server-side state of a named election,
+// creating it on first use.
+func (s *Server) electionEntry(name string) *electionEntry {
+	if e, ok := s.elections.Load(name); ok {
+		return e.(*electionEntry)
+	}
+	e := &electionEntry{
+		t:    s.reg.TAS(name),
+		used: make([]atomic.Uint64, (s.cfg.MaxClients+63)/64),
+	}
+	actual, _ := s.elections.LoadOrStore(name, e)
+	return actual.(*electionEntry)
+}
+
+// conn is one connection's state, confined to its goroutine.
+type conn struct {
+	s     *Server
+	id    int
+	nc    net.Conn
+	br    *bufio.Reader
+	out   []byte               // batched responses, one write per batch
+	locks map[string]*connLock // names this connection has touched
+	// elected caches this connection's ELECT outcomes so repeats answer
+	// consistently (the participation bitmap alone would demote a
+	// repeat-calling winner to loser).
+	elected map[string]byte
+	// lastProbe rate-limits dead-peer probes while blocked on a lock.
+	lastProbe time.Time
+}
+
+type connLock struct {
+	entry *lockEntry
+	proc  *randtas.MutexProc
+	held  bool
+}
+
+func (c *conn) lock(name string) *connLock {
+	if cl, ok := c.locks[name]; ok {
+		return cl
+	}
+	e := c.s.lockEntry(name)
+	cl := &connLock{entry: e, proc: e.proc(c.id)}
+	c.locks[name] = cl
+	return cl
+}
+
+// reply appends a response frame to the batch buffer.
+func (c *conn) reply(id uint32, status byte, payload []byte) {
+	c.out = wire.AppendResponse(c.out, wire.Response{Status: status, ID: id, Payload: payload})
+}
+
+func (c *conn) replyErr(id uint32, format string, args ...interface{}) {
+	c.reply(id, wire.StatusError, []byte(fmt.Sprintf(format, args...)))
+}
+
+// flush writes the batched responses. A write error is remembered by
+// the caller loop via the returned error; the batch buffer is always
+// reset.
+func (c *conn) flush() error {
+	if len(c.out) == 0 {
+		return nil
+	}
+	_, err := c.nc.Write(c.out)
+	c.out = c.out[:0]
+	return err
+}
+
+// maxBatchedResponses caps how much response data a batch accumulates
+// before an intermediate flush.
+const maxBatchedResponses = 256 << 10
+
+// deadProbeInterval rate-limits dead-peer probes from a blocked
+// ACQUIRE's wait loop.
+const deadProbeInterval = 50 * time.Millisecond
+
+// dead reports whether the peer has hung up, detected by a 1 ms Peek
+// through the connection's own reader (this goroutine is the only
+// reader, and Peek consumes nothing, so pipelined frames are
+// preserved). A timeout just means "no news" — only EOF or a hard
+// error counts as dead.
+func (c *conn) dead() bool {
+	now := time.Now()
+	if now.Sub(c.lastProbe) < deadProbeInterval {
+		return false
+	}
+	c.lastProbe = now
+	c.nc.SetReadDeadline(now.Add(time.Millisecond))
+	_, err := c.br.Peek(1)
+	c.nc.SetReadDeadline(time.Time{})
+	if err == nil {
+		return false
+	}
+	var nerr net.Error
+	return !(errors.As(err, &nerr) && nerr.Timeout())
+}
+
+// handle serves one connection until it closes, errors, or the server
+// drains. The deferred cleanup releases held locks in this goroutine
+// (MutexProc confinement) and recycles the process slot.
+func (s *Server) handle(nc net.Conn, id int) {
+	c := &conn{s: s, id: id, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), locks: map[string]*connLock{}}
+	defer func() {
+		for _, cl := range c.locks {
+			if cl.held {
+				// Recover the lock: clear the owner word first so the
+				// next winner's exclusion check sees it free.
+				cl.entry.owner.CompareAndSwap(int64(id)+1, 0)
+				cl.proc.Unlock()
+				cl.held = false
+			}
+		}
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.active.Add(-1)
+		s.ids <- id // hand the slot to the next connection (happens-before edge)
+		s.wg.Done()
+	}()
+
+	for {
+		req, err := wire.ReadRequest(c.br, s.cfg.MaxFrame)
+		if err != nil {
+			c.protocolBye(err)
+			return
+		}
+		if !s.process(c, req) {
+			c.flush()
+			return
+		}
+		// Drain the rest of the pipelined batch: every frame already
+		// buffered is processed before the single response write —
+		// bounded, so a burst of payload-heavy requests (STATS) cannot
+		// balloon the response buffer; past the bound we flush and
+		// keep going in the next outer iteration.
+		for c.buffered() && len(c.out) < maxBatchedResponses {
+			if req, err = wire.ReadRequest(c.br, s.cfg.MaxFrame); err != nil {
+				c.protocolBye(err)
+				return
+			}
+			if !s.process(c, req) {
+				c.flush()
+				return
+			}
+		}
+		if c.flush() != nil {
+			return
+		}
+		if s.draining.Load() {
+			return // batch answered; drain takes the connection down
+		}
+	}
+}
+
+// buffered reports whether a complete request frame is already in the
+// read buffer (so decoding it cannot block).
+func (c *conn) buffered() bool {
+	if c.br.Buffered() < 4 {
+		return false
+	}
+	head, err := c.br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(head))
+	if n > c.s.cfg.MaxFrame {
+		return true // let ReadRequest surface ErrFrameTooLarge
+	}
+	return c.br.Buffered() >= 4+n
+}
+
+// protocolBye answers a malformed stream with a best-effort error frame
+// (after flushing any responses the batch already earned). Clean EOF
+// and drain-deadline expiry close silently.
+func (c *conn) protocolBye(err error) {
+	defer c.flush()
+	if err == io.EOF {
+		return
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return // drain deadline
+	}
+	c.replyErr(0, "protocol error: %v", err)
+}
+
+// process executes one request, appending its response to the batch.
+// It returns false when the connection must close (protocol misuse).
+func (s *Server) process(c *conn, req wire.Request) bool {
+	if req.Op >= 1 && int(req.Op) < len(s.opCounts) {
+		s.opCounts[req.Op].Add(1)
+	}
+	switch req.Op {
+	case wire.OpAcquire:
+		cl := c.lock(req.Name)
+		if cl.held {
+			c.replyErr(req.ID, "ACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
+			return true
+		}
+		// Block through LockUntil (not a TryLock probe first — that
+		// would count every contended ACQUIRE as a TRYACQUIRE loss in
+		// the per-lock stats). The stop predicate runs only while
+		// waiting for the holder to hand over; on the first poll it
+		// flushes the batch's earlier responses so pipelined
+		// predecessors aren't delayed, and it keeps the waiter
+		// abortable: by a drain (a waiter is otherwise un-wakeable —
+		// worst case clients deadlocked across two locks would pin
+		// Shutdown forever) and by its own client vanishing (a dead
+		// waiter would otherwise occupy a process slot until the lock
+		// frees).
+		var flushErr error
+		flushed := false
+		won := cl.proc.LockUntil(func() bool {
+			if !flushed {
+				flushed = true
+				flushErr = c.flush()
+			}
+			return flushErr != nil || s.draining.Load() || c.dead()
+		})
+		if !won {
+			if flushErr == nil && s.draining.Load() {
+				c.replyErr(req.ID, "ACQUIRE %q: server draining", req.Name)
+			}
+			return false
+		}
+		c.grant(cl, req)
+		return true
+
+	case wire.OpTryAcquire:
+		cl := c.lock(req.Name)
+		if cl.held {
+			c.replyErr(req.ID, "TRYACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
+			return true
+		}
+		if !cl.proc.TryLock() {
+			c.reply(req.ID, wire.StatusBusy, nil)
+			return true
+		}
+		c.grant(cl, req)
+		return true
+
+	case wire.OpRelease:
+		cl, ok := c.locks[req.Name]
+		if !ok || !cl.held {
+			c.replyErr(req.ID, "RELEASE %q: not held by this connection", req.Name)
+			return true
+		}
+		if !cl.entry.owner.CompareAndSwap(int64(c.id)+1, 0) {
+			s.violations.Add(1)
+			c.replyErr(req.ID, "RELEASE %q: owner check failed (exclusion violation)", req.Name)
+			return true
+		}
+		cl.held = false
+		cl.proc.Unlock()
+		c.reply(req.ID, wire.StatusOK, nil)
+		return true
+
+	case wire.OpElect:
+		res, ok := c.elected[req.Name]
+		if !ok {
+			res = s.electionEntry(req.Name).elect(c.id)
+			if c.elected == nil {
+				c.elected = map[string]byte{}
+			}
+			c.elected[req.Name] = res
+		}
+		c.reply(req.ID, wire.StatusOK, []byte{res})
+		return true
+
+	case wire.OpStats:
+		buf, err := s.statsPayload()
+		if err != nil {
+			c.replyErr(req.ID, "STATS: %v", err)
+			return true
+		}
+		c.reply(req.ID, wire.StatusOK, buf)
+		return true
+
+	default:
+		// Unknown opcode: the stream framing may still be intact, but
+		// the peer speaks a different protocol — answer and close.
+		c.replyErr(req.ID, "unknown opcode %d", req.Op)
+		return false
+	}
+}
+
+// grant completes a successful acquisition: the server-side exclusion
+// check, then the OK response. The lock's TAS already guarantees a
+// unique winner; the owner word re-verifies it end to end on every
+// single acquisition, which is what lets a load generator assert that
+// the service — not just the algorithm — kept mutual exclusion.
+func (c *conn) grant(cl *connLock, req wire.Request) {
+	if !cl.entry.owner.CompareAndSwap(0, int64(c.id)+1) {
+		c.s.violations.Add(1)
+		cl.proc.Unlock()
+		c.replyErr(req.ID, "%s %q: exclusion violated (owner %d)", wire.OpName(req.Op), req.Name, cl.entry.owner.Load()-1)
+		return
+	}
+	cl.held = true
+	c.reply(req.ID, wire.StatusOK, nil)
+}
+
+// statsPayload marshals the STATS snapshot, shrinking the per-name
+// lists if the JSON would overflow a response frame — a reply the
+// client cannot read would permanently desynchronize its stream.
+func (s *Server) statsPayload() ([]byte, error) {
+	limit := wire.DefaultMaxFrame // what a default client will accept
+	if s.cfg.MaxFrame < limit {
+		limit = s.cfg.MaxFrame
+	}
+	limit -= 64 // response header + slack
+	st := s.stats()
+	for {
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) <= limit || len(st.Locks)+len(st.Elections) == 0 {
+			return buf, nil
+		}
+		st.Truncated = true
+		st.Locks = st.Locks[:len(st.Locks)/2]
+		st.Elections = st.Elections[:len(st.Elections)/2]
+	}
+}
+
+// stats assembles the STATS snapshot.
+func (s *Server) stats() wire.Stats {
+	st := wire.Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		ActiveConns:   int(s.active.Load()),
+		MaxClients:    s.cfg.MaxClients,
+		Ops:           map[string]uint64{},
+		Violations:    s.violations.Load(),
+	}
+	for op := byte(1); int(op) < len(s.opCounts); op++ {
+		if n := s.opCounts[op].Load(); n > 0 {
+			st.Ops[wire.OpName(op)] = n
+		}
+	}
+	for _, ls := range s.reg.Stats() {
+		st.Locks = append(st.Locks, wire.LockStats{
+			Name:        ls.Name,
+			Rounds:      ls.Rounds,
+			Contended:   ls.Contended,
+			ProbeLosses: ls.ProbeLosses,
+		})
+	}
+	s.elections.Range(func(k, v interface{}) bool {
+		e := v.(*electionEntry)
+		es := wire.ElectionStats{Name: k.(string)}
+		if w := e.winner.Load(); w != 0 {
+			es.Decided = true
+			es.WinnerConn = int(w) - 1
+		}
+		st.Elections = append(st.Elections, es)
+		return true
+	})
+	sort.Slice(st.Elections, func(i, j int) bool { return st.Elections[i].Name < st.Elections[j].Name })
+	a := s.reg.ArenaStats()
+	st.Arena = wire.ArenaStats{
+		Hits: a.Hits, Steals: a.Steals, Misses: a.Misses,
+		Puts: a.Puts, Slots: a.Slots, Registers: a.Registers,
+	}
+	return st
+}

@@ -1,0 +1,590 @@
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/tasclient"
+)
+
+// start boots a server on an ephemeral loopback port and tears it down
+// with the test.
+func start(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		if v := s.Violations(); v != 0 {
+			t.Errorf("server counted %d mutual-exclusion violations", v)
+		}
+	})
+	return s, s.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *tasclient.Client {
+	t.Helper()
+	c, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestAcquireRelease: the basic lifecycle, plus lock state visible to a
+// second client via TryAcquire.
+func TestAcquireRelease(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	a, b := dial(t, addr), dial(t, addr)
+
+	if err := a.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.TryAcquire("L"); err != nil || got {
+		t.Fatalf("TryAcquire on a held lock = (%v, %v), want (false, nil)", got, err)
+	}
+	if err := a.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.TryAcquire("L"); err != nil || !got {
+		t.Fatalf("TryAcquire on a free lock = (%v, %v), want (true, nil)", got, err)
+	}
+	if err := b.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Locks) != 1 || st.Locks[0].Name != "L" || st.Locks[0].Rounds != 2 {
+		t.Fatalf("stats = %+v, want lock L with 2 rounds", st.Locks)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("violations = %d", st.Violations)
+	}
+}
+
+// TestBlockingAcquireHandoff: a blocked ACQUIRE is granted when the
+// holder releases.
+func TestBlockingAcquireHandoff(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	a, b := dial(t, addr), dial(t, addr)
+	if err := a.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.Acquire("L") }()
+	select {
+	case err := <-got:
+		t.Fatalf("Acquire returned %v while the lock was held", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := a.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Acquire not granted after Release")
+	}
+	if err := b.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+	// Blocking ACQUIREs must not masquerade as TRYACQUIRE probes in the
+	// per-lock stats: the one blocked acquire above counts toward
+	// Contended, never ProbeLosses.
+	st, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Locks[0].ProbeLosses != 0 {
+		t.Fatalf("probe_losses = %d after a blocking-only workload, want 0", st.Locks[0].ProbeLosses)
+	}
+}
+
+// TestDisconnectWhileWaitingFreesSlot: a client that hangs up while its
+// ACQUIRE is blocked must not occupy its process slot until the lock
+// frees — the waiter aborts via the dead-peer probe.
+func TestDisconnectWhileWaitingFreesSlot(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 2})
+	a := dial(t, addr)
+	if err := a.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquireDone := make(chan struct{})
+	go func() { b.Acquire("L"); close(acquireDone) }()
+	time.Sleep(50 * time.Millisecond) // let B block server-side
+	b.Close()
+	<-acquireDone
+	// A still holds L; B's slot must come back regardless.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := tasclient.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.TryAcquire("other")
+		c.Close()
+		if err == nil && got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot still pinned by a dead waiter: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := a.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedBatch: a Do batch spanning several operations and names
+// comes back in order with per-op outcomes.
+func TestPipelinedBatch(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	c := dial(t, addr)
+	res, err := c.Do([]tasclient.Op{
+		{Code: tasclient.OpAcquire, Name: "a"},
+		{Code: tasclient.OpAcquire, Name: "b"},
+		{Code: tasclient.OpRelease, Name: "a"},
+		{Code: tasclient.OpTryAcquire, Name: "a"},
+		{Code: tasclient.OpRelease, Name: "a"},
+		{Code: tasclient.OpRelease, Name: "b"},
+		{Code: tasclient.OpStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.OK {
+			t.Fatalf("batch op %d: %+v", i, r)
+		}
+	}
+	if len(res[6].Payload) == 0 {
+		t.Fatal("STATS payload empty")
+	}
+}
+
+// TestProtocolMisuse: RELEASE without ACQUIRE, reentrant ACQUIRE, and
+// releases after the fact answer errors without poisoning the
+// connection.
+func TestProtocolMisuse(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	c := dial(t, addr)
+	if err := c.Release("nope"); err == nil {
+		t.Fatal("RELEASE without ACQUIRE succeeded")
+	}
+	if err := c.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Acquire("L"); err == nil {
+		t.Fatal("reentrant ACQUIRE succeeded")
+	}
+	if err := c.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("L"); err == nil {
+		t.Fatal("double RELEASE succeeded")
+	}
+	// The connection survives all of the above.
+	if err := c.Acquire("L"); err != nil {
+		t.Fatalf("connection poisoned by protocol errors: %v", err)
+	}
+	if err := c.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialFrame: a client torn away mid-frame must not wedge the
+// server or leak its slot.
+func TestPartialFrame(t *testing.T) {
+	srv, addr := start(t, server.Config{MaxClients: 1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 6 bytes of an ACQUIRE frame, then hang up mid-frame.
+	nc.Write([]byte{0, 0, 0, 10, 1, 0})
+	nc.Close()
+	// The single slot must come back: with MaxClients=1 a new client
+	// can only be admitted once the torn connection is fully cleaned up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := tasclient.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Acquire("L")
+		c.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never recovered after torn connection: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = srv
+}
+
+// TestOversizedFrame: a length prefix beyond MaxFrame is answered with
+// a protocol error and the connection closes; the server stays up.
+func TestOversizedFrame(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 2, MaxFrame: 1 << 10})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], 1<<31)
+	if _, err := nc.Write(huge[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server answers an error frame and closes; reading until EOF
+	// must terminate (no hang waiting for the claimed gigabytes).
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	n, _ := nc.Read(buf)
+	if n == 0 {
+		t.Fatal("no error frame before close")
+	}
+	// A fresh client still works.
+	c := dial(t, addr)
+	if err := c.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	c.Release("L")
+}
+
+// TestDisconnectRecoversLock: a client that dies holding a lock has it
+// released by the server, so the next client gets in.
+func TestDisconnectRecoversLock(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	a := dial(t, addr)
+	if err := a.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	b := dial(t, addr)
+	if got, _ := b.TryAcquire("L"); got {
+		t.Fatal("lock not actually held")
+	}
+	a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := b.TryAcquire("L")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock never recovered after holder disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.Release("L"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElect: one leader per named election across concurrent clients,
+// stable on repeat, visible in STATS.
+func TestElect(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 8})
+	const k = 6
+	leaders := int32(0)
+	results := make([]bool, k)
+	var wg sync.WaitGroup
+	clients := make([]*tasclient.Client, k)
+	for i := range clients {
+		clients[i] = dial(t, addr)
+	}
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			won, err := clients[i].Elect("leader/x")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = won
+			if won {
+				atomic.AddInt32(&leaders, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("%d leaders elected, want exactly 1", leaders)
+	}
+	for i, c := range clients {
+		won, err := c.Elect("leader/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won != results[i] {
+			t.Fatalf("client %d: repeat Elect flipped %v -> %v", i, results[i], won)
+		}
+	}
+	st, err := clients[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Elections) != 1 || !st.Elections[0].Decided {
+		t.Fatalf("stats elections = %+v, want one decided election", st.Elections)
+	}
+}
+
+// TestServerFull: connections beyond MaxClients are refused with an
+// error, and a freed slot re-admits.
+func TestServerFull(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 1})
+	a := dial(t, addr)
+	if err := a.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Acquire("M"); err == nil {
+		t.Fatal("connection beyond MaxClients served")
+	}
+	a.Release("L")
+	a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := tasclient.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Acquire("L")
+		c.Close()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never re-admitted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdown: Shutdown drains connected-but-idle clients and
+// completes without force-closing.
+func TestGracefulShutdown(t *testing.T) {
+	cfg := server.Config{Addr: "127.0.0.1:0", MaxClients: 4, Seed: 1}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	addr := s.Addr().String()
+
+	c, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Acquire("L"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, err := tasclient.Dial(addr); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestShutdownUnblocksWaiters: even clients deadlocked across two
+// locks (A holds x wants y, B holds y wants x) cannot pin a drain —
+// blocked ACQUIREs abort and Shutdown completes within its budget.
+func TestShutdownUnblocksWaiters(t *testing.T) {
+	cfg := server.Config{Addr: "127.0.0.1:0", MaxClients: 4, Seed: 1}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+	addr := s.Addr().String()
+
+	a, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Acquire("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("y"); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{}, 2)
+	go func() { a.Acquire("y"); blocked <- struct{}{} }()
+	go func() { b.Acquire("x"); blocked <- struct{}{} }()
+	time.Sleep(50 * time.Millisecond) // let both waiters actually block
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with deadlocked waiters: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("drain took %v with deadlocked waiters", elapsed)
+	}
+	<-serveDone
+	<-blocked
+	<-blocked
+}
+
+// TestStatsTruncation: a STATS snapshot that would overflow a response
+// frame is shrunk, flagged, and stays readable.
+func TestStatsTruncation(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4, MaxFrame: 1 << 12})
+	c := dial(t, addr)
+	var batch []tasclient.Op
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("very/long/lock/name/to/bloat/the/stats/payload-%03d", i)
+		batch = append(batch,
+			tasclient.Op{Code: tasclient.OpAcquire, Name: name},
+			tasclient.Op{Code: tasclient.OpRelease, Name: name},
+		)
+	}
+	if _, err := c.Do(batch); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("oversized STATS unreadable: %v", err)
+	}
+	if !st.Truncated {
+		t.Fatalf("stats with 64 long-named locks in a 4 KiB frame not truncated (%d locks listed)", len(st.Locks))
+	}
+	if len(st.Locks) == 64 {
+		t.Fatal("Truncated set but nothing dropped")
+	}
+	if st.Ops["ACQUIRE"] != 64 {
+		t.Fatalf("scalar counters must survive truncation; ACQUIRE = %d", st.Ops["ACQUIRE"])
+	}
+}
+
+// TestStressLoopback is the -race loopback stress: clients hammer a
+// small set of named locks with pipelined batches while connections
+// churn, and the server-side owner check must never trip.
+func TestStressLoopback(t *testing.T) {
+	srv, addr := start(t, server.Config{MaxClients: 16})
+	const (
+		workers  = 8
+		locks    = 3
+		duration = 300 * time.Millisecond
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for time.Now().Before(deadline) {
+				c, err := tasclient.Dial(addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// A few batches per connection, then churn the slot.
+				for b := 0; b < 4 && time.Now().Before(deadline); b++ {
+					var batch []tasclient.Op
+					for i := 0; i < 4; i++ {
+						name := fmt.Sprintf("lock-%d", rng.Intn(locks))
+						batch = append(batch,
+							tasclient.Op{Code: tasclient.OpAcquire, Name: name},
+							tasclient.Op{Code: tasclient.OpRelease, Name: name},
+						)
+					}
+					res, err := c.Do(batch)
+					if err != nil {
+						t.Error(err)
+						break
+					}
+					for i, r := range res {
+						if !r.OK {
+							t.Errorf("batch op %d failed: %+v", i, r)
+						}
+					}
+					ops.Add(int64(len(res)))
+				}
+				// Half the time disconnect while holding a lock, to
+				// exercise recovery under load.
+				if rng.Intn(2) == 0 {
+					c.Acquire(fmt.Sprintf("lock-%d", rng.Intn(locks)))
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := srv.Violations(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations under stress", v)
+	}
+	t.Logf("stress: %d ops, %d violations", ops.Load(), srv.Violations())
+}

@@ -1,0 +1,260 @@
+// Package wire defines tasd's compact length-prefixed binary protocol,
+// shared by the server (internal/server) and the public client
+// (tasclient).
+//
+// Every message is one frame:
+//
+//	request:  | len u32 | op u8     | id u32 | nameLen u8 | name ... |
+//	response: | len u32 | status u8 | id u32 | payload ...          |
+//
+// All integers are big-endian; len counts the bytes after the length
+// field itself. The id is a client-chosen correlation token echoed
+// verbatim in the response, which is what makes pipelining safe: a
+// client may write any number of request frames back to back and match
+// the (in-order) responses by id. Frames are deliberately tiny — an
+// ACQUIRE of a 10-byte name is 20 bytes on the wire — so a pipelined
+// batch of dozens of operations fits in one TCP segment and the server
+// can turn the whole batch around with one read and one write.
+//
+// The protocol carries five operations: ACQUIRE and RELEASE of a named
+// lock (blocking), TRYACQUIRE (single probe, never blocks), ELECT on a
+// named one-shot leader election, and STATS (a JSON snapshot of the
+// server's counters). Responses answer OK, BUSY (a lost TRYACQUIRE
+// probe), or ERROR with a human-readable message as payload; an ELECT
+// response carries one payload byte — 1 for the unique leader, 0 for
+// everyone else.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	OpAcquire    byte = 1 // blocking lock acquisition
+	OpTryAcquire byte = 2 // single non-blocking probe
+	OpRelease    byte = 3 // release a held lock
+	OpElect      byte = 4 // participate in a named one-shot election
+	OpStats      byte = 5 // JSON counter snapshot
+)
+
+// Response status codes.
+const (
+	StatusOK    byte = 0 // operation succeeded; ELECT carries a result byte
+	StatusBusy  byte = 1 // TRYACQUIRE lost its probe
+	StatusError byte = 2 // payload is a human-readable error message
+)
+
+// ELECT response payload bytes.
+const (
+	ElectLoser  byte = 0
+	ElectLeader byte = 1
+)
+
+// Frame-size limits. MaxName bounds lock names (the name length travels
+// in one byte); DefaultMaxFrame bounds any frame a peer will read —
+// large enough for a STATS snapshot of thousands of locks, small enough
+// that a hostile or corrupt length prefix cannot make a peer allocate
+// gigabytes.
+const (
+	MaxName         = 255
+	DefaultMaxFrame = 1 << 20
+
+	requestHeader  = 6 // op(1) + id(4) + nameLen(1)
+	responseHeader = 5 // status(1) + id(4)
+)
+
+// ErrFrameTooLarge is returned when a frame's length prefix exceeds the
+// reader's limit. The connection is unrecoverable after it: the stream
+// offset no longer points at a frame boundary.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// OpName returns the mnemonic for an opcode, for logs and errors.
+func OpName(op byte) string {
+	switch op {
+	case OpAcquire:
+		return "ACQUIRE"
+	case OpTryAcquire:
+		return "TRYACQUIRE"
+	case OpRelease:
+		return "RELEASE"
+	case OpElect:
+		return "ELECT"
+	case OpStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("op(%d)", op)
+	}
+}
+
+// Request is one decoded client→server frame.
+type Request struct {
+	Op   byte
+	ID   uint32
+	Name string
+}
+
+// Response is one decoded server→client frame.
+type Response struct {
+	Status  byte
+	ID      uint32
+	Payload []byte
+}
+
+// Err returns the response's error message when Status is StatusError,
+// and "" otherwise.
+func (r Response) Err() string {
+	if r.Status != StatusError {
+		return ""
+	}
+	return string(r.Payload)
+}
+
+// AppendRequest appends req's frame to buf and returns the extended
+// slice, so a pipelining client can pack a whole batch into one write.
+func AppendRequest(buf []byte, req Request) ([]byte, error) {
+	if len(req.Name) > MaxName {
+		return buf, fmt.Errorf("wire: name %d bytes exceeds the %d-byte limit", len(req.Name), MaxName)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(requestHeader+len(req.Name)))
+	buf = append(buf, req.Op)
+	buf = binary.BigEndian.AppendUint32(buf, req.ID)
+	buf = append(buf, byte(len(req.Name)))
+	return append(buf, req.Name...), nil
+}
+
+// AppendResponse appends resp's frame to buf and returns the extended
+// slice, so the server can coalesce a batch's responses into one write.
+func AppendResponse(buf []byte, resp Response) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(responseHeader+len(resp.Payload)))
+	buf = append(buf, resp.Status)
+	buf = binary.BigEndian.AppendUint32(buf, resp.ID)
+	return append(buf, resp.Payload...)
+}
+
+// readFrame reads one length-prefixed frame body into a fresh slice.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF only on a clean frame boundary
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	// Compare in uint64: int(n) would go negative on 32-bit platforms
+	// for prefixes ≥ 2³¹ and dodge the limit straight into make().
+	if uint64(n) > uint64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // torn mid-frame
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadRequest reads and decodes one request frame. maxFrame ≤ 0 means
+// DefaultMaxFrame. io.EOF is returned only on a clean close between
+// frames; a connection torn mid-frame yields io.ErrUnexpectedEOF.
+func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(body) < requestHeader {
+		return Request{}, fmt.Errorf("wire: request frame %d bytes, want ≥ %d", len(body), requestHeader)
+	}
+	req := Request{Op: body[0], ID: binary.BigEndian.Uint32(body[1:5])}
+	nameLen := int(body[5])
+	if len(body) != requestHeader+nameLen {
+		return Request{}, fmt.Errorf("wire: request frame %d bytes, header says %d", len(body), requestHeader+nameLen)
+	}
+	req.Name = string(body[requestHeader:])
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response frame. maxFrame ≤ 0 means
+// DefaultMaxFrame.
+func ReadResponse(r io.Reader, maxFrame int) (Response, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(body) < responseHeader {
+		return Response{}, fmt.Errorf("wire: response frame %d bytes, want ≥ %d", len(body), responseHeader)
+	}
+	return Response{
+		Status:  body[0],
+		ID:      binary.BigEndian.Uint32(body[1:5]),
+		Payload: body[responseHeader:],
+	}, nil
+}
+
+// Stats is the STATS payload, marshalled as JSON. The shapes mirror the
+// in-process counters the public randtas API exposes (MutexStats,
+// ArenaShardStats) so a dashboard scraping tasd sees the same numbers a
+// linked-in consumer would.
+type Stats struct {
+	// UptimeSeconds since the server started listening.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ActiveConns and MaxClients describe the connection slots: every
+	// connection owns one process id of the arena's N.
+	ActiveConns int `json:"active_conns"`
+	MaxClients  int `json:"max_clients"`
+	// Ops counts processed requests by operation mnemonic.
+	Ops map[string]uint64 `json:"ops"`
+	// Violations counts server-side mutual-exclusion check failures.
+	// Any nonzero value is a bug in the lock service.
+	Violations uint64 `json:"violations"`
+	// Truncated is set when the per-name lists below were cut short so
+	// the snapshot fits in one response frame; the scalar counters
+	// above are always complete.
+	Truncated bool `json:"truncated,omitempty"`
+	// Locks are the per-name mutex counters, sorted by name.
+	Locks []LockStats `json:"locks"`
+	// Elections are the named one-shot elections, sorted by name.
+	Elections []ElectionStats `json:"elections"`
+	// Arena sums the slot-pool counters across shards.
+	Arena ArenaStats `json:"arena"`
+}
+
+// LockStats is one named lock's counters.
+type LockStats struct {
+	Name string `json:"name"`
+	// Rounds is the number of completed acquire/release cycles.
+	Rounds uint64 `json:"rounds"`
+	// Contended counts blocking acquires that lost a TAS round.
+	Contended uint64 `json:"contended"`
+	// ProbeLosses counts failed TRYACQUIRE probes.
+	ProbeLosses uint64 `json:"probe_losses"`
+}
+
+// ElectionStats is one named election's outcome so far.
+type ElectionStats struct {
+	Name string `json:"name"`
+	// Decided is true once some client won the election.
+	Decided bool `json:"decided"`
+	// WinnerConn is the connection slot of the winner (meaningful only
+	// when Decided).
+	WinnerConn int `json:"winner_conn,omitempty"`
+}
+
+// ArenaStats sums the arena's per-shard pool counters.
+type ArenaStats struct {
+	Hits      uint64 `json:"hits"`
+	Steals    uint64 `json:"steals"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Slots     uint64 `json:"slots"`
+	Registers uint64 `json:"registers"`
+}

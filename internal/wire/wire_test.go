@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRequestRoundTrip: every opcode survives encode→decode, including
+// the empty name and the maximum name.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpAcquire, ID: 1, Name: "build-cache"},
+		{Op: OpTryAcquire, ID: 0xffffffff, Name: ""},
+		{Op: OpRelease, ID: 7, Name: "x"},
+		{Op: OpElect, ID: 42, Name: strings.Repeat("n", MaxName)},
+		{Op: OpStats, ID: 9},
+	}
+	var buf []byte
+	for _, r := range reqs {
+		var err error
+		if buf, err = AppendRequest(buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := bytes.NewReader(buf)
+	for _, want := range reqs {
+		got, err := ReadRequest(rd, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := ReadRequest(rd, 0); err != io.EOF {
+		t.Fatalf("read past last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestResponseRoundTrip: statuses and payloads survive a pipelined
+// batch.
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, ID: 1},
+		{Status: StatusBusy, ID: 2},
+		{Status: StatusError, ID: 3, Payload: []byte("not held")},
+		{Status: StatusOK, ID: 4, Payload: []byte{ElectLeader}},
+	}
+	var buf []byte
+	for _, r := range resps {
+		buf = AppendResponse(buf, r)
+	}
+	rd := bytes.NewReader(buf)
+	for _, want := range resps {
+		got, err := ReadResponse(rd, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if (Response{Status: StatusError, Payload: []byte("boom")}).Err() != "boom" {
+		t.Fatal("Err() lost the message")
+	}
+	if (Response{Status: StatusOK, Payload: []byte("x")}).Err() != "" {
+		t.Fatal("Err() nonempty on OK")
+	}
+}
+
+// TestNameTooLong: names longer than one length byte can express are
+// rejected at encode time, not silently truncated.
+func TestNameTooLong(t *testing.T) {
+	if _, err := AppendRequest(nil, Request{Op: OpAcquire, Name: strings.Repeat("a", MaxName+1)}); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+// TestOversizedFrame: a length prefix above the limit fails with
+// ErrFrameTooLarge before any allocation of the claimed size.
+func TestOversizedFrame(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, 1<<30)
+	_, err := ReadRequest(bytes.NewReader(buf), 1024)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestPartialFrame: a stream cut mid-frame is io.ErrUnexpectedEOF —
+// distinguishable from the clean between-frames close that maps to
+// io.EOF.
+func TestPartialFrame(t *testing.T) {
+	full, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 5, Name: "torn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{2, 4, 6, len(full) - 1} {
+		_, err := ReadRequest(bytes.NewReader(full[:cut]), 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestCorruptLength: a frame whose body disagrees with its embedded
+// name length is rejected.
+func TestCorruptLength(t *testing.T) {
+	full, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 5, Name: "abcd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[9] = 9 // nameLen byte: claims 9, frame carries 4
+	if _, err := ReadRequest(bytes.NewReader(full), 0); err == nil {
+		t.Fatal("corrupt nameLen accepted")
+	}
+	var short []byte
+	short = binary.BigEndian.AppendUint32(short, 3) // < request header
+	short = append(short, 1, 2, 3)
+	if _, err := ReadRequest(bytes.NewReader(short), 0); err == nil {
+		t.Fatal("undersized request frame accepted")
+	}
+}

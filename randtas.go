@@ -126,6 +126,19 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm maps an algorithm's String name ("combined",
+// "logstar", "sifting", "adaptive-sifting", "ratrace",
+// "ratrace-original", "agtv") back to its Algorithm value — the one
+// table every CLI flag parses against.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a := Combined; a <= AGTV; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("randtas: unknown algorithm %q (want combined, logstar, sifting, adaptive-sifting, ratrace, ratrace-original or agtv)", name)
+}
+
 // Options configures a leader election or TAS object.
 type Options struct {
 	// N is the maximum number of processes (Proc ids 0..N-1). Required.
@@ -368,6 +381,94 @@ func (a *Arena) ShardStats() []ArenaShardStats { return a.a.Stats() }
 // Stats sums ShardStats across all shards.
 func (a *Arena) Stats() ArenaShardStats { return a.a.TotalStats() }
 
+// RegistryOptions configures a named-object registry (NewRegistry).
+type RegistryOptions struct {
+	// ArenaOptions sizes the backing arena shared by every named object.
+	ArenaOptions
+	// RegistryShards is the number of shards in the name directory
+	// (default arena.DefaultRegistryShards). It bounds lookup
+	// contention, not capacity — each shard holds any number of names.
+	RegistryShards int
+}
+
+// NamedMutexStats re-exports the per-name mutex counters.
+type NamedMutexStats = arena.NamedStats
+
+// Registry is a directory of named synchronization objects — long-lived
+// mutexes and one-shot leader elections — lazily created on first
+// lookup and all drawing their register space from one shared Arena.
+// It is the in-process face of the tasd lock service: cmd/tasd serves
+// exactly this surface over TCP. All methods are safe for concurrent
+// use.
+type Registry struct {
+	opts ArenaOptions
+	r    *arena.Registry
+}
+
+// NewRegistry builds a registry on a private arena.
+func NewRegistry(opts RegistryOptions) (*Registry, error) {
+	a, err := NewArena(opts.ArenaOptions)
+	if err != nil {
+		return nil, err
+	}
+	return a.NewRegistry(opts.RegistryShards), nil
+}
+
+// NewRegistry builds a registry over this arena. Any number of
+// registries and standalone mutexes may share one arena.
+func (a *Arena) NewRegistry(shards int) *Registry {
+	return &Registry{opts: a.opts, r: arena.NewRegistry(a.a, shards)}
+}
+
+// Mutex returns the named lock, creating it on first use. The returned
+// wrapper is cheap and may be discarded; lookups of one name always
+// resolve to the same underlying lock.
+func (r *Registry) Mutex(name string) *Mutex {
+	return &Mutex{opts: r.opts, m: r.r.Mutex(name)}
+}
+
+// TAS returns the named one-shot test-and-set, creating it on first
+// use. Its slot stays checked out of the arena until Close, so a
+// decided election remains readable indefinitely.
+func (r *Registry) TAS(name string) *NamedTAS {
+	return &NamedTAS{opts: r.opts.Options, slot: r.r.Election(name)}
+}
+
+// Len reports the number of named mutexes and one-shot objects
+// currently registered.
+func (r *Registry) Len() (mutexes, elections int) { return r.r.Len() }
+
+// Stats snapshots every named mutex's counters, sorted by name.
+func (r *Registry) Stats() []NamedMutexStats { return r.r.Stats() }
+
+// ArenaStats sums the backing arena's pool counters across shards.
+func (r *Registry) ArenaStats() ArenaShardStats { return r.r.Arena().TotalStats() }
+
+// Close recycles the named one-shot objects' slots back into the arena
+// and empties the registry. The caller must guarantee no goroutine is
+// still using any named object.
+func (r *Registry) Close() { r.r.Close() }
+
+// NamedTAS is a registry-held one-shot test-and-set. It behaves exactly
+// like a TASObject — at most one TAS call per Proc, exactly one winner
+// ever — but its registers live in an arena slot owned by the registry.
+type NamedTAS struct {
+	opts Options
+	slot *arena.Slot
+}
+
+// Registers returns the object's register footprint.
+func (t *NamedTAS) Registers() int { return t.slot.Registers() }
+
+// Proc returns the context for process id (0 ≤ id < N). Each Proc
+// belongs to one goroutine and may call TAS at most once.
+func (t *NamedTAS) Proc(id int) *TASProc {
+	if id < 0 || id >= t.opts.N {
+		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, t.opts.N))
+	}
+	return &TASProc{h: newHandle(id, t.opts), obj: t.slot.Obj}
+}
+
 // Mutex is a long-lived lock for up to N processes built by chaining
 // one-shot TAS rounds from an Arena: Lock wins the current round's
 // election, Unlock installs a fresh round for the waiters and recycles
@@ -408,6 +509,11 @@ type MutexProc struct {
 
 // Lock acquires the mutex, blocking until this proc wins a TAS round.
 func (p *MutexProc) Lock() { p.p.Lock() }
+
+// LockUntil acquires like Lock but gives up when stop reports true,
+// returning whether the mutex was acquired. stop is polled only while
+// waiting for the holder to hand over, never on the fast path.
+func (p *MutexProc) LockUntil(stop func() bool) bool { return p.p.LockUntil(stop) }
 
 // TryLock makes a single attempt at the current round and reports whether
 // the mutex was acquired. It never blocks.

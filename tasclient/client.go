@@ -1,0 +1,201 @@
+// Package tasclient is the Go client for tasd (cmd/tasd), the TCP lock
+// and leader-election daemon built on randomized test-and-set.
+//
+// A Client is one participant of the lock service: the server dedicates
+// one process slot of its arena to the connection, so each client maps
+// to one "process" of the underlying Giakkoupis–Woelfel algorithms.
+// The synchronous methods (Acquire, TryAcquire, Release, Elect, Stats)
+// issue one request and await its response; Do submits a pipelined
+// batch — all requests in one write, all responses in one pass — which
+// the server likewise turns around as a single batch.
+//
+// A Client is not safe for concurrent use: it represents a single
+// process, and interleaving two goroutines' requests on one connection
+// would interleave their lock ownership. Open one Client per goroutine
+// that needs an independent participant.
+package tasclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Op is one operation of a pipelined batch.
+type Op struct {
+	// Code is one of the wire opcodes re-exported below.
+	Code byte
+	// Name is the lock or election name (ignored for OpStats).
+	Name string
+}
+
+// Re-exported opcodes for building Do batches.
+const (
+	OpAcquire    = wire.OpAcquire
+	OpTryAcquire = wire.OpTryAcquire
+	OpRelease    = wire.OpRelease
+	OpElect      = wire.OpElect
+	OpStats      = wire.OpStats
+)
+
+// Result is one operation's outcome within a Do batch.
+type Result struct {
+	// OK reports plain success: the lock was acquired or released, the
+	// election ran, the stats arrived.
+	OK bool
+	// Busy reports a lost TRYACQUIRE probe (OK is false).
+	Busy bool
+	// Leader reports an ELECT win (meaningful when OK on an OpElect).
+	Leader bool
+	// Err is the server's error message, "" when none.
+	Err string
+	// Payload is the raw response payload (JSON for OpStats).
+	Payload []byte
+}
+
+// Stats is the decoded STATS snapshot; see the wire package for field
+// documentation.
+type Stats = wire.Stats
+
+// Client is one connection to a tasd server. Not safe for concurrent
+// use; see the package comment.
+type Client struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	nextID uint32
+	wbuf   []byte
+}
+
+// Dial connects to a tasd server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with a connection timeout (0 = none).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // request frames are tiny; don't wait to coalesce
+	}
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+}
+
+// Close closes the connection. Locks still held by this client are
+// recovered (released) by the server.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Do executes a pipelined batch: every request is written in one
+// syscall, then every response is read, in order. The returned slice
+// has one Result per op. The error is non-nil only for transport or
+// protocol failures; per-operation failures (a busy lock, a
+// release-without-acquire) land in the individual Results.
+func (c *Client) Do(ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	c.wbuf = c.wbuf[:0]
+	firstID := c.nextID
+	for _, op := range ops {
+		var err error
+		c.wbuf, err = wire.AppendRequest(c.wbuf, wire.Request{Op: op.Code, ID: c.nextID, Name: op.Name})
+		if err != nil {
+			return nil, err
+		}
+		c.nextID++
+	}
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(ops))
+	for i := range ops {
+		resp, err := wire.ReadResponse(c.br, 0)
+		if err != nil {
+			return nil, fmt.Errorf("tasclient: reading response %d/%d: %w", i+1, len(ops), err)
+		}
+		if resp.ID != firstID+uint32(i) {
+			return nil, fmt.Errorf("tasclient: response id %d, want %d (stream desynchronized)", resp.ID, firstID+uint32(i))
+		}
+		r := Result{Payload: resp.Payload}
+		switch resp.Status {
+		case wire.StatusOK:
+			r.OK = true
+			if ops[i].Code == OpElect {
+				r.Leader = len(resp.Payload) == 1 && resp.Payload[0] == wire.ElectLeader
+			}
+		case wire.StatusBusy:
+			r.Busy = true
+		case wire.StatusError:
+			r.Err = string(resp.Payload)
+		default:
+			return nil, fmt.Errorf("tasclient: unknown response status %d", resp.Status)
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// one runs a single operation and folds server-side errors into error.
+func (c *Client) one(op Op) (Result, error) {
+	res, err := c.Do([]Op{op})
+	if err != nil {
+		return Result{}, err
+	}
+	if res[0].Err != "" {
+		return res[0], fmt.Errorf("tasclient: %s %q: %s", wire.OpName(op.Code), op.Name, res[0].Err)
+	}
+	return res[0], nil
+}
+
+// Acquire blocks until the named lock is held by this client.
+func (c *Client) Acquire(name string) error {
+	_, err := c.one(Op{Code: OpAcquire, Name: name})
+	return err
+}
+
+// TryAcquire makes one non-blocking attempt at the named lock and
+// reports whether it is now held.
+func (c *Client) TryAcquire(name string) (bool, error) {
+	res, err := c.one(Op{Code: OpTryAcquire, Name: name})
+	if err != nil {
+		return false, err
+	}
+	return res.OK, nil
+}
+
+// Release releases the named lock. It errors if this client does not
+// hold it.
+func (c *Client) Release(name string) error {
+	_, err := c.one(Op{Code: OpRelease, Name: name})
+	return err
+}
+
+// Elect joins the named one-shot leader election and reports whether
+// this client is the unique leader. Repeating the call returns the same
+// answer: the election is decided at most once.
+func (c *Client) Elect(name string) (bool, error) {
+	res, err := c.one(Op{Code: OpElect, Name: name})
+	if err != nil {
+		return false, err
+	}
+	return res.Leader, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	res, err := c.one(Op{Code: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(res.Payload, &st); err != nil {
+		return Stats{}, fmt.Errorf("tasclient: decoding STATS: %w", err)
+	}
+	return st, nil
+}

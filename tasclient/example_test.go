@@ -1,0 +1,60 @@
+package tasclient_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+	"repro/tasclient"
+)
+
+// ExampleDial: connect to a tasd lock daemon, take a named lock, run a
+// one-shot leader election, and read the server's counters. The server
+// here runs in-process on an ephemeral port; against a real daemon,
+// Dial its -addr instead.
+func ExampleDial() {
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", MaxClients: 4})
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Listen(); err != nil {
+		panic(err)
+	}
+	go srv.Serve()
+
+	c, err := tasclient.Dial(srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	if err := c.Acquire("deploy"); err != nil {
+		panic(err)
+	}
+	fmt.Println("holding deploy")
+	if err := c.Release("deploy"); err != nil {
+		panic(err)
+	}
+
+	leader, err := c.Elect("leader/workers")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("leader:", leader) // sole participant, so always the winner
+
+	st, err := c.Stats()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", st.Locks[0].Rounds, "violations:", st.Violations)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c.Close()
+	srv.Shutdown(ctx)
+	// Output:
+	// holding deploy
+	// leader: true
+	// rounds: 1 violations: 0
+}
