@@ -7,6 +7,7 @@
 package randtas
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -462,9 +463,16 @@ func benchMutexWorkload(b *testing.B, algo Algorithm, noFastPath bool) {
 		}
 		p := m.Proc(id)
 		for pb.Next() {
-			p.Lock()
+			tok, err := p.Lock(context.Background())
+			if err != nil {
+				b.Error(err)
+				return
+			}
 			counter++
-			p.Unlock()
+			if err := p.Unlock(tok); err != nil {
+				b.Error(err)
+				return
+			}
 		}
 	})
 	b.StopTimer()

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -109,17 +110,23 @@ func measureUncontended(cfg compareConfig, algo randtas.Algorithm, noFastPath bo
 		return compareSide{}, err
 	}
 	p := m.Proc(0)
+	ctx := context.Background()
 	ops := 0
 	spin := 0.0
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
 	for time.Now().Before(deadline) {
 		for i := 0; i < 64; i++ { // amortize the clock read
-			p.Lock()
+			tok, err := p.Lock(ctx)
+			if err != nil {
+				return compareSide{}, err
+			}
 			for w := 0; w < cfg.work; w++ {
 				spin += float64(w)
 			}
-			p.Unlock()
+			if err := p.Unlock(tok); err != nil {
+				return compareSide{}, err
+			}
 			ops++
 		}
 	}

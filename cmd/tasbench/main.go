@@ -73,19 +73,33 @@ func main() {
 		clients  = flag.Int("clients", 8, "net: concurrent client connections")
 		pipeline = flag.Int("pipeline", 16, "net: ACQUIRE/RELEASE pairs per pipelined batch")
 		nlocks   = flag.Int("locks", 4, "net: distinct named locks")
-		netAddr  = flag.String("addr", "", "net: target a running tasd (empty = in-process loopback server)")
-		netOut   = flag.String("netout", "BENCH_PR4.json", "net: output JSON path")
+		scenario = flag.String("scenario", "pairs", "net: 'pairs' (leased acquire/release), 'churn' (abandoned holds recovered by lease expiry) or 'storm' (stale-token fencing storm)")
+		ttl      = flag.Duration("ttl", 0, "net/hold: lease TTL attached to acquires (0 = no lease)")
+		abandon  = flag.Int("abandon", 8, "net churn: forget the release every Nth cycle")
+		netAddr  = flag.String("addr", "", "net/hold: target a running tasd (net: empty = in-process loopback server)")
+		netOut   = flag.String("netout", "BENCH_PR5.json", "net: output JSON path")
 		netFloor = flag.Float64("netfloor", 0, "net: fail below this many ops/sec (0 = no gate)")
+
+		holdLock = flag.String("holdlock", "smoke/hold", "hold: lock name to acquire")
+		holdFor  = flag.Duration("holdfor", 0, "hold: how long to sit on the lock before releasing")
 	)
 	flag.Parse()
 
 	switch *mode {
+	case "hold":
+		if err := runHold(*netAddr, *holdLock, *ttl, *holdFor); err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
 	case "net":
 		err := runNet(netConfig{
+			scenario: *scenario,
 			clients:  *clients,
 			pipeline: *pipeline,
 			locks:    *nlocks,
 			duration: *duration,
+			ttl:      *ttl,
+			abandon:  *abandon,
 			addr:     *netAddr,
 			algos:    *algos,
 			seed:     *seed,
@@ -140,7 +154,7 @@ func main() {
 	case "experiments":
 		// fall through to the simulator tables below
 	default:
-		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare' or 'net')", *mode)
+		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare', 'net' or 'hold')", *mode)
 	}
 
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}

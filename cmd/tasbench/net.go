@@ -1,30 +1,56 @@
-// Net mode: a loopback load generator for tasd, the TCP lock service.
+// Net mode: a loopback load generator for tasd, the TCP lock service —
+// now covering the v2 fenced/leased surface.
 //
 // By default it boots an in-process server on an ephemeral loopback
 // port (use -addr to target a standalone tasd) and drives it from
 // -clients concurrent connections, each issuing pipelined batches of
-// -pipeline ACQUIRE/RELEASE pairs spread across -locks named locks.
-// Reported: total acquire/release ops/sec, batch round-trip ("wait")
-// p50/p99, and the server's own counters. Mutual exclusion is verified
-// server-side — every granted acquisition checks a per-lock owner word
-// — and the run fails if the STATS violations counter is nonzero, if
-// any operation errs, or (when we own the server) if the per-lock
-// round counts don't account for every pair issued.
+// -pipeline operations spread across -locks named locks. Three
+// scenarios exercise the redesigned path:
 //
-// The JSON report (default BENCH_PR4.json) extends the repository's
+//	pairs  (default) ACQUIRE/RELEASE pairs; with -ttl every acquire
+//	       carries a lease, releases are prompt, so the lease machinery
+//	       rides the hot path without ever firing — the throughput
+//	       regression gate for the v2 redesign.
+//	churn  every -abandon-th cycle per client "forgets" its release and
+//	       relies on server-side lease expiry to free the lock: sustained
+//	       lease-churn, recovery verified by the run completing and the
+//	       expiry counters moving.
+//	storm  fencing storm: clients deliberately hold past the TTL, then
+//	       release with the (now stale) token and require StatusFenced —
+//	       the end-to-end fencing contract under load.
+//
+// Reported: total ops/sec, batch round-trip ("wait") p50/p99, lease
+// expiries, fenced releases, and the server's own counters. Mutual
+// exclusion is verified server-side — every granted acquisition checks
+// a token-keyed per-lock owner word — and the run fails if the STATS
+// violations counter is nonzero, if any operation errs unexpectedly, or
+// (when we own the server, pairs scenario) if the per-lock round counts
+// don't account for every pair issued.
+//
+// The JSON report (default BENCH_PR5.json) extends the repository's
 // benchmark trajectory: PR 2 measured the in-process lock fast path,
-// PR 3 the simulator engine, PR 4 the first network-facing layer.
+// PR 3 the simulator engine, PR 4 the first network-facing layer, PR 5
+// the fenced/leased redesign of that layer.
+//
+// A fourth mode, -mode=hold, is a tiny client for smoke tests: acquire
+// one lock with a lease, hold it for -holdfor, then release and report
+// whether the release was fenced (exit 3) — the CI drill that freezes a
+// holder mid-hold and asserts lease recovery within the TTL.
 //
 // Usage:
 //
-//	tasbench -mode=net [-clients C] [-pipeline D] [-locks L]
-//	         [-duration D] [-addr host:port] [-netout BENCH_PR4.json]
+//	tasbench -mode=net [-scenario pairs|churn|storm] [-clients C]
+//	         [-pipeline D] [-locks L] [-duration D] [-ttl TTL]
+//	         [-abandon N] [-addr host:port] [-netout BENCH_PR5.json]
 //	         [-netfloor OPS] [-algos combined,...] [-seed S]
+//	tasbench -mode=hold [-addr host:port] [-holdlock NAME] [-ttl TTL]
+//	         [-holdfor D]
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -38,12 +64,15 @@ import (
 )
 
 type netConfig struct {
+	scenario string // pairs, churn, storm
 	clients  int
 	pipeline int
 	locks    int
 	duration time.Duration
-	addr     string // "" = in-process loopback server
-	algos    string // first entry picks the server algorithm
+	ttl      time.Duration // lease TTL on acquires (0 = none)
+	abandon  int           // churn: forget every Nth release
+	addr     string        // "" = in-process loopback server
+	algos    string        // first entry picks the server algorithm
 	seed     int64
 	out      string
 	floor    float64 // minimum ops/sec gate (0 = off)
@@ -59,10 +88,12 @@ type netReport struct {
 	Note       string `json:"note"`
 
 	Algorithm string `json:"algorithm"`
+	Scenario  string `json:"scenario"`
 	Clients   int    `json:"clients"`
 	Pipeline  int    `json:"pipeline_depth"`
 	Locks     int    `json:"locks"`
 	Duration  string `json:"duration"`
+	LeaseTTL  string `json:"lease_ttl,omitempty"`
 
 	Ops       int     `json:"ops"`
 	Pairs     int     `json:"acquire_release_pairs"`
@@ -72,6 +103,9 @@ type netReport struct {
 
 	ExclusionVerified bool   `json:"exclusion_verified"`
 	Violations        uint64 `json:"violations"`
+	LeaseExpirations  uint64 `json:"lease_expirations"`
+	FencedReleases    int    `json:"fenced_releases"`
+	Abandoned         int    `json:"abandoned_holds"`
 	ServerRounds      uint64 `json:"server_rounds"`
 	ServerContended   uint64 `json:"server_contended"`
 	ArenaSlots        uint64 `json:"arena_slots"`
@@ -81,15 +115,28 @@ type netReport struct {
 }
 
 type netWorker struct {
-	pairs int
-	rtts  []time.Duration
-	err   error
+	pairs     int
+	fenced    int
+	abandoned int
+	rtts      []time.Duration
+	err       error
 }
 
 func runNet(cfg netConfig) error {
 	if cfg.clients < 1 || cfg.pipeline < 1 || cfg.locks < 1 {
 		return fmt.Errorf("net: -clients (%d), -pipeline (%d) and -locks (%d) must all be ≥ 1",
 			cfg.clients, cfg.pipeline, cfg.locks)
+	}
+	switch cfg.scenario {
+	case "pairs", "churn", "storm":
+	default:
+		return fmt.Errorf("net: unknown -scenario %q (want pairs, churn or storm)", cfg.scenario)
+	}
+	if cfg.scenario != "pairs" && cfg.ttl <= 0 {
+		return fmt.Errorf("net: -scenario=%s needs a positive -ttl", cfg.scenario)
+	}
+	if cfg.abandon < 2 {
+		cfg.abandon = 8
 	}
 	algos, err := throughputAlgos(cfg.algos)
 	if err != nil {
@@ -122,8 +169,8 @@ func runNet(cfg netConfig) error {
 		addr = srv.Addr().String()
 	}
 
-	fmt.Printf("### net — tasd loopback load (%s, clients=%d, pipeline=%d, locks=%d, D=%v)\n\n",
-		addr, cfg.clients, cfg.pipeline, cfg.locks, cfg.duration)
+	fmt.Printf("### net — tasd loopback load (%s, scenario=%s, clients=%d, pipeline=%d, locks=%d, ttl=%v, D=%v)\n\n",
+		addr, cfg.scenario, cfg.clients, cfg.pipeline, cfg.locks, cfg.ttl, cfg.duration)
 
 	workers := make([]netWorker, cfg.clients)
 	var wg sync.WaitGroup
@@ -140,34 +187,16 @@ func runNet(cfg netConfig) error {
 				return
 			}
 			defer c.Close()
-			// Pre-build the batch shape once; names cycle through the
-			// lock set, offset per client so contention spreads.
-			batch := make([]tasclient.Op, 0, 2*cfg.pipeline)
-			for i := 0; i < cfg.pipeline; i++ {
-				name := fmt.Sprintf("lock-%d", (w+i)%cfg.locks)
-				batch = append(batch,
-					tasclient.Op{Code: tasclient.OpAcquire, Name: name},
-					tasclient.Op{Code: tasclient.OpRelease, Name: name},
-				)
-			}
+			// The barrier keeps every op inside the [t0, deadline]
+			// window the ops/sec division uses.
 			<-start
-			for time.Now().Before(deadline) {
-				t0 := time.Now()
-				out, err := c.Do(batch)
-				if err != nil {
-					res.err = err
-					return
-				}
-				for i, r := range out {
-					if !r.OK {
-						res.err = fmt.Errorf("batch op %d (%s): %s", i, opLabel(batch[i]), r.Err)
-						return
-					}
-				}
-				res.pairs += cfg.pipeline
-				if len(res.rtts) < sampleCap {
-					res.rtts = append(res.rtts, time.Since(t0))
-				}
+			switch cfg.scenario {
+			case "pairs":
+				res.run(c, cfg, w, deadline)
+			case "churn":
+				res.runChurn(c, cfg, w, deadline)
+			case "storm":
+				res.runStorm(c, cfg, w, deadline)
 			}
 		}(w)
 	}
@@ -176,13 +205,15 @@ func runNet(cfg netConfig) error {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	pairs := 0
+	pairs, fenced, abandoned := 0, 0, 0
 	var rtts []time.Duration
 	for w := range workers {
 		if workers[w].err != nil {
 			return fmt.Errorf("net client %d: %v", w, workers[w].err)
 		}
 		pairs += workers[w].pairs
+		fenced += workers[w].fenced
+		abandoned += workers[w].abandoned
 		rtts = append(rtts, workers[w].rtts...)
 	}
 	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
@@ -190,13 +221,14 @@ func runNet(cfg netConfig) error {
 	opsPerSec := float64(ops) / elapsed.Seconds()
 
 	// Server-side verification: the owner-word check must never have
-	// tripped, and — when the server is ours alone — its per-lock round
-	// counts must account for every pair the generator issued.
+	// tripped, and — when the server is ours alone, in the clean pairs
+	// scenario — its per-lock round counts must account for every pair
+	// the generator issued.
 	probe, err := tasclient.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("net: stats probe: %v", err)
 	}
-	st, err := probe.Stats()
+	st, err := probe.Stats(context.Background())
 	probe.Close()
 	if err != nil {
 		return fmt.Errorf("net: stats probe: %v", err)
@@ -210,23 +242,36 @@ func runNet(cfg netConfig) error {
 		contended += l.Contended
 	}
 	// A truncated snapshot (huge -locks counts) undercounts rounds by
-	// construction; the equality gate only holds on a complete listing.
-	if srv != nil && !st.Truncated && rounds != uint64(pairs) {
+	// construction; the equality gate only holds on a complete listing
+	// of a clean pairs run (lease churn completes rounds via expiry).
+	if srv != nil && cfg.scenario == "pairs" && !st.Truncated && rounds != uint64(pairs) {
 		return fmt.Errorf("net: server completed %d rounds, generator issued %d pairs (lost or phantom acquisitions)", rounds, pairs)
+	}
+	switch cfg.scenario {
+	case "churn":
+		if st.LeaseExpirations == 0 || abandoned == 0 {
+			return fmt.Errorf("net: churn scenario enforced no leases (%d expiries, %d abandoned)", st.LeaseExpirations, abandoned)
+		}
+	case "storm":
+		if fenced == 0 {
+			return fmt.Errorf("net: storm scenario observed no fenced releases")
+		}
 	}
 
 	report := netReport{
-		Schema:     "randtas-bench-net/v1",
+		Schema:     "randtas-bench-net/v2",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note: "loopback load on tasd: ops = ACQUIRE + RELEASE count; wait = pipelined batch round-trip; " +
-			"exclusion_verified = server-side owner check clean and every pair accounted in lock rounds",
+		Note: "loopback load on tasd protocol v2: ops = ACQUIRE + RELEASE count; wait = pipelined batch round-trip; " +
+			"exclusion_verified = token-keyed server-side owner check clean; leases attached per the scenario",
 		Algorithm: algo.String(),
+		Scenario:  cfg.scenario,
 		Clients:   cfg.clients, Pipeline: cfg.pipeline, Locks: cfg.locks,
 		Duration:          elapsed.Round(time.Millisecond).String(),
+		LeaseTTL:          cfg.ttl.String(),
 		Ops:               ops,
 		Pairs:             pairs,
 		OpsPerSec:         opsPerSec,
@@ -234,6 +279,9 @@ func runNet(cfg netConfig) error {
 		WaitP99Us:         float64(percentile(rtts, 0.99).Microseconds()),
 		ExclusionVerified: true,
 		Violations:        st.Violations,
+		LeaseExpirations:  st.LeaseExpirations,
+		FencedReleases:    fenced,
+		Abandoned:         abandoned,
 		ServerRounds:      rounds,
 		ServerContended:   contended,
 		ArenaSlots:        st.Arena.Slots,
@@ -242,17 +290,17 @@ func runNet(cfg netConfig) error {
 	}
 
 	tbl := harness.Table{
-		Title:   "tasd loopback: sustained acquire/release traffic over TCP",
-		Headers: []string{"algorithm", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "contended", "violations"},
+		Title:   "tasd loopback: sustained lock traffic over TCP (protocol v2)",
+		Headers: []string{"algorithm", "scenario", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "expiries", "fenced", "violations"},
 		Notes: []string{
 			"ops counts ACQUIRE and RELEASE individually; wait = batch round-trip over the wire.",
-			"violations = server-side owner-word check failures (must be 0).",
+			"violations = server-side token-keyed owner check failures (must be 0).",
 		},
 	}
-	tbl.AddRow(algo.String(), ops, fmt.Sprintf("%.0f", opsPerSec),
+	tbl.AddRow(algo.String(), cfg.scenario, ops, fmt.Sprintf("%.0f", opsPerSec),
 		percentile(rtts, 0.50).Round(time.Microsecond).String(),
 		percentile(rtts, 0.99).Round(time.Microsecond).String(),
-		rounds, contended, st.Violations)
+		rounds, st.LeaseExpirations, fenced, st.Violations)
 	fmt.Println(tbl.String())
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -268,6 +316,160 @@ func runNet(cfg netConfig) error {
 	if cfg.floor > 0 && opsPerSec < cfg.floor {
 		return fmt.Errorf("net: %.0f ops/sec below the %.0f floor", opsPerSec, cfg.floor)
 	}
+	return nil
+}
+
+// run is the pairs scenario: pipelined ACQUIRE(ttl)/RELEASE(token)
+// pairs, releases prompt — leases never fire, the throughput gate.
+func (res *netWorker) run(c *tasclient.Client, cfg netConfig, w int, deadline time.Time) {
+	// Pre-build the batch shape once; names cycle through the lock set,
+	// offset per client so contention spreads. Tokens are granted per
+	// batch, so RELEASE uses the v1-style server-tracked token (0) —
+	// the server still verifies its own record.
+	batch := make([]tasclient.Op, 0, 2*cfg.pipeline)
+	for i := 0; i < cfg.pipeline; i++ {
+		name := fmt.Sprintf("lock-%d", (w+i)%cfg.locks)
+		batch = append(batch,
+			tasclient.Op{Code: tasclient.OpAcquire, Name: name, TTL: cfg.ttl},
+			tasclient.Op{Code: tasclient.OpRelease, Name: name},
+		)
+	}
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		out, err := c.Do(context.Background(), batch)
+		if err != nil {
+			res.err = err
+			return
+		}
+		for i, r := range out {
+			if !r.OK {
+				res.err = fmt.Errorf("batch op %d (%s): %+v", i, opLabel(batch[i]), r)
+				return
+			}
+		}
+		res.pairs += cfg.pipeline
+		if len(res.rtts) < sampleCap {
+			res.rtts = append(res.rtts, time.Since(t0))
+		}
+	}
+}
+
+// runChurn is the lease-churn scenario: every cfg.abandon-th cycle the
+// client skips its release, leaving recovery to the server's lease
+// sweeper. Abandoned grants surface on the next acquire of the same
+// name (possibly blocking until expiry), so the run as a whole proves
+// recovery within TTL under sustained churn.
+func (res *netWorker) runChurn(c *tasclient.Client, cfg netConfig, w int, deadline time.Time) {
+	ctx := context.Background()
+	cycle := 0
+	// A connected client that abandons a grant still holds it until the
+	// sweeper fences it; re-acquiring the same name before then is a
+	// (correctly rejected) reentrant acquire. Track our own abandoned
+	// names and steer clear until the lease has surely lapsed.
+	abandoned := map[string]time.Time{}
+	grace := cfg.ttl * 3
+	for time.Now().Before(deadline) {
+		name := fmt.Sprintf("lock-%d", (w+cycle)%cfg.locks)
+		if at, ok := abandoned[name]; ok {
+			if time.Since(at) < grace {
+				cycle++
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			delete(abandoned, name)
+		}
+		t0 := time.Now()
+		tok, err := c.Acquire(ctx, name, cfg.ttl)
+		if err != nil {
+			res.err = fmt.Errorf("churn acquire %s: %v", name, err)
+			return
+		}
+		cycle++
+		if cycle%cfg.abandon == 0 {
+			res.abandoned++ // leave it to the lease sweeper
+			abandoned[name] = time.Now()
+			continue
+		}
+		if err := c.Release(ctx, name, tok); err != nil {
+			if errors.Is(err, tasclient.ErrFenced) {
+				res.fenced++ // sweeper got there first; legal under churn
+				continue
+			}
+			res.err = fmt.Errorf("churn release %s: %v", name, err)
+			return
+		}
+		res.pairs++
+		if len(res.rtts) < sampleCap {
+			res.rtts = append(res.rtts, time.Since(t0))
+		}
+	}
+}
+
+// runStorm is the fencing storm: hold past the TTL on purpose, then
+// release with the stale token and demand StatusFenced. Every client
+// does this concurrently on the shared lock set.
+func (res *netWorker) runStorm(c *tasclient.Client, cfg netConfig, w int, deadline time.Time) {
+	ctx := context.Background()
+	cycle := 0
+	for time.Now().Before(deadline) {
+		name := fmt.Sprintf("lock-%d", (w+cycle)%cfg.locks)
+		cycle++
+		t0 := time.Now()
+		tok, err := c.Acquire(ctx, name, cfg.ttl)
+		if err != nil {
+			res.err = fmt.Errorf("storm acquire %s: %v", name, err)
+			return
+		}
+		time.Sleep(cfg.ttl + cfg.ttl/2) // deliberately outlive the lease
+		err = c.Release(ctx, name, tok)
+		switch {
+		case errors.Is(err, tasclient.ErrFenced):
+			res.fenced++
+		case err == nil:
+			// The sweeper may not have fired yet on a quiet lock; a
+			// clean release is acceptable, just not countable.
+			res.pairs++
+		default:
+			res.err = fmt.Errorf("storm release %s: %v", name, err)
+			return
+		}
+		if len(res.rtts) < sampleCap {
+			res.rtts = append(res.rtts, time.Since(t0))
+		}
+	}
+}
+
+// runHold is -mode=hold: the smoke-test client. It acquires one lock
+// with a lease, holds it for holdfor (surviving SIGSTOP — the point of
+// the drill), then releases. Exit codes: 0 clean release, 3 the release
+// was fenced (the lease expired mid-hold).
+func runHold(addr, lock string, ttl, holdfor time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("hold: -addr is required")
+	}
+	c, err := tasclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tok, err := c.Acquire(ctx, lock, ttl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hold: acquired %q token %d (ttl %v), holding %v\n", lock, tok, ttl, holdfor)
+	if holdfor > 0 {
+		time.Sleep(holdfor)
+	}
+	if err := c.Release(context.Background(), lock, tok); err != nil {
+		if errors.Is(err, tasclient.ErrFenced) {
+			fmt.Printf("hold: release fenced — the lease expired mid-hold\n")
+			os.Exit(3)
+		}
+		return err
+	}
+	fmt.Printf("hold: released cleanly\n")
 	return nil
 }
 

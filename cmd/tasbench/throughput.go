@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -114,13 +115,18 @@ func runThroughputOne(cfg throughputConfig, algo randtas.Algorithm) (throughputR
 			res := workerResult{}
 			spin := 0.0
 			<-start
+			ctx := context.Background()
 			for time.Now().Before(deadline) && !violation.Load() {
 				t0 := time.Now()
-				p.Lock()
+				tok, err := p.Lock(ctx)
+				if err != nil {
+					violation.Store(true)
+					return
+				}
 				t1 := time.Now()
 				if !owner.CompareAndSwap(0, int64(id)+1) {
 					violation.Store(true)
-					p.Unlock()
+					p.Unlock(tok)
 					return
 				}
 				guarded++
@@ -129,7 +135,10 @@ func runThroughputOne(cfg throughputConfig, algo randtas.Algorithm) (throughputR
 				}
 				owner.Store(0)
 				t2 := time.Now()
-				p.Unlock()
+				if err := p.Unlock(tok); err != nil {
+					violation.Store(true)
+					return
+				}
 				res.ops++
 				if len(res.waits) < sampleCap {
 					res.waits = append(res.waits, t1.Sub(t0))

@@ -1,20 +1,26 @@
 // Command tasd is the TCP lock and leader-election daemon built on the
-// repository's randomized test-and-set arena: named locks
-// (ACQUIRE/TRYACQUIRE/RELEASE), named one-shot leader elections
-// (ELECT), and a STATS counter snapshot, served over the compact binary
-// protocol of internal/wire to any number of tasclient connections.
+// repository's randomized test-and-set arena: named fenced locks
+// (ACQUIRE/TRYACQUIRE/RELEASE, with lease TTLs and strictly monotone
+// fencing tokens), named epoch'd leader elections
+// (ELECT/ELECTEPOCH/ELECTRESET), and a STATS counter snapshot, served
+// over the compact binary protocol of internal/wire (v2, with HELLO
+// version negotiation — v1 clients keep working) to any number of
+// tasclient connections.
 //
 // Usage:
 //
 //	tasd [-addr 127.0.0.1:7420] [-max-clients 64] [-algo combined]
-//	     [-shards S] [-prealloc P] [-seed S] [-drain-timeout 10s] [-quiet]
+//	     [-shards S] [-prealloc P] [-seed S] [-lease-sweep 5ms]
+//	     [-drain-timeout 10s] [-quiet]
 //
 // Every connected client owns one process slot of the arena, so the
-// paper's per-process wait-freedom guarantees carry over per client.
-// SIGTERM or SIGINT starts a graceful drain: the listener closes,
-// in-flight request batches finish, held locks of departing clients are
-// recovered, and the process exits 0 — or exits 1 if the drain timeout
-// forces connections closed.
+// paper's per-process wait-freedom guarantees carry over per client. A
+// client that hangs while holding a leased lock is expired within
+// TTL + lease-sweep: waiters proceed on a force-installed round and the
+// zombie's release answers FENCED. SIGTERM or SIGINT starts a graceful
+// drain: the listener closes, in-flight request batches finish, held
+// locks of departing clients are recovered, and the process exits 0 —
+// or exits 1 if the drain timeout forces connections closed.
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 		shards       = flag.Int("shards", 0, "arena shards (0 = default)")
 		prealloc     = flag.Int("prealloc", 0, "preallocated slots per shard (0 = default)")
 		seed         = flag.Int64("seed", 0, "deterministic coin seed (0 = per-run random)")
+		leaseSweep   = flag.Duration("lease-sweep", 5*time.Millisecond, "lease sweeper interval — a lease is enforced within TTL + this")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -58,6 +65,7 @@ func main() {
 		Seed:        *seed,
 		ArenaShards: *shards,
 		Prealloc:    *prealloc,
+		LeaseSweep:  *leaseSweep,
 		Logf:        logf,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package randtas_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -61,8 +62,10 @@ func ExampleNewLeaderElection() {
 	// Output: leaders: 1
 }
 
-// ExampleNewMutex: a reusable lock chained from one-shot TAS rounds.
-// The counter is a plain int — the mutex alone serializes it.
+// ExampleNewMutex: a reusable fenced lock chained from one-shot TAS
+// rounds. Every acquisition returns a strictly monotone fencing token
+// that the release verifies; the counter is a plain int — the mutex
+// alone serializes it.
 func ExampleNewMutex() {
 	m, err := randtas.NewMutex(randtas.ArenaOptions{Options: randtas.Options{N: 4}})
 	if err != nil {
@@ -75,9 +78,14 @@ func ExampleNewMutex() {
 		go func(p *randtas.MutexProc) {
 			defer wg.Done()
 			for j := 0; j < 1000; j++ {
-				p.Lock()
+				tok, err := p.Lock(context.Background())
+				if err != nil {
+					panic(err)
+				}
 				counter++
-				p.Unlock()
+				if err := p.Unlock(tok); err != nil {
+					panic(err) // ErrFenced would mean our lease was revoked
+				}
 			}
 		}(m.Proc(i))
 	}
@@ -86,8 +94,10 @@ func ExampleNewMutex() {
 	// Output: counter: 4000
 }
 
-// ExampleNewRegistry: named locks on one shared arena — the in-process
-// surface that cmd/tasd serves over TCP.
+// ExampleNewRegistry: named fenced locks on one shared arena — the
+// in-process surface that cmd/tasd serves over TCP. The holder's token
+// is visible to everyone, so downstream resources can fence stale
+// writers.
 func ExampleNewRegistry() {
 	reg, err := randtas.NewRegistry(randtas.RegistryOptions{
 		ArenaOptions: randtas.ArenaOptions{Options: randtas.Options{N: 2}},
@@ -96,12 +106,44 @@ func ExampleNewRegistry() {
 		panic(err)
 	}
 	p := reg.Mutex("build/cache").Proc(0)
-	p.Lock()
-	p.Unlock()
-	p.Lock()
-	p.Unlock()
-	for _, st := range reg.Stats() {
-		fmt.Printf("%s: %d rounds\n", st.Name, st.Rounds)
+	for i := 0; i < 2; i++ {
+		tok, err := p.Lock(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		if err := p.Unlock(tok); err != nil {
+			panic(err)
+		}
 	}
-	// Output: build/cache: 2 rounds
+	for _, st := range reg.Stats() {
+		fmt.Printf("%s: %d rounds, holder token %d\n", st.Name, st.Rounds, st.HolderToken)
+	}
+	// Output: build/cache: 2 rounds, holder token 0
+}
+
+// ExampleRegistry_Election: re-electable leadership. Each epoch is one
+// pristine one-shot election — exactly one leader — and Reset retires
+// the epoch so the name can elect again, with the epoch number as the
+// leadership fencing value.
+func ExampleRegistry_Election() {
+	reg, err := randtas.NewRegistry(randtas.RegistryOptions{
+		ArenaOptions: randtas.ArenaOptions{Options: randtas.Options{N: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	e := reg.Election("leader/shard-7")
+	p := e.Proc(0)
+
+	leader, epoch := p.Elect() // sole participant: always the leader
+	fmt.Printf("epoch %d leader: %v\n", epoch, leader)
+
+	if _, err := e.Reset(epoch); err != nil {
+		panic(err)
+	}
+	leader, epoch = p.Elect() // fresh epoch, fresh election
+	fmt.Printf("epoch %d leader: %v\n", epoch, leader)
+	// Output:
+	// epoch 1 leader: true
+	// epoch 2 leader: true
 }

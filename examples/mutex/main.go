@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -42,15 +43,29 @@ func main() {
 		wg.Add(1)
 		go func(id int, p *randtas.MutexProc) {
 			defer wg.Done()
+			ctx := context.Background()
+			var lastTok randtas.Token
 			for j := 0; j < iters; j++ {
-				p.Lock()
+				tok, err := p.Lock(ctx)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: %v\n", id, err)
+					os.Exit(1)
+				}
+				if tok <= lastTok {
+					fmt.Fprintf(os.Stderr, "worker %d: token %d not monotone (prev %d)\n", id, tok, lastTok)
+					os.Exit(1)
+				}
+				lastTok = tok
 				if !owner.CompareAndSwap(0, int64(id)+1) {
 					fmt.Fprintf(os.Stderr, "worker %d entered while %d held the lock!\n", id, owner.Load()-1)
 					os.Exit(1)
 				}
 				counter++
 				owner.Store(0)
-				p.Unlock()
+				if err := p.Unlock(tok); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: unlock: %v\n", id, err)
+					os.Exit(1)
+				}
 			}
 		}(i, m.Proc(i))
 	}

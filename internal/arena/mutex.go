@@ -1,25 +1,63 @@
-// TAS-chaining mutex: a long-lived lock built from one-shot TAS rounds.
+// TAS-chaining mutex: a long-lived lock built from one-shot TAS rounds,
+// with fencing tokens.
 //
 // The lock's state is a pointer to the current *round*, which wraps one
-// arena slot. Lock() means "win the current round's TAS"; Unlock() means
-// "acquire a fresh slot, install it as the next round, and retire the old
-// one". Exactly one process ever receives 0 from a round's TAS, and the
-// next round exists only after the holder's Unlock, so mutual exclusion
-// follows directly from the one-shot TAS property.
+// arena slot. Locking means "win the current round's TAS"; unlocking
+// means "acquire a fresh slot, install it as the next round, and retire
+// the old one". Exactly one process ever receives 0 from a round's TAS,
+// and the next round exists only after the previous one is handed over,
+// so mutual exclusion follows directly from the one-shot TAS property.
 //
-// Retiring a round safely is the delicate part: the old slot's registers
-// may only be reset (Arena.Put) once every process that entered the round
-// has left it. Each round carries a refcount; processes increment it
-// before touching the slot and decrement on the way out, the winner holds
-// its reference until Unlock, and whoever drops the count to zero after
-// the round is closed recycles the slot. Sequentially consistent atomics
-// give the key invariant: a process that observed closed == false after
-// incrementing is counted before the winner's own release decrement, so
-// the count cannot reach zero while anyone may still step on the
-// registers.
+// # Fencing tokens
+//
+// Every successful acquisition returns the winning round's sequence
+// number as a fencing Token. Rounds are installed with strictly
+// increasing sequence numbers — by the holder's Unlock, by Revoke (lease
+// enforcement force-installing the successor over a hung holder), and by
+// Retire (eviction) alike — so tokens are strictly monotone over the
+// lock's whole history: a downstream resource that remembers the largest
+// token it has seen can reject any stale writer, and Unlock verifies its
+// token so a revoked holder's release reports ErrFenced instead of
+// corrupting the chain.
+//
+// # The gate word
+//
+// Win, release, revocation and retirement race each other; a single
+// atomic "gate" word serializes their decisions:
+//
+//	0        the lock is free (no decided winner for the current round)
+//	t        the holder of token t has the lock
+//	retired  the mutex is retired (evicted); no further acquisitions
+//
+// A process that wins a round's TAS publishes its claim with
+// gate.CAS(0→t); if that fails the mutex was retired while the TAS was
+// in flight and the win is discarded (safe: the round is closed, no
+// successor will ever be granted from it). Unlock and Revoke both start
+// with gate.CAS(t→0), so exactly one of them performs the handover; the
+// loser observes ErrFenced / false. Retire starts with gate.CAS(0→retired),
+// which can only succeed while no winner is decided, and any in-flight
+// winner then fails its own claim CAS. The invariant behind the claim
+// CAS: whenever a round is winnable, the gate is 0 or retired, because
+// every path that installs a successor clears the gate first.
+//
+// # Recycling
+//
+// Retiring a round's slot safely is the delicate part: the old slot's
+// registers may only be reset (Arena.Put) once every process that
+// entered the round has left it. Each round carries a refcount;
+// processes increment it before touching the slot and decrement on the
+// way out, the winner holds its reference until Unlock (even a fenced
+// one), and whoever drops the count to zero after the round is closed
+// recycles the slot. Sequentially consistent atomics give the key
+// invariant: a process that observed closed == false after incrementing
+// is counted before the closing side's zero-check, so the count cannot
+// reach zero while anyone may still step on the registers.
 package arena
 
 import (
+	"context"
+	"errors"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -27,16 +65,40 @@ import (
 	"repro/internal/concurrent"
 )
 
+// Lock-ownership errors. They are re-exported by the public randtas
+// package and mapped onto wire statuses by the tasd server.
+var (
+	// ErrFenced reports a release that lost to a revocation: the lease
+	// expired (or the lock was retired) and the successor round was
+	// force-installed, so the caller's token no longer owns the lock.
+	ErrFenced = errors.New("arena: fencing token superseded (lease expired or lock revoked)")
+	// ErrNotHeld reports an Unlock by a proc that holds nothing.
+	ErrNotHeld = errors.New("arena: unlock of a mutex this proc does not hold")
+	// ErrBadToken reports an Unlock whose token does not match the round
+	// the proc holds — a stale token from an earlier acquisition.
+	ErrBadToken = errors.New("arena: unlock token does not match the held round")
+	// ErrRetired reports an acquisition attempt on a retired (evicted)
+	// mutex; look the name up again to get its successor.
+	ErrRetired = errors.New("arena: mutex retired (evicted from its registry)")
+)
+
+// retiredGate is the gate-word sentinel for a retired mutex. Tokens are
+// round sequence numbers counted from 1, so the sentinel is unreachable
+// as a real token.
+const retiredGate = math.MaxUint64
+
 // Mutex is a long-lived mutual-exclusion lock chained from one-shot TAS
 // rounds drawn from an Arena. Create one with NewMutex; each goroutine
 // interacts through its own MutexProc.
 type Mutex struct {
 	arena *Arena
 	cur   atomic.Pointer[round]
+	gate  atomic.Uint64 // 0 free | token held | retiredGate
 
 	rounds      atomic.Uint64 // completed Lock/Unlock cycles
 	contended   atomic.Uint64 // blocking Lock attempts that lost a round's TAS
 	probeLosses atomic.Uint64 // failed nonblocking TryLock probes
+	expirations atomic.Uint64 // revocations (lease expiries enforced via Revoke)
 }
 
 type round struct {
@@ -58,6 +120,85 @@ func NewMutex(a *Arena) *Mutex {
 // Arena returns the arena backing this mutex.
 func (m *Mutex) Arena() *Arena { return m.arena }
 
+// Holder returns the fencing token of the current holder, or 0 when the
+// lock is free (or retired). It is an advisory snapshot: by the time the
+// caller acts on it the lock may have changed hands, but tokens are
+// strictly monotone, so a resource that admits writes only from the
+// largest token it has ever seen is always safe.
+func (m *Mutex) Holder() uint64 {
+	g := m.gate.Load()
+	if g == retiredGate {
+		return 0
+	}
+	return g
+}
+
+// Retired reports whether the mutex has been retired (evicted).
+func (m *Mutex) Retired() bool { return m.gate.Load() == retiredGate }
+
+// Revoke forcibly releases the holder of token tok: it installs the
+// successor round so waiters can proceed, and the zombie holder's own
+// eventual Unlock(tok) reports ErrFenced. It returns false when tok no
+// longer holds the lock (already released, already revoked, or never
+// granted). This is the lease-enforcement hook: a lock service that
+// granted tok with a TTL calls Revoke when the TTL expires.
+//
+// The revoked round's slot is recycled only after the zombie's Unlock
+// (or its proc's teardown) drops the winner's reference — until then the
+// zombie may still legally read the round's registers.
+func (m *Mutex) Revoke(tok uint64) bool {
+	if tok == 0 || tok == retiredGate || !m.gate.CompareAndSwap(tok, 0) {
+		return false
+	}
+	// The gate CAS makes us the unique releaser of round tok: the holder
+	// observed-or-will-observe its own gate CAS fail. Install the
+	// successor unless a concurrent Retire got the (momentarily free)
+	// lock first.
+	r := m.cur.Load()
+	if r.seq != tok {
+		return true // Retire raced in and already moved the chain on
+	}
+	next := &round{slot: m.arena.Get(0), seq: r.seq + 1}
+	if m.cur.CompareAndSwap(r, next) {
+		r.closed.Store(true)
+		m.expirations.Add(1)
+	} else {
+		m.arena.Put(next.slot) // pristine, never published
+	}
+	return true
+}
+
+// Retire permanently closes the mutex for its registry's eviction path:
+// no further acquisition can succeed (ErrRetired), and the final round's
+// slot returns to the arena once stragglers drain. It returns false if
+// the lock is currently held (or already retired); the caller should
+// treat the name as active and skip it.
+func (m *Mutex) Retire() bool {
+	if !m.gate.CompareAndSwap(0, retiredGate) {
+		return false
+	}
+	// No winner can be decided from here on (claim CASes fail against
+	// the sentinel), and no release/revoke can run (they need gate ==
+	// token), so only a release that already cleared the gate can still
+	// be installing a successor — loop until our tombstone lands.
+	for {
+		r := m.cur.Load()
+		tomb := &round{seq: r.seq + 1}
+		tomb.closed.Store(true)
+		tomb.reaped.Store(true) // nothing to recycle: no slot
+		if m.cur.CompareAndSwap(r, tomb) {
+			r.closed.Store(true)
+			if r.refs.Load() == 0 && r.reaped.CompareAndSwap(false, true) {
+				// Quiet retirement: nobody in the round, recycle now.
+				// Anyone arriving later sees closed before touching the
+				// registers (their ref precedes our zero read otherwise).
+				m.arena.Put(r.slot)
+			}
+			return true
+		}
+	}
+}
+
 // MutexStats is a snapshot of a mutex's counters.
 type MutexStats struct {
 	// Rounds is the number of completed Lock/Unlock cycles.
@@ -69,6 +210,9 @@ type MutexStats struct {
 	// out of Contended so that throughput reports do not conflate
 	// polling with processes genuinely waiting for the lock.
 	ProbeLosses uint64
+	// Expirations counts forced handovers via Revoke — lease expiries
+	// enforced against hung holders.
+	Expirations uint64
 }
 
 // Stats snapshots the mutex counters.
@@ -77,6 +221,7 @@ func (m *Mutex) Stats() MutexStats {
 		Rounds:      m.rounds.Load(),
 		Contended:   m.contended.Load(),
 		ProbeLosses: m.probeLosses.Load(),
+		Expirations: m.expirations.Load(),
 	}
 }
 
@@ -105,54 +250,86 @@ type MutexProc struct {
 // handle.
 func (p *MutexProc) Steps() int { return p.h.Steps() }
 
-// Lock acquires the mutex, blocking until this proc wins a round.
-func (p *MutexProc) Lock() { p.lockUntil(nil) }
+// Token returns the fencing token this proc currently holds, or 0 when
+// it does not hold the mutex.
+func (p *MutexProc) Token() uint64 {
+	if p.held == nil {
+		return 0
+	}
+	return p.held.seq
+}
 
-// LockUntil acquires like Lock but gives up when stop reports true,
-// returning whether the mutex was acquired. stop is polled only while
-// waiting for a round transition, so the uncontended path pays nothing.
-// A lock service uses this to keep blocked waiters drainable: an
-// ordinary Lock cannot be interrupted by closing the waiter's
-// connection.
-func (p *MutexProc) LockUntil(stop func() bool) bool { return p.lockUntil(stop) }
+// Lock acquires the mutex, blocking until this proc wins a round or ctx
+// is done. On success it returns the round's fencing token. ctx is
+// polled only while waiting for a round transition, so the uncontended
+// path pays nothing; a nil ctx blocks indefinitely.
+func (p *MutexProc) Lock(ctx context.Context) (uint64, error) {
+	var stop func() bool
+	if ctx != nil && ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
+	tok, ok := p.LockWhile(stop)
+	if ok {
+		return tok, nil
+	}
+	if p.m.Retired() {
+		return 0, ErrRetired
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return 0, ErrRetired // retired is the only other way out
+}
 
-func (p *MutexProc) lockUntil(stop func() bool) bool {
+// LockWhile acquires like Lock but gives up when stop reports true,
+// returning the fencing token and whether the mutex was acquired. stop
+// is polled only while waiting for a round transition, never on the
+// uncontended path. A lock service uses this to keep blocked waiters
+// drainable and to abort waiters whose clients have hung up — wait
+// conditions a context cannot express.
+func (p *MutexProc) LockWhile(stop func() bool) (uint64, bool) {
 	if p.held != nil {
 		panic("arena: Lock on a MutexProc that already holds the mutex")
 	}
 	spins := 0
 	for {
+		if p.m.Retired() {
+			return 0, false
+		}
 		r := p.m.cur.Load()
 		if r.seq == p.last {
 			// Already lost this round; one TAS per round per proc, so
 			// wait for the holder to install the next round.
 			if stop != nil && stop() {
-				return false
+				return 0, false
 			}
 			backoff(&spins)
 			continue
 		}
 		spins = 0
 		if p.tryRound(r, true) {
-			return true
+			return r.seq, true
 		}
 	}
 }
 
-// TryLock makes one attempt at the current round and reports whether it
-// acquired the mutex. It never blocks; a false return means some other
-// proc holds (or just won) the lock. Failed probes are counted in
-// MutexStats.ProbeLosses, not Contended.
-func (p *MutexProc) TryLock() bool {
+// TryLock makes one attempt at the current round and returns the fencing
+// token and whether it acquired the mutex. It never blocks; a false
+// return means some other proc holds (or just won) the lock, or the
+// mutex is retired. Failed probes are counted in MutexStats.ProbeLosses,
+// not Contended.
+func (p *MutexProc) TryLock() (uint64, bool) {
 	if p.held != nil {
 		panic("arena: TryLock on a MutexProc that already holds the mutex")
 	}
 	r := p.m.cur.Load()
 	if r.seq == p.last || !p.tryRound(r, false) {
 		p.m.probeLosses.Add(1)
-		return false
+		return 0, false
 	}
-	return true
+	return r.seq, true
 }
 
 // tryRound enters round r, runs its TAS once, and returns true on a win
@@ -177,6 +354,13 @@ func (p *MutexProc) tryRound(r *round, blocking bool) bool {
 		won = r.slot.Obj.TASFast(p.h) == 0
 	}
 	if won {
+		// Claim the gate. Failure means the mutex was retired while our
+		// TAS was in flight; the round is closed and will never grant a
+		// successor, so the win is safely discarded as a loss.
+		if !p.m.gate.CompareAndSwap(0, r.seq) {
+			p.leave(r)
+			return false
+		}
 		p.held = r // keep our reference until Unlock
 		return true
 	}
@@ -187,19 +371,40 @@ func (p *MutexProc) tryRound(r *round, blocking bool) bool {
 	return false
 }
 
-// Unlock releases the mutex: install a fresh round for the waiters, then
-// retire the old one, recycling its slot once the last straggler leaves.
-func (p *MutexProc) Unlock() {
+// Unlock releases the mutex if tok still owns it: install a fresh round
+// for the waiters, then retire the old one, recycling its slot once the
+// last straggler leaves. A token that was revoked out from under the
+// holder (lease expiry, retirement) reports ErrFenced — the proc's state
+// is cleaned up either way, so the caller may lock again afterwards.
+func (p *MutexProc) Unlock(tok uint64) error {
 	r := p.held
 	if r == nil {
-		panic("arena: Unlock of an unlocked Mutex (or by a non-holder proc)")
+		return ErrNotHeld
+	}
+	if tok != r.seq {
+		return ErrBadToken
 	}
 	p.held = nil
+	if !p.m.gate.CompareAndSwap(tok, 0) {
+		// Revoke (or Retire-after-revoke) won the gate: the successor is
+		// theirs to install. Drop the winner's reference so the revoked
+		// round's slot can recycle.
+		p.leave(r)
+		return ErrFenced
+	}
 	next := &round{slot: p.m.arena.Get(p.id), seq: r.seq + 1}
-	p.m.cur.Store(next)
-	r.closed.Store(true)
-	p.leave(r) // release the winner's reference taken at Lock
+	if p.m.cur.CompareAndSwap(r, next) {
+		r.closed.Store(true)
+		p.leave(r) // release the winner's reference taken at Lock
+		p.m.rounds.Add(1)
+		return nil
+	}
+	// A Retire slipped between our gate clear and the install and moved
+	// the chain on; the release itself still succeeded.
+	p.m.arena.Put(next.slot)
+	p.leave(r)
 	p.m.rounds.Add(1)
+	return nil
 }
 
 // leave drops one reference on r; whoever reaches zero after the round

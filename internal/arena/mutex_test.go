@@ -1,9 +1,13 @@
 package arena
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/concurrent"
 )
@@ -19,6 +23,23 @@ func newTestMutex(t *testing.T, n int) *Mutex {
 
 func proc(m *Mutex, id int) *MutexProc {
 	return m.Proc(id, concurrent.NewHandle(id, int64(id)*2654435761+1))
+}
+
+// lock acquires without a deadline and fails the test on any error.
+func lock(t *testing.T, p *MutexProc) uint64 {
+	t.Helper()
+	tok, err := p.Lock(context.Background())
+	if err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	return tok
+}
+
+func unlock(t *testing.T, p *MutexProc, tok uint64) {
+	t.Helper()
+	if err := p.Unlock(tok); err != nil {
+		t.Fatalf("Unlock(%d): %v", tok, err)
+	}
 }
 
 // TestMutualExclusion is the headline property: G goroutines each do M
@@ -39,9 +60,9 @@ func TestMutualExclusion(t *testing.T) {
 			defer wg.Done()
 			p := proc(m, id)
 			for i := 0; i < iters; i++ {
-				p.Lock()
+				tok := lock(t, p)
 				counter++
-				p.Unlock()
+				unlock(t, p, tok)
 			}
 		}(w)
 	}
@@ -51,6 +72,227 @@ func TestMutualExclusion(t *testing.T) {
 	}
 	if st := m.Stats(); st.Rounds != workers*iters {
 		t.Errorf("rounds = %d, want %d", st.Rounds, workers*iters)
+	}
+}
+
+// TestTokensStrictlyMonotone is the fencing property test: across
+// blocking locks, TryLock probes, clean releases and forced revocations
+// from many goroutines, every grant's token must be strictly larger
+// than every earlier grant's — no reuse, no regression, even across
+// lease-expiry-style handovers.
+func TestTokensStrictlyMonotone(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 200
+	)
+	m := newTestMutex(t, workers)
+	var lastTok atomic.Uint64
+	var revokes atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := proc(m, id)
+			for i := 0; i < iters; i++ {
+				var tok uint64
+				if id%2 == 0 {
+					var ok bool
+					if tok, ok = p.TryLock(); !ok {
+						continue
+					}
+				} else {
+					tok = lock(t, p)
+				}
+				// Strict monotonicity: the previous max must be below us,
+				// and we must be able to install ourselves as the new max.
+				for {
+					prev := lastTok.Load()
+					if prev >= tok {
+						t.Errorf("token %d granted at or below an earlier token %d", tok, prev)
+						return
+					}
+					if lastTok.CompareAndSwap(prev, tok) {
+						break
+					}
+				}
+				switch i % 3 {
+				case 0:
+					// Simulate lease expiry: revoke our own grant, then
+					// observe the fenced release.
+					if !m.Revoke(tok) {
+						t.Errorf("Revoke(%d) of a held token failed", tok)
+						return
+					}
+					revokes.Add(1)
+					if err := p.Unlock(tok); !errors.Is(err, ErrFenced) {
+						t.Errorf("Unlock after Revoke = %v, want ErrFenced", err)
+						return
+					}
+				default:
+					unlock(t, p, tok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if revokes.Load() == 0 {
+		t.Fatal("property run exercised no revocations")
+	}
+	if st := m.Stats(); st.Expirations != revokes.Load() {
+		t.Errorf("expirations = %d, want %d", st.Expirations, revokes.Load())
+	}
+}
+
+// TestRevoke: a revoked holder is fenced, waiters get the lock, and a
+// token that no longer owns the lock cannot be revoked again.
+func TestRevoke(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p0, p1 := proc(m, 0), proc(m, 1)
+	tok := lock(t, p0)
+	if got := m.Holder(); got != tok {
+		t.Fatalf("Holder() = %d, want %d", got, tok)
+	}
+	if m.Revoke(tok + 1) {
+		t.Fatal("Revoke of a never-granted token succeeded")
+	}
+	if !m.Revoke(tok) {
+		t.Fatal("Revoke of the held token failed")
+	}
+	if m.Revoke(tok) {
+		t.Fatal("double Revoke succeeded")
+	}
+	if got := m.Holder(); got != 0 {
+		t.Fatalf("Holder() after revoke = %d, want 0", got)
+	}
+	// The waiter proceeds on the force-installed round, with a larger token.
+	tok1, ok := p1.TryLock()
+	if !ok {
+		t.Fatal("TryLock after revoke failed")
+	}
+	if tok1 <= tok {
+		t.Fatalf("post-revoke token %d not above revoked token %d", tok1, tok)
+	}
+	// The zombie's release is fenced; afterwards it can lock again.
+	if err := p0.Unlock(tok); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie Unlock = %v, want ErrFenced", err)
+	}
+	unlock(t, p1, tok1)
+	tok2 := lock(t, p0)
+	if tok2 <= tok1 {
+		t.Fatalf("token %d not monotone after fencing (prev %d)", tok2, tok1)
+	}
+	unlock(t, p0, tok2)
+	if st := m.Stats(); st.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", st.Expirations)
+	}
+}
+
+// TestUnlockTokenErrors: wrong tokens are rejected without releasing,
+// and unlocking nothing errors.
+func TestUnlockTokenErrors(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p := proc(m, 0)
+	if err := p.Unlock(1); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("Unlock while free = %v, want ErrNotHeld", err)
+	}
+	tok := lock(t, p)
+	if err := p.Unlock(tok + 7); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("Unlock with wrong token = %v, want ErrBadToken", err)
+	}
+	if got := p.Token(); got != tok {
+		t.Fatalf("Token() = %d after failed unlock, want %d (lock lost)", got, tok)
+	}
+	unlock(t, p, tok)
+	if got := p.Token(); got != 0 {
+		t.Fatalf("Token() after unlock = %d, want 0", got)
+	}
+	if err := p.Unlock(tok); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("double Unlock = %v, want ErrNotHeld", err)
+	}
+}
+
+// TestLockContext: a context cancelled while waiting aborts the
+// acquisition with the context's error and pays nothing when satisfied
+// immediately.
+func TestLockContext(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p0, p1 := proc(m, 0), proc(m, 1)
+	tok := lock(t, p0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p1.Lock(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Lock under held lock = %v, want DeadlineExceeded", err)
+	}
+	unlock(t, p0, tok)
+	tok1, err := p1.Lock(context.Background())
+	if err != nil {
+		t.Fatalf("Lock after release: %v", err)
+	}
+	unlock(t, p1, tok1)
+}
+
+// TestRetire: a retired mutex rejects new acquisitions, recycles its
+// final slot, and fences any holder that raced the retirement.
+func TestRetire(t *testing.T) {
+	m := newTestMutex(t, 2)
+	p := proc(m, 0)
+	tok := lock(t, p)
+	if m.Retire() {
+		t.Fatal("Retire of a held mutex succeeded")
+	}
+	unlock(t, p, tok)
+	putsBefore := m.Arena().TotalStats().Puts
+	if !m.Retire() {
+		t.Fatal("Retire of a free mutex failed")
+	}
+	if !m.Retired() {
+		t.Fatal("Retired() false after Retire")
+	}
+	if got := m.Arena().TotalStats().Puts - putsBefore; got != 1 {
+		t.Fatalf("Retire recycled %d slots, want 1", got)
+	}
+	if _, ok := p.TryLock(); ok {
+		t.Fatal("TryLock on a retired mutex succeeded")
+	}
+	if _, err := p.Lock(context.Background()); !errors.Is(err, ErrRetired) {
+		t.Fatalf("Lock on a retired mutex = %v, want ErrRetired", err)
+	}
+	if m.Retire() {
+		t.Fatal("double Retire succeeded")
+	}
+}
+
+// TestRetireRacingAcquire hammers Retire against concurrent TryLock
+// winners: whatever interleaving lands, there is never a moment with
+// two live holders, and every winner either releases cleanly or is
+// fenced.
+func TestRetireRacingAcquire(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		m := newTestMutex(t, 2)
+		p := proc(m, 0)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for !m.Retire() {
+				runtime.Gosched()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				if tok, ok := p.TryLock(); ok {
+					if err := p.Unlock(tok); err != nil && !errors.Is(err, ErrFenced) {
+						t.Errorf("Unlock = %v, want nil or ErrFenced", err)
+					}
+				}
+				if m.Retired() {
+					return
+				}
+			}
+		}()
+		wg.Wait()
 	}
 }
 
@@ -67,8 +309,7 @@ func TestRecyclingBoundsPool(t *testing.T) {
 			defer wg.Done()
 			p := proc(m, id)
 			for i := 0; i < 500; i++ {
-				p.Lock()
-				p.Unlock()
+				unlock(t, p, lock(t, p))
 			}
 		}(w)
 	}
@@ -85,49 +326,38 @@ func TestRecyclingBoundsPool(t *testing.T) {
 func TestTryLock(t *testing.T) {
 	m := newTestMutex(t, 2)
 	p0, p1 := proc(m, 0), proc(m, 1)
-	if !p0.TryLock() {
+	tok0, ok := p0.TryLock()
+	if !ok {
 		t.Fatal("TryLock on a free mutex failed")
 	}
-	if p1.TryLock() {
+	if _, ok := p1.TryLock(); ok {
 		t.Fatal("TryLock succeeded while the mutex was held")
 	}
-	p0.Unlock()
+	unlock(t, p0, tok0)
 	// p1 already burned its one TAS on the old round, but the new round
 	// installed by Unlock is fair game.
-	if !p1.TryLock() {
+	tok1, ok := p1.TryLock()
+	if !ok {
 		t.Fatal("TryLock on a released mutex failed")
 	}
-	p1.Unlock()
+	unlock(t, p1, tok1)
 }
 
 // TestLockAfterTryLockLoss: losing a TryLock must not wedge Lock.
 func TestLockAfterTryLockLoss(t *testing.T) {
 	m := newTestMutex(t, 2)
 	p0, p1 := proc(m, 0), proc(m, 1)
-	p0.Lock()
-	if p1.TryLock() {
+	tok0 := lock(t, p0)
+	if _, ok := p1.TryLock(); ok {
 		t.Fatal("TryLock succeeded while held")
 	}
 	done := make(chan struct{})
 	go func() {
-		p1.Lock()
-		p1.Unlock()
+		unlock(t, p1, lock(t, p1))
 		close(done)
 	}()
-	p0.Unlock()
+	unlock(t, p0, tok0)
 	<-done
-}
-
-// TestUnlockPanics documents misuse.
-func TestUnlockPanics(t *testing.T) {
-	m := newTestMutex(t, 2)
-	p := proc(m, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Unlock of unlocked mutex did not panic")
-		}
-	}()
-	p.Unlock()
 }
 
 // TestLockWhileHeldPanics: re-entrant Lock on the same proc is a bug, not
@@ -135,13 +365,13 @@ func TestUnlockPanics(t *testing.T) {
 func TestLockWhileHeldPanics(t *testing.T) {
 	m := newTestMutex(t, 2)
 	p := proc(m, 0)
-	p.Lock()
+	lock(t, p)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("re-entrant Lock did not panic")
 		}
 	}()
-	p.Lock()
+	p.Lock(context.Background())
 }
 
 // TestProcIDRange: out-of-range ids are rejected up front.
@@ -161,8 +391,7 @@ func TestStepsMonotone(t *testing.T) {
 	p := proc(m, 0)
 	last := 0
 	for i := 0; i < 5; i++ {
-		p.Lock()
-		p.Unlock()
+		unlock(t, p, lock(t, p))
 		now := p.Steps()
 		if now <= last {
 			t.Fatalf("steps not monotone: %d after %d at round %d", now, last, i)
@@ -176,9 +405,9 @@ func TestStepsMonotone(t *testing.T) {
 func TestTryLockLossAccounting(t *testing.T) {
 	m := newTestMutex(t, 2)
 	p0, p1 := proc(m, 0), proc(m, 1)
-	p0.Lock()
+	tok0 := lock(t, p0)
 	for i := 0; i < 3; i++ {
-		if p1.TryLock() {
+		if _, ok := p1.TryLock(); ok {
 			t.Fatal("TryLock succeeded while held")
 		}
 	}
@@ -189,11 +418,12 @@ func TestTryLockLossAccounting(t *testing.T) {
 	if st.Contended != 0 {
 		t.Errorf("contended = %d after TryLock-only losses, want 0", st.Contended)
 	}
-	p0.Unlock()
-	if !p1.TryLock() {
+	unlock(t, p0, tok0)
+	tok1, ok := p1.TryLock()
+	if !ok {
 		t.Fatal("TryLock on a released mutex failed")
 	}
-	p1.Unlock()
+	unlock(t, p1, tok1)
 	if got := m.Stats().ProbeLosses; got != 3 {
 		t.Errorf("probe losses moved to %d after a successful TryLock, want 3", got)
 	}
@@ -216,9 +446,9 @@ func TestPlainModeMutex(t *testing.T) {
 			defer wg.Done()
 			p := proc(m, id)
 			for i := 0; i < 200; i++ {
-				p.Lock()
+				tok := lock(t, p)
 				counter++
-				p.Unlock()
+				unlock(t, p, tok)
 			}
 		}(w)
 	}
@@ -229,11 +459,12 @@ func TestPlainModeMutex(t *testing.T) {
 }
 
 // TestSlotChurnStress hammers slot recycling end to end under the race
-// detector: workers mix blocking Locks with TryLock polling, forcing
-// rounds to open, close and recycle while late arrivals are still
-// bouncing off them. This is the dirty-window Reset's adversarial
-// workload — every recycled slot must come back pristine, or some round
-// would elect zero or two winners and the guarded counter would drift.
+// detector: workers mix blocking Locks with TryLock polling and
+// occasional revocations, forcing rounds to open, close and recycle
+// while late arrivals are still bouncing off them. This is the
+// dirty-window Reset's adversarial workload — every recycled slot must
+// come back pristine, or some round would elect zero or two winners and
+// the guarded counter would drift.
 func TestSlotChurnStress(t *testing.T) {
 	const (
 		workers = 8
@@ -250,15 +481,30 @@ func TestSlotChurnStress(t *testing.T) {
 			p := proc(m, id)
 			<-start
 			for i := 0; i < iters; i++ {
-				if id%2 == 0 && p.TryLock() {
-					counter++
-					p.Unlock()
-					continue
+				if id%2 == 0 {
+					if tok, ok := p.TryLock(); ok {
+						counter++
+						unlock(t, p, tok)
+						continue
+					}
 				}
-				p.Lock()
+				tok := lock(t, p)
 				counter++
 				runtime.Gosched() // widen the window for churn
-				p.Unlock()
+				if id%4 == 3 && i%16 == 0 {
+					// Lease-expiry churn: force the handover, then make
+					// the fenced release.
+					if !m.Revoke(tok) {
+						t.Errorf("Revoke(%d) of own grant failed", tok)
+						return
+					}
+					if err := p.Unlock(tok); !errors.Is(err, ErrFenced) {
+						t.Errorf("Unlock after Revoke = %v, want ErrFenced", err)
+						return
+					}
+					continue
+				}
+				unlock(t, p, tok)
 			}
 		}(w)
 	}
@@ -292,9 +538,9 @@ func TestContentionStats(t *testing.T) {
 			p := proc(m, id)
 			<-start
 			for i := 0; i < 200; i++ {
-				p.Lock()
+				tok := lock(t, p)
 				runtime.Gosched() // let waiters pile onto this round
-				p.Unlock()
+				unlock(t, p, tok)
 			}
 		}(w)
 	}

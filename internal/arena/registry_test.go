@@ -1,9 +1,13 @@
 package arena
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/concurrent"
 )
@@ -13,7 +17,7 @@ import (
 // stable across shard boundaries.
 func TestRegistryMutexIdentity(t *testing.T) {
 	a := newTestArena(t, Config{N: 4})
-	r := NewRegistry(a, 4)
+	r := NewRegistry(a, RegistryConfig{Shards: 4})
 	names := []string{"a", "b", "lock/very/long/name", "", "a"}
 	seen := map[string]*Mutex{}
 	for _, name := range names {
@@ -37,7 +41,7 @@ func TestRegistryMutexIdentity(t *testing.T) {
 // construction escaping the shard lock).
 func TestRegistryConcurrentCreate(t *testing.T) {
 	a := newTestArena(t, Config{N: 8})
-	r := NewRegistry(a, 2)
+	r := NewRegistry(a, RegistryConfig{Shards: 2})
 	const workers = 8
 	got := make([][]*Mutex, workers)
 	var wg sync.WaitGroup
@@ -65,13 +69,18 @@ func TestRegistryConcurrentCreate(t *testing.T) {
 // population stays O(live locks), not O(acquisitions).
 func TestRegistryNamedLocksShareArena(t *testing.T) {
 	a := newTestArena(t, Config{N: 2, Shards: 1, Prealloc: 2})
-	r := NewRegistry(a, 1)
+	r := NewRegistry(a, RegistryConfig{Shards: 1})
 	for i := 0; i < 3; i++ {
 		m := r.Mutex(fmt.Sprintf("lock-%d", i))
 		p := m.Proc(0, concurrent.NewHandle(0, int64(i)+1))
 		for j := 0; j < 50; j++ {
-			p.Lock()
-			p.Unlock()
+			tok, err := p.Lock(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Unlock(tok); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	st := a.TotalStats()
@@ -85,26 +94,68 @@ func TestRegistryNamedLocksShareArena(t *testing.T) {
 	}
 }
 
-// TestRegistryElection: a named election is one-shot across all comers —
-// exactly one winner per name, the slot is shared by all lookups, and
-// Close returns it to the arena.
-func TestRegistryElection(t *testing.T) {
+// TestRegistryElectionEpochs: within an epoch exactly one leader; Reset
+// bumps the epoch, recycles the old slot, and everyone — including the
+// old leader — may run again in the fresh epoch.
+func TestRegistryElectionEpochs(t *testing.T) {
 	a := newTestArena(t, Config{N: 4, Shards: 1, Prealloc: 1})
-	r := NewRegistry(a, 2)
-	s := r.Election("leader/x")
-	if s != r.Election("leader/x") {
-		t.Fatal("Election lookups disagree on the slot")
+	r := NewRegistry(a, RegistryConfig{Shards: 2})
+	e := r.Election("leader/x")
+	if e != r.Election("leader/x") {
+		t.Fatal("Election lookups disagree")
+	}
+	if e.Epoch() != 1 {
+		t.Fatalf("fresh election epoch = %d, want 1", e.Epoch())
 	}
 	winners := 0
 	for id := 0; id < 4; id++ {
-		if s.Obj.TAS(concurrent.NewHandle(id, int64(id)+1)) == 0 {
+		leader, epoch := e.Participate(concurrent.NewHandle(id, int64(id)+1), id)
+		if epoch != 1 {
+			t.Fatalf("participation landed in epoch %d, want 1", epoch)
+		}
+		if leader {
 			winners++
 		}
 	}
 	if winners != 1 {
-		t.Fatalf("%d winners on named election, want 1", winners)
+		t.Fatalf("%d winners in epoch 1, want 1", winners)
 	}
+	if id, epoch, decided := e.Winner(); !decided || epoch != 1 || id < 0 || id > 3 {
+		t.Fatalf("Winner() = (%d, %d, %v), want a decided epoch-1 leader", id, epoch, decided)
+	}
+	// A repeat participation in the same epoch is a loser by contract.
+	if leader, _ := e.Participate(concurrent.NewHandle(0, 99), 0); leader {
+		t.Fatal("repeat participation won the same epoch")
+	}
+
 	putsBefore := a.TotalStats().Puts
+	epoch, err := e.Reset(1)
+	if err != nil || epoch != 2 {
+		t.Fatalf("Reset(1) = (%d, %v), want (2, nil)", epoch, err)
+	}
+	if got := a.TotalStats().Puts - putsBefore; got != 1 {
+		t.Fatalf("Reset recycled %d slots, want 1", got)
+	}
+	if got, err := e.Reset(1); !errors.Is(err, ErrStaleEpoch) || got != 2 {
+		t.Fatalf("stale Reset(1) = (%d, %v), want (2, ErrStaleEpoch)", got, err)
+	}
+	// Fresh epoch: everyone participates again, exactly one leader.
+	winners = 0
+	for id := 0; id < 4; id++ {
+		leader, epoch := e.Participate(concurrent.NewHandle(id, int64(id)+11), id)
+		if epoch != 2 {
+			t.Fatalf("participation landed in epoch %d, want 2", epoch)
+		}
+		if leader {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners in epoch 2, want 1", winners)
+	}
+
+	// Close recycles the live epoch's slot.
+	putsBefore = a.TotalStats().Puts
 	r.Close()
 	if got := a.TotalStats().Puts - putsBefore; got != 1 {
 		t.Fatalf("Close recycled %d slots, want 1", got)
@@ -114,17 +165,146 @@ func TestRegistryElection(t *testing.T) {
 	}
 }
 
-// TestRegistryStats: per-name counters reflect each lock's own traffic
-// and come back sorted by name.
+// TestElectionResetRacingParticipate: concurrent Elect and Reset must
+// keep every epoch at exactly one leader, with no slot corruption —
+// participants caught mid-TAS hold the epoch open until they drain.
+func TestElectionResetRacingParticipate(t *testing.T) {
+	const (
+		workers = 4
+		resets  = 40
+	)
+	a := newTestArena(t, Config{N: workers})
+	r := NewRegistry(a, RegistryConfig{})
+	e := r.Election("leader/race")
+	leadersPerEpoch := sync.Map{} // epoch -> *atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := concurrent.NewHandle(id, int64(id)*7919+1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				leader, epoch := e.Participate(h, id)
+				if leader {
+					c, _ := leadersPerEpoch.LoadOrStore(epoch, new(atomic.Int64))
+					c.(*atomic.Int64).Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < resets; i++ {
+		epoch := e.Epoch()
+		if _, err := e.Reset(epoch); err != nil && !errors.Is(err, ErrStaleEpoch) {
+			t.Fatalf("Reset(%d): %v", epoch, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	leadersPerEpoch.Range(func(k, v interface{}) bool {
+		if n := v.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("epoch %d elected %d leaders, want 1", k, n)
+		}
+		return true
+	})
+	if e.Resets() != resets {
+		t.Errorf("resets = %d, want %d", e.Resets(), resets)
+	}
+}
+
+// TestRegistryEvict: idle names are retired after MaxIdle, held or
+// active names survive, evicted names recreate fresh, and the eviction
+// count is reported per name and in total.
+func TestRegistryEvict(t *testing.T) {
+	a := newTestArena(t, Config{N: 2, Shards: 1, Prealloc: 2})
+	r := NewRegistry(a, RegistryConfig{Shards: 1, MaxIdle: time.Millisecond})
+
+	idle := r.Mutex("idle")
+	held := r.Mutex("held")
+	hp := held.Proc(0, concurrent.NewHandle(0, 1))
+	tok, err := hp.Lock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First scan stamps activity; nothing is evicted yet.
+	if got := r.Evict(); got != 0 {
+		t.Fatalf("first Evict() = %d, want 0 (names just stamped)", got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	putsBefore := a.TotalStats().Puts
+	if got := r.Evict(); got != 1 {
+		t.Fatalf("Evict() = %d, want 1 (only the idle, unheld name)", got)
+	}
+	if got := a.TotalStats().Puts - putsBefore; got != 1 {
+		t.Fatalf("eviction recycled %d slots, want 1", got)
+	}
+	if !idle.Retired() {
+		t.Fatal("evicted mutex not retired")
+	}
+	if held.Retired() {
+		t.Fatal("held mutex retired")
+	}
+	if r.Evictions() != 1 {
+		t.Fatalf("Evictions() = %d, want 1", r.Evictions())
+	}
+
+	// A stale proc observes ErrRetired; a fresh lookup starts over and
+	// reports the name's eviction history.
+	ip := idle.Proc(0, concurrent.NewHandle(0, 2))
+	if _, lockErr := ip.Lock(context.Background()); !errors.Is(lockErr, ErrRetired) {
+		t.Fatalf("Lock on evicted mutex = %v, want ErrRetired", lockErr)
+	}
+	fresh := r.Mutex("idle")
+	if fresh == idle {
+		t.Fatal("evicted name resolved to the retired instance")
+	}
+	fp := fresh.Proc(0, concurrent.NewHandle(0, 3))
+	ftok, err := fp.Lock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Unlock(ftok); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range r.Stats() {
+		if st.Name == "idle" && st.Evictions != 1 {
+			t.Fatalf("NamedStats(idle).Evictions = %d, want 1", st.Evictions)
+		}
+	}
+	if err := hp.Unlock(tok); err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxIdle zero disables eviction entirely.
+	r2 := NewRegistry(a, RegistryConfig{})
+	r2.Mutex("x")
+	if got := r2.Evict(); got != 0 {
+		t.Fatalf("Evict() with MaxIdle=0 = %d, want 0", got)
+	}
+}
+
+// TestRegistryStats: per-name counters reflect each lock's own traffic,
+// include the live holder's token, and come back sorted by name.
 func TestRegistryStats(t *testing.T) {
 	a := newTestArena(t, Config{N: 2})
-	r := NewRegistry(a, 4)
+	r := NewRegistry(a, RegistryConfig{Shards: 4})
 	ops := map[string]int{"zeta": 7, "alpha": 3}
 	for name, k := range ops {
 		p := r.Mutex(name).Proc(0, concurrent.NewHandle(0, 1))
 		for i := 0; i < k; i++ {
-			p.Lock()
-			p.Unlock()
+			tok, err := p.Lock(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Unlock(tok); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	st := r.Stats()
@@ -133,5 +313,26 @@ func TestRegistryStats(t *testing.T) {
 	}
 	if st[0].Rounds != 3 || st[1].Rounds != 7 {
 		t.Fatalf("Stats() rounds = %d/%d, want 3/7", st[0].Rounds, st[1].Rounds)
+	}
+	p := r.Mutex("alpha").Proc(1, concurrent.NewHandle(1, 9))
+	tok, err := p.Lock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Stats() {
+		if s.Name == "alpha" && s.HolderToken != tok {
+			t.Fatalf("HolderToken = %d, want %d", s.HolderToken, tok)
+		}
+	}
+	if err := p.Unlock(tok); err != nil {
+		t.Fatal(err)
+	}
+
+	// Election standing shows up in ElectionStats.
+	e := r.Election("leader/s")
+	e.Participate(concurrent.NewHandle(0, 5), 0)
+	es := r.ElectionStats()
+	if len(es) != 1 || es[0].Name != "leader/s" || !es[0].Decided || es[0].Epoch != 1 {
+		t.Fatalf("ElectionStats() = %+v, want one decided epoch-1 election", es)
 	}
 }

@@ -9,10 +9,33 @@
 // the arena's N — for its whole lifetime, so the wait-free guarantees
 // of the underlying algorithms apply per connection exactly as they
 // apply per process in the paper. Named objects come from a
-// randtas.Registry: ACQUIRE/TRYACQUIRE/RELEASE drive the named
+// randtas.Registry: ACQUIRE/TRYACQUIRE/RELEASE drive the named fenced
 // TAS-chaining mutexes (rounds recycled through the arena free lists),
-// ELECT runs a named one-shot leader election, STATS snapshots every
-// counter as JSON.
+// ELECT/ELECTEPOCH/ELECTRESET drive the named epoch'd elections, STATS
+// snapshots every counter as JSON.
+//
+// # Fencing and leases (protocol v2)
+//
+// Every grant returns the round's strictly monotone fencing token, and
+// a v2 RELEASE carries the token back for verification: a mismatch is
+// answered StatusFenced, never silently honored. An ACQUIRE may attach
+// a lease TTL; a dedicated sweeper goroutine expires overdue leases by
+// winning the per-lock owner word (a CAS against the exact granted
+// token — tokens never repeat, so there is no ABA) and force-installing
+// the successor round via Mutex.Revoke. The fenced holder's eventual
+// RELEASE answers StatusFenced, and a fenced connection that ACQUIREs
+// again is quietly cleaned up first — a hung-then-recovered client
+// needs no special casing. v1 connections cannot attach leases and so
+// are never fenced.
+//
+// # Version negotiation
+//
+// A v2 client's first frame is HELLO carrying the highest version it
+// speaks; the server answers with the connection's negotiated version
+// (min of the two) and switches response shapes accordingly: v2
+// connections receive fencing tokens in grant payloads and epochs in
+// election payloads, v1 connections receive the exact PR 4 byte shapes.
+// Old clients simply never send HELLO and keep working.
 //
 // # Batching
 //
@@ -29,12 +52,12 @@
 // A connection that dies while holding locks has them released by the
 // server (the deferred cleanup runs in the same goroutine, preserving
 // the MutexProc confinement rule), so a crashed client cannot wedge a
-// lock. Mutex procs are retained per (lock, slot) across connections:
-// a recycled slot id resumes its predecessor's round bookkeeping
-// instead of violating the one-TAS-per-round-per-process contract, and
-// named elections keep a per-slot participation bitmap for the same
-// reason. Every successful acquisition is additionally checked
-// server-side against a per-lock owner word; a failed check increments
+// lock — and a merely *hung* client is bounded by its lease. Mutex and
+// election procs are retained per (object, slot) across connections: a
+// recycled slot id resumes its predecessor's bookkeeping instead of
+// violating the one-TAS-per-round (or per-epoch) contracts. Every
+// successful acquisition is additionally checked server-side against a
+// per-lock owner word keyed by fencing token; a failed check increments
 // the STATS violations counter — the continuously verified
 // mutual-exclusion invariant that cmd/tasbench -mode=net asserts on.
 package server
@@ -48,7 +71,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,40 +97,60 @@ type Config struct {
 	RegistryShards int
 	// MaxFrame bounds accepted request frames (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// LeaseSweep is the lease sweeper's scan interval — the granularity
+	// of lease enforcement (default 5ms). A lease never expires early
+	// and is guaranteed enforced within TTL + 2×LeaseSweep of its grant
+	// (deadlines are computed against a sweeper-maintained coarse clock
+	// so the grant path never reads the wall clock).
+	LeaseSweep time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event
-	// (connections, drain). Per-request logging would dominate the
-	// request cost and is deliberately absent.
+	// (connections, drain, expiries). Per-request logging would dominate
+	// the request cost and is deliberately absent.
 	Logf func(format string, args ...interface{})
 }
 
 // Server is a tasd instance. Construct with New, bind with Listen, run
 // with Serve, stop with Shutdown.
 type Server struct {
-	cfg      Config
-	reg      *randtas.Registry
-	ln       net.Listener
-	ids      chan int
-	started  time.Time
-	draining atomic.Bool
-	wg       sync.WaitGroup
+	cfg       Config
+	reg       *randtas.Registry
+	ln        net.Listener
+	ids       chan int
+	started   time.Time
+	draining  atomic.Bool
+	wg        sync.WaitGroup
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	sweepOnce sync.Once
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
 	active     atomic.Int64
-	opCounts   [6]atomic.Uint64 // indexed by opcode; [0] unused
+	opCounts   [9]atomic.Uint64 // indexed by opcode; [0] unused
 	violations atomic.Uint64
+	expiries   atomic.Uint64 // leases enforced by the sweeper
+	// coarseNow is the sweeper-maintained wall clock (unix nanos),
+	// refreshed every LeaseSweep. Lease deadlines are computed against
+	// it instead of time.Now(): reading the real clock costs a syscall
+	// on hosts without a usable vDSO fast path (typical small cloud
+	// guests), and one read per grant was measured at ~15% of net-mode
+	// throughput. Deadlines add one sweep interval of slack so a lease
+	// can never fire early; enforcement lands within TTL + 2×LeaseSweep.
+	coarseNow atomic.Int64
 
 	locks     sync.Map // name -> *lockEntry
 	elections sync.Map // name -> *electionEntry
 }
 
 // lockEntry is the server's view of one named lock: the registry mutex,
-// the owner word for the server-side exclusion check, and the retained
-// per-slot procs (see the package comment on slot recycling).
+// the token-keyed owner word for the server-side exclusion check, the
+// lease deadline, and the retained per-slot procs (see the package
+// comment on slot recycling).
 type lockEntry struct {
 	m     *randtas.Mutex
-	owner atomic.Int64 // holder's slot+1; 0 when free
+	owner atomic.Uint64 // holder's fencing token; 0 when free
+	lease atomic.Int64  // lease deadline, unix nanos; 0 = no lease
 	procs []*randtas.MutexProc
 }
 
@@ -123,42 +165,19 @@ func (e *lockEntry) proc(id int) *randtas.MutexProc {
 	return e.procs[id]
 }
 
-// electionEntry is one named election: the one-shot object plus a
-// participation bitmap (a recycled slot id must not run TAS twice) and
-// the winner for STATS.
+// electionEntry is one named election plus its retained per-slot procs
+// (a recycled slot id must keep its predecessor's per-epoch
+// participation state).
 type electionEntry struct {
-	t      *randtas.NamedTAS
-	used   []atomic.Uint64
-	winner atomic.Int64 // winner's slot+1; 0 while undecided
+	e     *randtas.Election
+	procs []*randtas.ElectionProc
 }
 
-// elect runs slot id's (single) participation and returns the ELECT
-// result byte. The TAS object itself arbitrates concurrent calls —
-// that is exactly what the paper's objects are for — so there is no
-// server-side lock here, only the reuse guard.
-func (e *electionEntry) elect(id int) byte {
-	// Set-bit via an explicit CAS loop rather than atomic.Uint64.Or:
-	// the Or intrinsic miscompiles on go1.24.0 (its register loop
-	// clobbers the receiver), and the CAS form is equally correct.
-	bit := uint64(1) << (id % 64)
-	w := &e.used[id/64]
-	for {
-		old := w.Load()
-		if old&bit != 0 {
-			// This slot already participated under an earlier
-			// connection; re-running the election with the same
-			// process id would void the one-winner guarantee.
-			return wire.ElectLoser
-		}
-		if w.CompareAndSwap(old, old|bit) {
-			break
-		}
+func (e *electionEntry) proc(id int) *randtas.ElectionProc {
+	if e.procs[id] == nil {
+		e.procs[id] = e.e.Proc(id)
 	}
-	if e.t.Proc(id).TAS() == 0 {
-		e.winner.Store(int64(id) + 1)
-		return wire.ElectLeader
-	}
-	return wire.ElectLoser
+	return e.procs[id]
 }
 
 // New builds a server and its backing registry; it does not bind yet.
@@ -175,6 +194,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
 	}
+	if cfg.LeaseSweep <= 0 {
+		cfg.LeaseSweep = 5 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
@@ -190,10 +212,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		ids:   make(chan int, cfg.MaxClients),
-		conns: make(map[net.Conn]struct{}),
+		cfg:       cfg,
+		reg:       reg,
+		ids:       make(chan int, cfg.MaxClients),
+		conns:     make(map[net.Conn]struct{}),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	for i := 0; i < cfg.MaxClients; i++ {
 		s.ids <- i
@@ -201,7 +225,8 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Listen binds the configured address. Addr is valid afterwards.
+// Listen binds the configured address and starts the lease sweeper.
+// Addr is valid afterwards.
 func (s *Server) Listen() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -209,8 +234,13 @@ func (s *Server) Listen() error {
 	}
 	s.ln = ln
 	s.started = time.Now()
-	s.cfg.Logf("tasd: listening on %s (max %d clients, algorithm %s)",
-		ln.Addr(), s.cfg.MaxClients, s.cfg.Algorithm)
+	// Initialize the coarse clock before any grant can read it — a
+	// zero clock would compute 1970-epoch deadlines and instantly
+	// expire the first leases.
+	s.coarseNow.Store(s.started.UnixNano())
+	go s.sweepLeases()
+	s.cfg.Logf("tasd: listening on %s (max %d clients, algorithm %s, protocol v%d, lease sweep %v)",
+		ln.Addr(), s.cfg.MaxClients, s.cfg.Algorithm, wire.Version, s.cfg.LeaseSweep)
 	return nil
 }
 
@@ -274,13 +304,61 @@ func (s *Server) Serve() error {
 	}
 }
 
+// sweepLeases is the lease enforcement loop: every LeaseSweep it scans
+// the named locks for overdue leases and fences their holders. The
+// owner word is CASed against the exact granted token — tokens are
+// strictly monotone per lock, so the CAS can never fire on a later
+// grant (no ABA) — and losing the CAS to a concurrent RELEASE simply
+// means the holder made it in time.
+func (s *Server) sweepLeases() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.LeaseSweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			nowNano := now.UnixNano()
+			s.coarseNow.Store(nowNano)
+			s.locks.Range(func(_, v interface{}) bool {
+				e := v.(*lockEntry)
+				tok := e.owner.Load()
+				if tok == 0 {
+					return true
+				}
+				deadline := e.lease.Load()
+				if deadline == 0 || nowNano < deadline {
+					return true
+				}
+				// Re-read the owner: a (token, lease) pair read across a
+				// concurrent release+regrant could mix an old deadline
+				// with a new token. Grants store the lease before the
+				// owner word, so an unchanged token pins the deadline.
+				if e.owner.Load() != tok || !e.owner.CompareAndSwap(tok, 0) {
+					return true
+				}
+				// CAS, not a blind store: if the fenced holder's release
+				// already slipped in (its arena-level unlock still wins
+				// the gate when it beats our Revoke) and a successor was
+				// granted, the lease word now carries the successor's
+				// deadline, which must survive.
+				e.lease.CompareAndSwap(deadline, 0)
+				e.m.Revoke(tok)
+				s.expiries.Add(1)
+				return true
+			})
+		}
+	}
+}
+
 // Shutdown drains the server: stop accepting, wake every connection's
 // pending read, let in-flight batches finish, and wait. Blocked
 // ACQUIREs abort with an error (their waiters would otherwise be
-// un-wakeable — see LockUntil). If ctx expires first, remaining
-// connections are force-closed (their held locks are still recovered
-// by the per-connection cleanup). The registry is closed once every
-// connection has exited.
+// un-wakeable — see MutexProc.LockWhile). If ctx expires first,
+// remaining connections are force-closed (their held locks are still
+// recovered by the per-connection cleanup). The lease sweeper stops and
+// the registry closes once every connection has exited.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	if s.ln != nil {
@@ -311,6 +389,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done // cleanup (lock recovery) still runs per connection
 	}
+	if s.ln != nil {
+		s.sweepOnce.Do(func() { close(s.sweepStop) }) // Shutdown is idempotent
+		<-s.sweepDone
+	}
 	s.reg.Close()
 	s.cfg.Logf("tasd: drained")
 	return err
@@ -322,6 +404,9 @@ func (s *Server) Registry() *randtas.Registry { return s.reg }
 
 // Violations reports the server-side mutual-exclusion check failures.
 func (s *Server) Violations() uint64 { return s.violations.Load() }
+
+// LeaseExpirations reports how many leases the sweeper has enforced.
+func (s *Server) LeaseExpirations() uint64 { return s.expiries.Load() }
 
 // lockEntry returns the server-side state of a named lock, creating it
 // on first use.
@@ -341,8 +426,8 @@ func (s *Server) electionEntry(name string) *electionEntry {
 		return e.(*electionEntry)
 	}
 	e := &electionEntry{
-		t:    s.reg.TAS(name),
-		used: make([]atomic.Uint64, (s.cfg.MaxClients+63)/64),
+		e:     s.reg.Election(name),
+		procs: make([]*randtas.ElectionProc, s.cfg.MaxClients),
 	}
 	actual, _ := s.elections.LoadOrStore(name, e)
 	return actual.(*electionEntry)
@@ -350,24 +435,33 @@ func (s *Server) electionEntry(name string) *electionEntry {
 
 // conn is one connection's state, confined to its goroutine.
 type conn struct {
-	s     *Server
-	id    int
-	nc    net.Conn
-	br    *bufio.Reader
-	out   []byte               // batched responses, one write per batch
-	locks map[string]*connLock // names this connection has touched
-	// elected caches this connection's ELECT outcomes so repeats answer
-	// consistently (the participation bitmap alone would demote a
-	// repeat-calling winner to loser).
-	elected map[string]byte
+	s       *Server
+	id      int
+	version uint32 // negotiated protocol version; 1 until HELLO
+	nc      net.Conn
+	br      *bufio.Reader
+	out     []byte               // batched responses, one write per batch
+	locks   map[string]*connLock // names this connection has touched
+	// elected caches this connection's v1 ELECT outcomes so repeats
+	// answer consistently forever, preserving the decided-once view
+	// regardless of epoch resets. epochElected caches the current
+	// epoch's ELECTEPOCH answer per name.
+	elected      map[string]byte
+	epochElected map[string]electResult
 	// lastProbe rate-limits dead-peer probes while blocked on a lock.
 	lastProbe time.Time
+}
+
+type electResult struct {
+	leader bool
+	epoch  uint64
 }
 
 type connLock struct {
 	entry *lockEntry
 	proc  *randtas.MutexProc
 	held  bool
+	tok   randtas.Token // fencing token of the live grant
 }
 
 func (c *conn) lock(name string) *connLock {
@@ -378,6 +472,18 @@ func (c *conn) lock(name string) *connLock {
 	cl := &connLock{entry: e, proc: e.proc(c.id)}
 	c.locks[name] = cl
 	return cl
+}
+
+// reapFenced clears a connLock whose grant was fenced (lease expired):
+// the arena-level release returns ErrFenced and frees the proc to lock
+// again. It reports whether the connLock was actually fenced.
+func (c *conn) reapFenced(cl *connLock) bool {
+	if !cl.held || cl.entry.owner.Load() == uint64(cl.tok) {
+		return false
+	}
+	cl.proc.Unlock(cl.tok) // ErrFenced by construction; state now clean
+	cl.held = false
+	return true
 }
 
 // reply appends a response frame to the batch buffer.
@@ -434,14 +540,18 @@ func (c *conn) dead() bool {
 // drains. The deferred cleanup releases held locks in this goroutine
 // (MutexProc confinement) and recycles the process slot.
 func (s *Server) handle(nc net.Conn, id int) {
-	c := &conn{s: s, id: id, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), locks: map[string]*connLock{}}
+	c := &conn{s: s, id: id, version: 1, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), locks: map[string]*connLock{}}
 	defer func() {
 		for _, cl := range c.locks {
 			if cl.held {
-				// Recover the lock: clear the owner word first so the
-				// next winner's exclusion check sees it free.
-				cl.entry.owner.CompareAndSwap(int64(id)+1, 0)
-				cl.proc.Unlock()
+				// Recover the lock: win the owner word first so the next
+				// winner's exclusion check sees it free. Losing the CAS
+				// means the lease sweeper already fenced us; either way
+				// the arena-level release leaves the proc clean.
+				if cl.entry.owner.CompareAndSwap(uint64(cl.tok), 0) {
+					cl.entry.lease.Store(0)
+				}
+				cl.proc.Unlock(cl.tok)
 				cl.held = false
 			}
 		}
@@ -520,6 +630,15 @@ func (c *conn) protocolBye(err error) {
 	c.replyErr(0, "protocol error: %v", err)
 }
 
+// grantPayload shapes a successful acquisition's payload for the
+// connection's protocol version: v2 clients receive the fencing token.
+func (c *conn) grantPayload(tok randtas.Token) []byte {
+	if c.version >= 2 {
+		return wire.TokenPayload(uint64(tok))
+	}
+	return nil
+}
+
 // process executes one request, appending its response to the batch.
 // It returns false when the connection must close (protocol misuse).
 func (s *Server) process(c *conn, req wire.Request) bool {
@@ -527,13 +646,26 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 		s.opCounts[req.Op].Add(1)
 	}
 	switch req.Op {
+	case wire.OpHello:
+		v := req.Version
+		if v < 1 {
+			v = 1
+		}
+		if v > wire.Version {
+			v = wire.Version
+		}
+		c.version = v
+		c.reply(req.ID, wire.StatusOK, wire.HelloPayload(v))
+		return true
+
 	case wire.OpAcquire:
 		cl := c.lock(req.Name)
+		c.reapFenced(cl) // a lease-expired grant is cleaned up, not an error
 		if cl.held {
 			c.replyErr(req.ID, "ACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
 			return true
 		}
-		// Block through LockUntil (not a TryLock probe first — that
+		// Block through LockWhile (not a TryLock probe first — that
 		// would count every contended ACQUIRE as a TRYACQUIRE loss in
 		// the per-lock stats). The stop predicate runs only while
 		// waiting for the holder to hand over; on the first poll it
@@ -546,7 +678,7 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 		// frees).
 		var flushErr error
 		flushed := false
-		won := cl.proc.LockUntil(func() bool {
+		tok, won := cl.proc.LockWhile(func() bool {
 			if !flushed {
 				flushed = true
 				flushErr = c.flush()
@@ -559,20 +691,22 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 			}
 			return false
 		}
-		c.grant(cl, req)
+		c.grant(cl, req, tok)
 		return true
 
 	case wire.OpTryAcquire:
 		cl := c.lock(req.Name)
+		c.reapFenced(cl)
 		if cl.held {
 			c.replyErr(req.ID, "TRYACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
 			return true
 		}
-		if !cl.proc.TryLock() {
+		tok, ok := cl.proc.TryLock()
+		if !ok {
 			c.reply(req.ID, wire.StatusBusy, nil)
 			return true
 		}
-		c.grant(cl, req)
+		c.grant(cl, req, tok)
 		return true
 
 	case wire.OpRelease:
@@ -581,26 +715,82 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 			c.replyErr(req.ID, "RELEASE %q: not held by this connection", req.Name)
 			return true
 		}
-		if !cl.entry.owner.CompareAndSwap(int64(c.id)+1, 0) {
-			s.violations.Add(1)
-			c.replyErr(req.ID, "RELEASE %q: owner check failed (exclusion violation)", req.Name)
+		if req.Token != 0 && req.Token != uint64(cl.tok) {
+			// A stale fencing token — an earlier grant's, or a guess.
+			// The live grant is untouched; the stale party learns the
+			// current fence.
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(uint64(cl.tok)))
 			return true
 		}
+		if !cl.entry.owner.CompareAndSwap(uint64(cl.tok), 0) {
+			// The lease sweeper fenced this grant first. Clean up the
+			// proc (arena-level ErrFenced) and tell the zombie.
+			cl.proc.Unlock(cl.tok)
+			cl.held = false
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(uint64(cl.entry.m.Holder())))
+			return true
+		}
+		cl.entry.lease.Store(0)
 		cl.held = false
-		cl.proc.Unlock()
+		if err := cl.proc.Unlock(cl.tok); err != nil {
+			// Unreachable once we own the owner word: nothing else may
+			// revoke this token. Surface it loudly if it ever happens.
+			s.violations.Add(1)
+			c.replyErr(req.ID, "RELEASE %q: %v", req.Name, err)
+			return true
+		}
 		c.reply(req.ID, wire.StatusOK, nil)
 		return true
 
 	case wire.OpElect:
+		// The v1 decided-once view: the first answer sticks for the
+		// connection's lifetime, across epoch resets.
 		res, ok := c.elected[req.Name]
 		if !ok {
-			res = s.electionEntry(req.Name).elect(c.id)
+			// Participate, not Elect: the proc is retained across
+			// connections, and a recycled slot must not inherit its dead
+			// predecessor's cached leadership — the per-epoch bitmap
+			// demotes reuse to loser, and repeat-query stability comes
+			// from this connection's own cache.
+			leader, _ := s.electionEntry(req.Name).proc(c.id).Participate()
+			res = wire.ElectLoser
+			if leader {
+				res = wire.ElectLeader
+			}
 			if c.elected == nil {
 				c.elected = map[string]byte{}
 			}
 			c.elected[req.Name] = res
 		}
 		c.reply(req.ID, wire.StatusOK, []byte{res})
+		return true
+
+	case wire.OpElectEpoch:
+		e := s.electionEntry(req.Name)
+		res, ok := c.epochElected[req.Name]
+		if !ok || res.epoch != e.e.Epoch() {
+			leader, epoch := e.proc(c.id).Participate() // uncached; see OpElect
+			res = electResult{leader: leader, epoch: epoch}
+			if c.epochElected == nil {
+				c.epochElected = map[string]electResult{}
+			}
+			c.epochElected[req.Name] = res
+		}
+		c.reply(req.ID, wire.StatusOK, wire.ElectPayload(res.leader, res.epoch))
+		return true
+
+	case wire.OpElectReset:
+		e := s.electionEntry(req.Name)
+		epoch, err := e.e.Reset(req.Epoch)
+		if errors.Is(err, randtas.ErrStaleEpoch) {
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(epoch))
+			return true
+		}
+		if err != nil {
+			c.replyErr(req.ID, "ELECTRESET %q: %v", req.Name, err)
+			return true
+		}
+		c.reply(req.ID, wire.StatusOK, wire.TokenPayload(epoch))
 		return true
 
 	case wire.OpStats:
@@ -621,19 +811,32 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 }
 
 // grant completes a successful acquisition: the server-side exclusion
-// check, then the OK response. The lock's TAS already guarantees a
-// unique winner; the owner word re-verifies it end to end on every
-// single acquisition, which is what lets a load generator assert that
-// the service — not just the algorithm — kept mutual exclusion.
-func (c *conn) grant(cl *connLock, req wire.Request) {
-	if !cl.entry.owner.CompareAndSwap(0, int64(c.id)+1) {
+// check on the token-keyed owner word, the lease stamp, then the OK
+// response. The lock's TAS already guarantees a unique winner; the
+// owner word re-verifies it end to end on every single acquisition,
+// which is what lets a load generator assert that the service — not
+// just the algorithm — kept mutual exclusion. The lease deadline is
+// stored before the owner word so the sweeper's (owner, lease, owner)
+// read sandwich can never pair a fresh token with a stale deadline.
+func (c *conn) grant(cl *connLock, req wire.Request, tok randtas.Token) {
+	if req.TTLMillis > 0 {
+		// Coarse clock + one sweep of slack: never early, at most one
+		// extra sweep late. See Server.coarseNow.
+		ttl := time.Duration(req.TTLMillis)*time.Millisecond + c.s.cfg.LeaseSweep
+		cl.entry.lease.Store(c.s.coarseNow.Load() + int64(ttl))
+	} else {
+		cl.entry.lease.Store(0)
+	}
+	if !cl.entry.owner.CompareAndSwap(0, uint64(tok)) {
 		c.s.violations.Add(1)
-		cl.proc.Unlock()
-		c.replyErr(req.ID, "%s %q: exclusion violated (owner %d)", wire.OpName(req.Op), req.Name, cl.entry.owner.Load()-1)
+		cl.entry.lease.Store(0) // don't let our deadline fence the real owner
+		cl.proc.Unlock(tok)
+		c.replyErr(req.ID, "%s %q: exclusion violated (owner token %d)", wire.OpName(req.Op), req.Name, cl.entry.owner.Load())
 		return
 	}
 	cl.held = true
-	c.reply(req.ID, wire.StatusOK, nil)
+	cl.tok = tok
+	c.reply(req.ID, wire.StatusOK, c.grantPayload(tok))
 }
 
 // statsPayload marshals the STATS snapshot, shrinking the per-name
@@ -663,11 +866,14 @@ func (s *Server) statsPayload() ([]byte, error) {
 // stats assembles the STATS snapshot.
 func (s *Server) stats() wire.Stats {
 	st := wire.Stats{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		ActiveConns:   int(s.active.Load()),
-		MaxClients:    s.cfg.MaxClients,
-		Ops:           map[string]uint64{},
-		Violations:    s.violations.Load(),
+		ProtocolVersion:  wire.Version,
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		ActiveConns:      int(s.active.Load()),
+		MaxClients:       s.cfg.MaxClients,
+		Ops:              map[string]uint64{},
+		Violations:       s.violations.Load(),
+		LeaseExpirations: s.expiries.Load(),
+		Evictions:        s.reg.Evictions(),
 	}
 	for op := byte(1); int(op) < len(s.opCounts); op++ {
 		if n := s.opCounts[op].Load(); n > 0 {
@@ -680,19 +886,22 @@ func (s *Server) stats() wire.Stats {
 			Rounds:      ls.Rounds,
 			Contended:   ls.Contended,
 			ProbeLosses: ls.ProbeLosses,
+			Expirations: ls.Expirations,
+			HolderToken: ls.HolderToken,
+			Evictions:   ls.Evictions,
 		})
 	}
-	s.elections.Range(func(k, v interface{}) bool {
-		e := v.(*electionEntry)
-		es := wire.ElectionStats{Name: k.(string)}
-		if w := e.winner.Load(); w != 0 {
-			es.Decided = true
-			es.WinnerConn = int(w) - 1
-		}
-		st.Elections = append(st.Elections, es)
-		return true
-	})
-	sort.Slice(st.Elections, func(i, j int) bool { return st.Elections[i].Name < st.Elections[j].Name })
+	for _, es := range s.reg.ElectionStats() {
+		st.Elections = append(st.Elections, wire.ElectionStats{
+			Name:    es.Name,
+			Epoch:   es.Epoch,
+			Resets:  es.Resets,
+			Decided: es.Decided,
+			// Election procs are connection slots, so the winner's proc
+			// id names the winning connection.
+			WinnerConn: es.Winner,
+		})
+	}
 	a := s.reg.ArenaStats()
 	st.Arena = wire.ArenaStats{
 		Hits: a.Hits, Steals: a.Steals, Misses: a.Misses,

@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -12,8 +13,11 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/tasclient"
 )
+
+var bg = context.Background()
 
 // start boots a server on an ephemeral loopback port and tears it down
 // with the test.
@@ -58,29 +62,58 @@ func dial(t *testing.T, addr string) *tasclient.Client {
 	return c
 }
 
-// TestAcquireRelease: the basic lifecycle, plus lock state visible to a
-// second client via TryAcquire.
+// TestHelloNegotiation: dialing negotiates v2, and the negotiated
+// version shows up in STATS alongside the v2 counters.
+func TestHelloNegotiation(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	c := dial(t, addr)
+	if c.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", c.Version(), wire.Version)
+	}
+	st, err := c.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProtocolVersion != wire.Version {
+		t.Fatalf("stats protocol_version = %d, want %d", st.ProtocolVersion, wire.Version)
+	}
+	if st.Ops["HELLO"] == 0 {
+		t.Fatal("HELLO not counted")
+	}
+}
+
+// TestAcquireRelease: the basic lifecycle with fencing tokens — grants
+// return strictly monotone tokens, releases verify them, and lock state
+// is visible to a second client via TryAcquire.
 func TestAcquireRelease(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 4})
 	a, b := dial(t, addr), dial(t, addr)
 
-	if err := a.Acquire("L"); err != nil {
+	tokA, err := a.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := b.TryAcquire("L"); err != nil || got {
+	if tokA == 0 {
+		t.Fatal("grant carried no fencing token")
+	}
+	if _, got, err := b.TryAcquire(bg, "L", 0); err != nil || got {
 		t.Fatalf("TryAcquire on a held lock = (%v, %v), want (false, nil)", got, err)
 	}
-	if err := a.Release("L"); err != nil {
+	if err := a.Release(bg, "L", tokA); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := b.TryAcquire("L"); err != nil || !got {
+	tokB, got, err := b.TryAcquire(bg, "L", 0)
+	if err != nil || !got {
 		t.Fatalf("TryAcquire on a free lock = (%v, %v), want (true, nil)", got, err)
 	}
-	if err := b.Release("L"); err != nil {
+	if tokB <= tokA {
+		t.Fatalf("second grant token %d not above first %d", tokB, tokA)
+	}
+	if err := b.Release(bg, "L", tokB); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := a.Stats()
+	st, err := a.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,39 +125,235 @@ func TestAcquireRelease(t *testing.T) {
 	}
 }
 
+// TestReleaseStaleToken: a RELEASE carrying an earlier grant's token is
+// fenced — the live grant is untouched — and a double release of the
+// same stale token stays fenced rather than corrupting anything.
+func TestReleaseStaleToken(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4})
+	c := dial(t, addr)
+	tok1, err := c.Acquire(bg, "L", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(bg, "L", tok1); err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := c.Acquire(bg, "L", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale token: fenced, and the lock is still held by tok2.
+	if err := c.Release(bg, "L", tok1); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("stale release = %v, want ErrFenced", err)
+	}
+	if err := c.Release(bg, "L", tok1); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("double stale release = %v, want ErrFenced", err)
+	}
+	b := dial(t, addr)
+	if _, got, _ := b.TryAcquire(bg, "L", 0); got {
+		t.Fatal("lock fell free after fenced releases")
+	}
+	// The real token still releases.
+	if err := c.Release(bg, "L", tok2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseExpiry: a hung holder's lease is enforced — a waiter gets
+// the lock within TTL + sweep slack without the holder disconnecting,
+// the zombie's release is fenced end to end, and the counters record
+// the expiry.
+func TestLeaseExpiry(t *testing.T) {
+	srv, addr := start(t, server.Config{MaxClients: 4, LeaseSweep: 2 * time.Millisecond})
+	a, b := dial(t, addr), dial(t, addr)
+
+	tok, err := a.Acquire(bg, "L", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The waiter blocks, then must be granted by lease enforcement alone.
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	tokB, err := b.Acquire(ctx, "L", 0)
+	if err != nil {
+		t.Fatalf("waiter not granted after lease expiry: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("lease enforcement took %v", elapsed)
+	}
+	if tokB <= tok {
+		t.Fatalf("post-expiry token %d not above expired token %d", tokB, tok)
+	}
+	// The zombie's release answers StatusFenced through the client.
+	if err := a.Release(bg, "L", tok); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("zombie release = %v, want ErrFenced", err)
+	}
+	if err := b.Release(bg, "L", tokB); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.LeaseExpirations(); n != 1 {
+		t.Fatalf("lease expirations = %d, want 1", n)
+	}
+	st, err := b.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LeaseExpirations != 1 || st.Locks[0].Expirations != 1 {
+		t.Fatalf("stats expirations = %d/%d, want 1/1", st.LeaseExpirations, st.Locks[0].Expirations)
+	}
+	// The fenced connection recovers: a fresh acquire works.
+	tok2, err := a.Acquire(bg, "L", 0)
+	if err != nil {
+		t.Fatalf("fenced connection could not re-acquire: %v", err)
+	}
+	if err := a.Release(bg, "L", tok2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseExpiryReacquire: a connection whose grant expired while it
+// sat idle may simply ACQUIRE again — the server reaps the fenced grant
+// instead of reporting a reentrant acquisition.
+func TestLeaseExpiryReacquire(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 4, LeaseSweep: 2 * time.Millisecond})
+	a := dial(t, addr)
+	tok, err := a.Acquire(bg, "L", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait out the lease without releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := a.Stats(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LeaseExpirations >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tok2, err := a.Acquire(bg, "L", 0)
+	if err != nil {
+		t.Fatalf("re-acquire after expiry: %v", err)
+	}
+	if tok2 <= tok {
+		t.Fatalf("re-acquire token %d not above expired %d", tok2, tok)
+	}
+	if err := a.Release(bg, "L", tok2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisconnectWhileBlockedRacingLease: a waiter that hangs up while
+// blocked on a leased lock, just as the lease expires, must neither
+// wedge the lock nor leak its slot — whatever side wins the race, the
+// lock stays grantable and the slot comes back.
+func TestDisconnectWhileBlockedRacingLease(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 2, LeaseSweep: time.Millisecond})
+	// Slots from the previous iteration recycle asynchronously after
+	// Close, so every fresh dial here must tolerate a transient
+	// "server full".
+	redial := func() *tasclient.Client {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c, err := tasclient.Dial(addr)
+			if err == nil {
+				return c
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dial never admitted: %v", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		a := redial()
+		if _, err := a.Acquire(bg, "L", 30*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		b := redial()
+		acquireDone := make(chan struct{})
+		go func() {
+			ctx, cancel := context.WithTimeout(bg, time.Second)
+			defer cancel()
+			b.Acquire(ctx, "L", 0) // may win (lease expiry) or abort (we hang up)
+			close(acquireDone)
+		}()
+		// Let B block server-side, then hang up right around the expiry.
+		time.Sleep(25 * time.Millisecond)
+		b.Close()
+		<-acquireDone
+		a.Close() // zombie holder goes too; its fenced grant is recovered
+
+		// Both slots must come back and the lock must be grantable.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c, err := tasclient.Dial(addr)
+			if err == nil {
+				tok, got, tryErr := c.TryAcquire(bg, "L", 0)
+				if tryErr == nil && got {
+					c.Release(bg, "L", tok)
+					c.Close()
+					break
+				}
+				err = tryErr
+				c.Close()
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("lock or slot never recovered: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
 // TestBlockingAcquireHandoff: a blocked ACQUIRE is granted when the
 // holder releases.
 func TestBlockingAcquireHandoff(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 4})
 	a, b := dial(t, addr), dial(t, addr)
-	if err := a.Acquire("L"); err != nil {
+	tokA, err := a.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got := make(chan error, 1)
-	go func() { got <- b.Acquire("L") }()
+	type grant struct {
+		tok tasclient.Token
+		err error
+	}
+	got := make(chan grant, 1)
+	go func() {
+		tok, err := b.Acquire(bg, "L", 0)
+		got <- grant{tok, err}
+	}()
 	select {
-	case err := <-got:
-		t.Fatalf("Acquire returned %v while the lock was held", err)
+	case g := <-got:
+		t.Fatalf("Acquire returned %+v while the lock was held", g)
 	case <-time.After(50 * time.Millisecond):
 	}
-	if err := a.Release("L"); err != nil {
+	if err := a.Release(bg, "L", tokA); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case err := <-got:
-		if err != nil {
+	case g := <-got:
+		if g.err != nil {
+			t.Fatal(g.err)
+		}
+		if err := b.Release(bg, "L", g.tok); err != nil {
 			t.Fatal(err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("blocked Acquire not granted after Release")
 	}
-	if err := b.Release("L"); err != nil {
-		t.Fatal(err)
-	}
 	// Blocking ACQUIREs must not masquerade as TRYACQUIRE probes in the
 	// per-lock stats: the one blocked acquire above counts toward
 	// Contended, never ProbeLosses.
-	st, err := a.Stats()
+	st, err := a.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +368,8 @@ func TestBlockingAcquireHandoff(t *testing.T) {
 func TestDisconnectWhileWaitingFreesSlot(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 2})
 	a := dial(t, addr)
-	if err := a.Acquire("L"); err != nil {
+	tokA, err := a.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatal(err)
 	}
 	b, err := tasclient.Dial(addr)
@@ -147,7 +377,7 @@ func TestDisconnectWhileWaitingFreesSlot(t *testing.T) {
 		t.Fatal(err)
 	}
 	acquireDone := make(chan struct{})
-	go func() { b.Acquire("L"); close(acquireDone) }()
+	go func() { b.Acquire(bg, "L", 0); close(acquireDone) }()
 	time.Sleep(50 * time.Millisecond) // let B block server-side
 	b.Close()
 	<-acquireDone
@@ -155,32 +385,34 @@ func TestDisconnectWhileWaitingFreesSlot(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		c, err := tasclient.Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := c.TryAcquire("other")
-		c.Close()
-		if err == nil && got {
-			break
+		if err == nil {
+			tok, got, tryErr := c.TryAcquire(bg, "other", 0)
+			if tryErr == nil && got {
+				c.Release(bg, "other", tok)
+				c.Close()
+				break
+			}
+			err = tryErr
+			c.Close()
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("slot still pinned by a dead waiter: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if err := a.Release("L"); err != nil {
+	if err := a.Release(bg, "L", tokA); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestPipelinedBatch: a Do batch spanning several operations and names
-// comes back in order with per-op outcomes.
+// comes back in order with per-op outcomes, tokens included.
 func TestPipelinedBatch(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 4})
 	c := dial(t, addr)
-	res, err := c.Do([]tasclient.Op{
+	res, err := c.Do(bg, []tasclient.Op{
 		{Code: tasclient.OpAcquire, Name: "a"},
-		{Code: tasclient.OpAcquire, Name: "b"},
+		{Code: tasclient.OpAcquire, Name: "b", TTL: time.Minute},
 		{Code: tasclient.OpRelease, Name: "a"},
 		{Code: tasclient.OpTryAcquire, Name: "a"},
 		{Code: tasclient.OpRelease, Name: "a"},
@@ -195,6 +427,9 @@ func TestPipelinedBatch(t *testing.T) {
 			t.Fatalf("batch op %d: %+v", i, r)
 		}
 	}
+	if res[0].Token == 0 || res[1].Token == 0 || res[3].Token == 0 {
+		t.Fatalf("grants missing tokens: %+v", res)
+	}
 	if len(res[6].Payload) == 0 {
 		t.Fatal("STATS payload empty")
 	}
@@ -206,27 +441,76 @@ func TestPipelinedBatch(t *testing.T) {
 func TestProtocolMisuse(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 4})
 	c := dial(t, addr)
-	if err := c.Release("nope"); err == nil {
+	if err := c.Release(bg, "nope", 0); err == nil {
 		t.Fatal("RELEASE without ACQUIRE succeeded")
 	}
-	if err := c.Acquire("L"); err != nil {
+	tok, err := c.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Acquire("L"); err == nil {
+	if _, err := c.Acquire(bg, "L", 0); err == nil {
 		t.Fatal("reentrant ACQUIRE succeeded")
 	}
-	if err := c.Release("L"); err != nil {
+	if err := c.Release(bg, "L", tok); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release("L"); err == nil {
+	if err := c.Release(bg, "L", tok); err == nil {
 		t.Fatal("double RELEASE succeeded")
 	}
 	// The connection survives all of the above.
-	if err := c.Acquire("L"); err != nil {
+	tok2, err := c.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatalf("connection poisoned by protocol errors: %v", err)
 	}
-	if err := c.Release("L"); err != nil {
+	if err := c.Release(bg, "L", tok2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestV1Compat drives the server with hand-built v1 frames — no HELLO,
+// no trailers — and expects byte-exact v1 behavior: empty grant
+// payloads, 1-byte ELECT payloads, server-tracked release.
+func TestV1Compat(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 2})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	roundTrip := func(req wire.Request) wire.Response {
+		t.Helper()
+		buf, err := wire.AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ReadResponse(nc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != req.ID {
+			t.Fatalf("response id %d, want %d", resp.ID, req.ID)
+		}
+		return resp
+	}
+
+	if resp := roundTrip(wire.Request{Op: wire.OpAcquire, ID: 1, Name: "L"}); resp.Status != wire.StatusOK || len(resp.Payload) != 0 {
+		t.Fatalf("v1 ACQUIRE = %+v, want OK with empty payload", resp)
+	}
+	if resp := roundTrip(wire.Request{Op: wire.OpRelease, ID: 2, Name: "L"}); resp.Status != wire.StatusOK {
+		t.Fatalf("v1 RELEASE = %+v, want OK (server-tracked token)", resp)
+	}
+	resp := roundTrip(wire.Request{Op: wire.OpElect, ID: 3, Name: "leader/x"})
+	if resp.Status != wire.StatusOK || len(resp.Payload) != 1 || resp.Payload[0] != wire.ElectLeader {
+		t.Fatalf("v1 ELECT = %+v, want the 1-byte leader payload", resp)
+	}
+	// Repeat ELECT sticks, exactly as in PR 4.
+	resp = roundTrip(wire.Request{Op: wire.OpElect, ID: 4, Name: "leader/x"})
+	if resp.Status != wire.StatusOK || len(resp.Payload) != 1 || resp.Payload[0] != wire.ElectLeader {
+		t.Fatalf("repeat v1 ELECT = %+v, want the same 1-byte answer", resp)
 	}
 }
 
@@ -246,13 +530,15 @@ func TestPartialFrame(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		c, err := tasclient.Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = c.Acquire("L")
-		c.Close()
 		if err == nil {
-			break
+			tok, acqErr := c.Acquire(bg, "L", 0)
+			if acqErr == nil {
+				c.Release(bg, "L", tok)
+				c.Close()
+				break
+			}
+			err = acqErr
+			c.Close()
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("slot never recovered after torn connection: %v", err)
@@ -286,10 +572,11 @@ func TestOversizedFrame(t *testing.T) {
 	}
 	// A fresh client still works.
 	c := dial(t, addr)
-	if err := c.Acquire("L"); err != nil {
+	tok, err := c.Acquire(bg, "L", 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	c.Release("L")
+	c.Release(bg, "L", tok)
 }
 
 // TestDisconnectRecoversLock: a client that dies holding a lock has it
@@ -297,21 +584,24 @@ func TestOversizedFrame(t *testing.T) {
 func TestDisconnectRecoversLock(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 4})
 	a := dial(t, addr)
-	if err := a.Acquire("L"); err != nil {
+	if _, err := a.Acquire(bg, "L", 0); err != nil {
 		t.Fatal(err)
 	}
 	b := dial(t, addr)
-	if got, _ := b.TryAcquire("L"); got {
+	if _, got, _ := b.TryAcquire(bg, "L", 0); got {
 		t.Fatal("lock not actually held")
 	}
 	a.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		got, err := b.TryAcquire("L")
+		tok, got, err := b.TryAcquire(bg, "L", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got {
+			if err := b.Release(bg, "L", tok); err != nil {
+				t.Fatal(err)
+			}
 			break
 		}
 		if time.Now().After(deadline) {
@@ -319,58 +609,167 @@ func TestDisconnectRecoversLock(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := b.Release("L"); err != nil {
-		t.Fatal(err)
-	}
 }
 
-// TestElect: one leader per named election across concurrent clients,
-// stable on repeat, visible in STATS.
-func TestElect(t *testing.T) {
+// TestElectEpochs: one leader per epoch across concurrent clients,
+// stable on repeat; ELECTRESET opens a fresh epoch where a new leader
+// (and everyone else) may run again; a stale reset is fenced.
+func TestElectEpochs(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 8})
 	const k = 6
-	leaders := int32(0)
-	results := make([]bool, k)
-	var wg sync.WaitGroup
 	clients := make([]*tasclient.Client, k)
 	for i := range clients {
 		clients[i] = dial(t, addr)
 	}
+	runEpoch := func(wantEpoch uint64) {
+		t.Helper()
+		leaders := int32(0)
+		results := make([]bool, k)
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				won, epoch, err := clients[i].Elect(bg, "leader/x")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if epoch != wantEpoch {
+					t.Errorf("client %d elected in epoch %d, want %d", i, epoch, wantEpoch)
+				}
+				results[i] = won
+				if won {
+					atomic.AddInt32(&leaders, 1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if leaders != 1 {
+			t.Fatalf("epoch %d: %d leaders elected, want exactly 1", wantEpoch, leaders)
+		}
+		for i, c := range clients {
+			won, epoch, err := c.Elect(bg, "leader/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if won != results[i] || epoch != wantEpoch {
+				t.Fatalf("client %d: repeat Elect flipped (%v,%d) -> (%v,%d)", i, results[i], wantEpoch, won, epoch)
+			}
+		}
+	}
+	runEpoch(1)
+	newEpoch, err := clients[0].ResetElection(bg, "leader/x", 1)
+	if err != nil || newEpoch != 2 {
+		t.Fatalf("ResetElection(1) = (%d, %v), want (2, nil)", newEpoch, err)
+	}
+	if got, err := clients[1].ResetElection(bg, "leader/x", 1); !errors.Is(err, tasclient.ErrFenced) || got != 2 {
+		t.Fatalf("stale ResetElection = (%d, %v), want (2, ErrFenced)", got, err)
+	}
+	runEpoch(2)
+	st, err := clients[0].Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Elections) != 1 || !st.Elections[0].Decided || st.Elections[0].Epoch != 2 || st.Elections[0].Resets != 1 {
+		t.Fatalf("stats elections = %+v, want one decided epoch-2 election with 1 reset", st.Elections)
+	}
+}
+
+// TestElectSlotReuseNotLeader: a connection on a recycled slot must not
+// inherit its dead predecessor's leadership — the per-epoch bitmap
+// demotes slot reuse to loser, so there is never more than one live
+// client believing it leads an epoch.
+func TestElectSlotReuseNotLeader(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 1})
+	a, err := tasclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won, epoch, err := a.Elect(bg, "leader/x")
+	if err != nil || !won || epoch != 1 {
+		t.Fatalf("sole participant Elect = (%v, %d, %v), want a win in epoch 1", won, epoch, err)
+	}
+	a.Close()
+	// The replacement lands on the same (only) slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b, err := tasclient.Dial(addr)
+		if err == nil {
+			won, epoch, err := b.Elect(bg, "leader/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if won {
+				t.Fatalf("recycled slot inherited leadership of epoch %d", epoch)
+			}
+			// Its answer must be stable on repeat, from the conn cache.
+			if again, _, _ := b.Elect(bg, "leader/x"); again {
+				t.Fatal("repeat Elect flipped to leader")
+			}
+			b.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never re-admitted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestElectResetRace: resets fired concurrently with elections across
+// many epochs never double-elect within an epoch and never wedge —
+// run under -race this is the epoch machinery's stress test.
+func TestElectResetRace(t *testing.T) {
+	_, addr := start(t, server.Config{MaxClients: 8})
+	const k = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	leaders := sync.Map{} // epoch -> *atomic.Int32
 	for i := 0; i < k; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			won, err := clients[i].Elect("leader/x")
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			results[i] = won
-			if won {
-				atomic.AddInt32(&leaders, 1)
+			c := dial(t, addr)
+			lastCounted := uint64(0) // repeat answers within an epoch are cached; count each win once
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				won, epoch, err := c.Elect(bg, "leader/race")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if won && epoch != lastCounted {
+					lastCounted = epoch
+					n, _ := leaders.LoadOrStore(epoch, new(atomic.Int32))
+					n.(*atomic.Int32).Add(1)
+				}
 			}
 		}(i)
 	}
-	wg.Wait()
-	if leaders != 1 {
-		t.Fatalf("%d leaders elected, want exactly 1", leaders)
-	}
-	for i, c := range clients {
-		won, err := c.Elect("leader/x")
+	resetter := dial(t, addr)
+	for i := 0; i < 30; i++ {
+		_, epoch, err := resetter.Elect(bg, "leader/race")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if won != results[i] {
-			t.Fatalf("client %d: repeat Elect flipped %v -> %v", i, results[i], won)
+		if _, err := resetter.ResetElection(bg, "leader/race", epoch); err != nil && !errors.Is(err, tasclient.ErrFenced) {
+			t.Fatal(err)
 		}
+		time.Sleep(time.Millisecond)
 	}
-	st, err := clients[0].Stats()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(st.Elections) != 1 || !st.Elections[0].Decided {
-		t.Fatalf("stats elections = %+v, want one decided election", st.Elections)
-	}
+	close(stop)
+	wg.Wait()
+	leaders.Range(func(k, v interface{}) bool {
+		if n := v.(*atomic.Int32).Load(); n != 1 {
+			t.Errorf("epoch %v elected %d leaders, want 1", k, n)
+		}
+		return true
+	})
 }
 
 // TestServerFull: connections beyond MaxClients are refused with an
@@ -378,29 +777,26 @@ func TestElect(t *testing.T) {
 func TestServerFull(t *testing.T) {
 	_, addr := start(t, server.Config{MaxClients: 1})
 	a := dial(t, addr)
-	if err := a.Acquire("L"); err != nil {
-		t.Fatal(err)
-	}
-	b, err := tasclient.Dial(addr)
+	tok, err := a.Acquire(bg, "L", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer b.Close()
-	if err := b.Acquire("M"); err == nil {
-		t.Fatal("connection beyond MaxClients served")
+	if _, err := tasclient.Dial(addr); err == nil {
+		t.Fatal("connection beyond MaxClients negotiated HELLO")
 	}
-	a.Release("L")
+	a.Release(bg, "L", tok)
 	a.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		c, err := tasclient.Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = c.Acquire("L")
-		c.Close()
 		if err == nil {
-			return
+			tok, err := c.Acquire(bg, "L", 0)
+			if err == nil {
+				c.Release(bg, "L", tok)
+				c.Close()
+				return
+			}
+			c.Close()
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("slot never re-admitted: %v", err)
@@ -429,7 +825,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Acquire("L"); err != nil {
+	if _, err := c.Acquire(bg, "L", 0); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -442,6 +838,28 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := tasclient.Dial(addr); err == nil {
 		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestShutdownIdempotent: a second Shutdown (two signals, or a signal
+// handler plus deferred cleanup) must drain quietly, not panic on the
+// sweeper's stop channel.
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", MaxClients: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }
 
@@ -471,15 +889,15 @@ func TestShutdownUnblocksWaiters(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	if err := a.Acquire("x"); err != nil {
+	if _, err := a.Acquire(bg, "x", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Acquire("y"); err != nil {
+	if _, err := b.Acquire(bg, "y", 0); err != nil {
 		t.Fatal(err)
 	}
 	blocked := make(chan struct{}, 2)
-	go func() { a.Acquire("y"); blocked <- struct{}{} }()
-	go func() { b.Acquire("x"); blocked <- struct{}{} }()
+	go func() { a.Acquire(bg, "y", 0); blocked <- struct{}{} }()
+	go func() { b.Acquire(bg, "x", 0); blocked <- struct{}{} }()
 	time.Sleep(50 * time.Millisecond) // let both waiters actually block
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -509,10 +927,10 @@ func TestStatsTruncation(t *testing.T) {
 			tasclient.Op{Code: tasclient.OpRelease, Name: name},
 		)
 	}
-	if _, err := c.Do(batch); err != nil {
+	if _, err := c.Do(bg, batch); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatalf("oversized STATS unreadable: %v", err)
 	}
@@ -528,10 +946,11 @@ func TestStatsTruncation(t *testing.T) {
 }
 
 // TestStressLoopback is the -race loopback stress: clients hammer a
-// small set of named locks with pipelined batches while connections
-// churn, and the server-side owner check must never trip.
+// small set of named locks with pipelined leased batches while
+// connections churn and some holders deliberately let their leases
+// lapse, and the server-side owner check must never trip.
 func TestStressLoopback(t *testing.T) {
-	srv, addr := start(t, server.Config{MaxClients: 16})
+	srv, addr := start(t, server.Config{MaxClients: 16, LeaseSweep: 2 * time.Millisecond})
 	const (
 		workers  = 8
 		locks    = 3
@@ -557,11 +976,11 @@ func TestStressLoopback(t *testing.T) {
 					for i := 0; i < 4; i++ {
 						name := fmt.Sprintf("lock-%d", rng.Intn(locks))
 						batch = append(batch,
-							tasclient.Op{Code: tasclient.OpAcquire, Name: name},
+							tasclient.Op{Code: tasclient.OpAcquire, Name: name, TTL: time.Second},
 							tasclient.Op{Code: tasclient.OpRelease, Name: name},
 						)
 					}
-					res, err := c.Do(batch)
+					res, err := c.Do(bg, batch)
 					if err != nil {
 						t.Error(err)
 						break
@@ -573,10 +992,13 @@ func TestStressLoopback(t *testing.T) {
 					}
 					ops.Add(int64(len(res)))
 				}
-				// Half the time disconnect while holding a lock, to
-				// exercise recovery under load.
+				// Half the time disconnect while holding a lock — with a
+				// tiny lease, so disconnect recovery races expiry.
 				if rng.Intn(2) == 0 {
-					c.Acquire(fmt.Sprintf("lock-%d", rng.Intn(locks)))
+					c.Acquire(bg, fmt.Sprintf("lock-%d", rng.Intn(locks)), 5*time.Millisecond)
+					if rng.Intn(2) == 0 {
+						time.Sleep(8 * time.Millisecond) // lease lapses first
+					}
 				}
 				c.Close()
 			}
@@ -586,5 +1008,5 @@ func TestStressLoopback(t *testing.T) {
 	if v := srv.Violations(); v != 0 {
 		t.Fatalf("%d mutual-exclusion violations under stress", v)
 	}
-	t.Logf("stress: %d ops, %d violations", ops.Load(), srv.Violations())
+	t.Logf("stress: %d ops, %d expiries, %d violations", ops.Load(), srv.LeaseExpirations(), srv.Violations())
 }

@@ -4,8 +4,8 @@
 //
 // Every message is one frame:
 //
-//	request:  | len u32 | op u8     | id u32 | nameLen u8 | name ... |
-//	response: | len u32 | status u8 | id u32 | payload ...          |
+//	request:  | len u32 | op u8     | id u32 | nameLen u8 | name ... | trailer ... |
+//	response: | len u32 | status u8 | id u32 | payload ...                         |
 //
 // All integers are big-endian; len counts the bytes after the length
 // field itself. The id is a client-chosen correlation token echoed
@@ -16,13 +16,37 @@
 // batch of dozens of operations fits in one TCP segment and the server
 // can turn the whole batch around with one read and one write.
 //
-// The protocol carries five operations: ACQUIRE and RELEASE of a named
-// lock (blocking), TRYACQUIRE (single probe, never blocks), ELECT on a
-// named one-shot leader election, and STATS (a JSON snapshot of the
-// server's counters). Responses answer OK, BUSY (a lost TRYACQUIRE
-// probe), or ERROR with a human-readable message as payload; an ELECT
-// response carries one payload byte — 1 for the unique leader, 0 for
-// everyone else.
+// # Protocol versions
+//
+// Version 1 (the PR 4 protocol) carries five operations: ACQUIRE and
+// RELEASE of a named lock (blocking), TRYACQUIRE (single probe, never
+// blocks), ELECT on a named one-shot leader election, and STATS (a JSON
+// snapshot of the server's counters).
+//
+// Version 2 adds the fenced, leased, epoch'd surface. A v2 client opens
+// with HELLO carrying the highest version it speaks; the server answers
+// with the version the connection will use. Requests then carry
+// per-op trailers after the name:
+//
+//	HELLO       u32 max version the client speaks
+//	ACQUIRE     u32 lease TTL in milliseconds (0 or absent: no lease)
+//	TRYACQUIRE  u32 lease TTL in milliseconds (0 or absent: no lease)
+//	RELEASE     u64 fencing token (0 or absent: server-tracked, v1 style)
+//	ELECTEPOCH  (none) — participate in the election's current epoch
+//	ELECTRESET  u64 epoch believed current (compare-and-bump guard)
+//
+// A v1 frame is exactly a v2 frame with an empty trailer, so old
+// clients keep working against a v2 server unchanged: no TTL means no
+// lease, no token means the server releases by its own bookkeeping, and
+// plain ELECT keeps its decided-once answer. Successful v2 ACQUIRE /
+// TRYACQUIRE responses carry the granted fencing token (u64);
+// ELECTEPOCH answers leader(u8) + epoch(u64); ELECTRESET answers the
+// now-current epoch (u64); HELLO answers the negotiated version (u32).
+// The new StatusFenced answers a RELEASE whose token was superseded
+// (lease expired and the lock re-granted) and an ELECTRESET whose epoch
+// is stale — stale parties learn they were fenced, never an opaque
+// error. v1 connections cannot attach leases, so they can never be
+// fenced.
 package wire
 
 import (
@@ -32,20 +56,27 @@ import (
 	"io"
 )
 
+// Version is the highest protocol version this build speaks.
+const Version = 2
+
 // Request opcodes.
 const (
-	OpAcquire    byte = 1 // blocking lock acquisition
-	OpTryAcquire byte = 2 // single non-blocking probe
-	OpRelease    byte = 3 // release a held lock
-	OpElect      byte = 4 // participate in a named one-shot election
+	OpAcquire    byte = 1 // blocking lock acquisition (v2: optional lease TTL)
+	OpTryAcquire byte = 2 // single non-blocking probe (v2: optional lease TTL)
+	OpRelease    byte = 3 // release a held lock (v2: fencing token verified)
+	OpElect      byte = 4 // participate in a named election, v1 decided-once view
 	OpStats      byte = 5 // JSON counter snapshot
+	OpHello      byte = 6 // version negotiation, first frame of a v2 client
+	OpElectEpoch byte = 7 // participate in the election's current epoch
+	OpElectReset byte = 8 // retire the given epoch and install the next
 )
 
 // Response status codes.
 const (
-	StatusOK    byte = 0 // operation succeeded; ELECT carries a result byte
-	StatusBusy  byte = 1 // TRYACQUIRE lost its probe
-	StatusError byte = 2 // payload is a human-readable error message
+	StatusOK     byte = 0 // operation succeeded; see per-op payloads
+	StatusBusy   byte = 1 // TRYACQUIRE lost its probe
+	StatusError  byte = 2 // payload is a human-readable error message
+	StatusFenced byte = 3 // the token/epoch was superseded; payload: current fence (u64)
 )
 
 // ELECT response payload bytes.
@@ -85,16 +116,50 @@ func OpName(op byte) string {
 		return "ELECT"
 	case OpStats:
 		return "STATS"
+	case OpHello:
+		return "HELLO"
+	case OpElectEpoch:
+		return "ELECTEPOCH"
+	case OpElectReset:
+		return "ELECTRESET"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
 }
 
-// Request is one decoded client→server frame.
+// StatusName returns the mnemonic for a status code.
+func StatusName(s byte) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBusy:
+		return "BUSY"
+	case StatusError:
+		return "ERROR"
+	case StatusFenced:
+		return "FENCED"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// Request is one decoded client→server frame. The trailer fields carry
+// the v2 extensions; a v1 frame decodes with all of them zero.
 type Request struct {
 	Op   byte
 	ID   uint32
 	Name string
+
+	// TTLMillis is the requested lease in milliseconds on ACQUIRE /
+	// TRYACQUIRE; 0 means no lease.
+	TTLMillis uint32
+	// Token is the fencing token on RELEASE; 0 means "whatever the
+	// server recorded" (v1 semantics).
+	Token uint64
+	// Epoch is the compare-and-bump guard on ELECTRESET.
+	Epoch uint64
+	// Version is the client's highest spoken version on HELLO.
+	Version uint32
 }
 
 // Response is one decoded server→client frame.
@@ -113,17 +178,50 @@ func (r Response) Err() string {
 	return string(r.Payload)
 }
 
+// trailerLen returns the encoded trailer size for req.
+func trailerLen(req Request) int {
+	switch req.Op {
+	case OpHello:
+		return 4
+	case OpAcquire, OpTryAcquire:
+		if req.TTLMillis != 0 {
+			return 4
+		}
+	case OpRelease:
+		if req.Token != 0 {
+			return 8
+		}
+	case OpElectReset:
+		return 8
+	}
+	return 0
+}
+
 // AppendRequest appends req's frame to buf and returns the extended
 // slice, so a pipelining client can pack a whole batch into one write.
+// Zero-valued trailer fields are omitted where the protocol allows,
+// which keeps v1-shaped traffic byte-identical to PR 4.
 func AppendRequest(buf []byte, req Request) ([]byte, error) {
 	if len(req.Name) > MaxName {
 		return buf, fmt.Errorf("wire: name %d bytes exceeds the %d-byte limit", len(req.Name), MaxName)
 	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(requestHeader+len(req.Name)))
+	tl := trailerLen(req)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(requestHeader+len(req.Name)+tl))
 	buf = append(buf, req.Op)
 	buf = binary.BigEndian.AppendUint32(buf, req.ID)
 	buf = append(buf, byte(len(req.Name)))
-	return append(buf, req.Name...), nil
+	buf = append(buf, req.Name...)
+	switch {
+	case req.Op == OpHello:
+		buf = binary.BigEndian.AppendUint32(buf, req.Version)
+	case tl == 4:
+		buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
+	case req.Op == OpElectReset:
+		buf = binary.BigEndian.AppendUint64(buf, req.Epoch)
+	case tl == 8:
+		buf = binary.BigEndian.AppendUint64(buf, req.Token)
+	}
+	return buf, nil
 }
 
 // AppendResponse appends resp's frame to buf and returns the extended
@@ -159,7 +257,9 @@ func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 
 // ReadRequest reads and decodes one request frame. maxFrame ≤ 0 means
 // DefaultMaxFrame. io.EOF is returned only on a clean close between
-// frames; a connection torn mid-frame yields io.ErrUnexpectedEOF.
+// frames; a connection torn mid-frame yields io.ErrUnexpectedEOF. An
+// absent trailer decodes to zero values (v1 compatibility); a trailer
+// of the wrong size is a protocol error.
 func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
@@ -173,10 +273,43 @@ func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
 	}
 	req := Request{Op: body[0], ID: binary.BigEndian.Uint32(body[1:5])}
 	nameLen := int(body[5])
-	if len(body) != requestHeader+nameLen {
-		return Request{}, fmt.Errorf("wire: request frame %d bytes, header says %d", len(body), requestHeader+nameLen)
+	if len(body) < requestHeader+nameLen {
+		return Request{}, fmt.Errorf("wire: request frame %d bytes, header says ≥ %d", len(body), requestHeader+nameLen)
 	}
-	req.Name = string(body[requestHeader:])
+	req.Name = string(body[requestHeader : requestHeader+nameLen])
+	trailer := body[requestHeader+nameLen:]
+	switch req.Op {
+	case OpHello:
+		if len(trailer) != 4 {
+			return Request{}, fmt.Errorf("wire: HELLO trailer %d bytes, want 4", len(trailer))
+		}
+		req.Version = binary.BigEndian.Uint32(trailer)
+	case OpAcquire, OpTryAcquire:
+		switch len(trailer) {
+		case 0:
+		case 4:
+			req.TTLMillis = binary.BigEndian.Uint32(trailer)
+		default:
+			return Request{}, fmt.Errorf("wire: %s trailer %d bytes, want 0 or 4", OpName(req.Op), len(trailer))
+		}
+	case OpRelease:
+		switch len(trailer) {
+		case 0:
+		case 8:
+			req.Token = binary.BigEndian.Uint64(trailer)
+		default:
+			return Request{}, fmt.Errorf("wire: RELEASE trailer %d bytes, want 0 or 8", len(trailer))
+		}
+	case OpElectReset:
+		if len(trailer) != 8 {
+			return Request{}, fmt.Errorf("wire: ELECTRESET trailer %d bytes, want 8", len(trailer))
+		}
+		req.Epoch = binary.BigEndian.Uint64(trailer)
+	default:
+		if len(trailer) != 0 {
+			return Request{}, fmt.Errorf("wire: %s frame carries an unexpected %d-byte trailer", OpName(req.Op), len(trailer))
+		}
+	}
 	return req, nil
 }
 
@@ -200,11 +333,69 @@ func ReadResponse(r io.Reader, maxFrame int) (Response, error) {
 	}, nil
 }
 
+// TokenPayload encodes a fencing token (or an epoch, or a negotiated
+// fence of any kind) as a response payload.
+func TokenPayload(tok uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], tok)
+	return b[:]
+}
+
+// ParseTokenPayload decodes a u64 payload; ok is false for any other
+// shape (including the empty v1 payload).
+func ParseTokenPayload(p []byte) (tok uint64, ok bool) {
+	if len(p) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(p), true
+}
+
+// ElectPayload encodes an ELECTEPOCH answer: leadership plus the epoch
+// participated in.
+func ElectPayload(leader bool, epoch uint64) []byte {
+	b := make([]byte, 9)
+	if leader {
+		b[0] = ElectLeader
+	}
+	binary.BigEndian.PutUint64(b[1:], epoch)
+	return b
+}
+
+// ParseElectPayload decodes an ELECTEPOCH answer; it also accepts the
+// 1-byte v1 ELECT payload (epoch reported as 0).
+func ParseElectPayload(p []byte) (leader bool, epoch uint64, ok bool) {
+	switch len(p) {
+	case 1:
+		return p[0] == ElectLeader, 0, true
+	case 9:
+		return p[0] == ElectLeader, binary.BigEndian.Uint64(p[1:]), true
+	default:
+		return false, 0, false
+	}
+}
+
+// HelloPayload encodes the server's negotiated version.
+func HelloPayload(version uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], version)
+	return b[:]
+}
+
+// ParseHelloPayload decodes a HELLO answer.
+func ParseHelloPayload(p []byte) (version uint32, ok bool) {
+	if len(p) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(p), true
+}
+
 // Stats is the STATS payload, marshalled as JSON. The shapes mirror the
 // in-process counters the public randtas API exposes (MutexStats,
-// ArenaShardStats) so a dashboard scraping tasd sees the same numbers a
-// linked-in consumer would.
+// ArenaShardStats, NamedStats) so a dashboard scraping tasd sees the
+// same numbers a linked-in consumer would.
 type Stats struct {
+	// ProtocolVersion is the highest protocol version the server speaks.
+	ProtocolVersion int `json:"protocol_version"`
 	// UptimeSeconds since the server started listening.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// ActiveConns and MaxClients describe the connection slots: every
@@ -216,13 +407,18 @@ type Stats struct {
 	// Violations counts server-side mutual-exclusion check failures.
 	// Any nonzero value is a bug in the lock service.
 	Violations uint64 `json:"violations"`
+	// LeaseExpirations counts leases the server expired (holders fenced).
+	LeaseExpirations uint64 `json:"lease_expirations"`
+	// Evictions counts named locks retired by the registry's idle
+	// eviction.
+	Evictions uint64 `json:"evictions,omitempty"`
 	// Truncated is set when the per-name lists below were cut short so
 	// the snapshot fits in one response frame; the scalar counters
 	// above are always complete.
 	Truncated bool `json:"truncated,omitempty"`
 	// Locks are the per-name mutex counters, sorted by name.
 	Locks []LockStats `json:"locks"`
-	// Elections are the named one-shot elections, sorted by name.
+	// Elections are the named elections, sorted by name.
 	Elections []ElectionStats `json:"elections"`
 	// Arena sums the slot-pool counters across shards.
 	Arena ArenaStats `json:"arena"`
@@ -237,15 +433,26 @@ type LockStats struct {
 	Contended uint64 `json:"contended"`
 	// ProbeLosses counts failed TRYACQUIRE probes.
 	ProbeLosses uint64 `json:"probe_losses"`
+	// Expirations counts lease expiries enforced on this lock.
+	Expirations uint64 `json:"expirations,omitempty"`
+	// HolderToken is the current holder's fencing token (0 when free) —
+	// what a downstream resource fences stale writers against.
+	HolderToken uint64 `json:"holder_token,omitempty"`
+	// Evictions counts prior incarnations of this name retired idle.
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
-// ElectionStats is one named election's outcome so far.
+// ElectionStats is one named election's standing.
 type ElectionStats struct {
 	Name string `json:"name"`
-	// Decided is true once some client won the election.
+	// Epoch is the current epoch (counted from 1); Resets the number of
+	// completed epoch bumps.
+	Epoch  uint64 `json:"epoch"`
+	Resets uint64 `json:"resets,omitempty"`
+	// Decided is true once some client won the current epoch.
 	Decided bool `json:"decided"`
-	// WinnerConn is the connection slot of the winner (meaningful only
-	// when Decided).
+	// WinnerConn is the connection slot of the current epoch's winner
+	// (meaningful only when Decided).
 	WinnerConn int `json:"winner_conn,omitempty"`
 }
 

@@ -10,13 +10,21 @@ import (
 )
 
 // TestRequestRoundTrip: every opcode survives encode→decode, including
-// the empty name and the maximum name.
+// the empty name, the maximum name, and the v2 trailers (lease TTLs,
+// fencing tokens, epochs, HELLO versions). v1-shaped frames (zero
+// trailer fields) must decode back to themselves byte-compatibly.
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpAcquire, ID: 1, Name: "build-cache"},
+		{Op: OpAcquire, ID: 2, Name: "leased", TTLMillis: 1500},
 		{Op: OpTryAcquire, ID: 0xffffffff, Name: ""},
+		{Op: OpTryAcquire, ID: 3, Name: "leased", TTLMillis: 1},
 		{Op: OpRelease, ID: 7, Name: "x"},
+		{Op: OpRelease, ID: 8, Name: "x", Token: 0xdeadbeefcafe},
 		{Op: OpElect, ID: 42, Name: strings.Repeat("n", MaxName)},
+		{Op: OpElectEpoch, ID: 43, Name: "leader/x"},
+		{Op: OpElectReset, ID: 44, Name: "leader/x", Epoch: 12},
+		{Op: OpHello, ID: 0, Version: Version},
 		{Op: OpStats, ID: 9},
 	}
 	var buf []byte
@@ -104,6 +112,92 @@ func TestPartialFrame(t *testing.T) {
 		if err != io.ErrUnexpectedEOF {
 			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
 		}
+	}
+}
+
+// TestV1FrameShape: a request without v2 extensions encodes exactly as
+// the PR 4 protocol did — header, name, nothing else — so an old server
+// parses a new client's v1-shaped traffic and an old client's frames
+// decode on a new server with zeroed trailer fields.
+func TestV1FrameShape(t *testing.T) {
+	buf, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 5, Name: "compat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 6 + len("compat"); len(buf) != want {
+		t.Fatalf("v1-shaped ACQUIRE is %d bytes, want %d (trailer must be absent)", len(buf), want)
+	}
+	got, err := ReadRequest(bytes.NewReader(buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TTLMillis != 0 || got.Token != 0 || got.Epoch != 0 || got.Version != 0 {
+		t.Fatalf("v1 frame decoded with nonzero v2 fields: %+v", got)
+	}
+}
+
+// TestTrailerValidation: wrong-sized trailers are protocol errors, not
+// silent zeroes.
+func TestTrailerValidation(t *testing.T) {
+	good, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 1, Name: "x", TTLMillis: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop one trailer byte and fix the length prefix: 3-byte TTL.
+	bad := append([]byte{}, good[:len(good)-1]...)
+	binary.BigEndian.PutUint32(bad[:4], uint32(len(bad)-4))
+	if _, err := ReadRequest(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("3-byte ACQUIRE trailer accepted")
+	}
+	// A trailer on an op that takes none.
+	stats, err := AppendRequest(nil, Request{Op: OpStats, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = append(stats, 0xff)
+	binary.BigEndian.PutUint32(stats[:4], uint32(len(stats)-4))
+	if _, err := ReadRequest(bytes.NewReader(stats), 0); err == nil {
+		t.Fatal("STATS frame with a trailer accepted")
+	}
+	// ELECTRESET requires its epoch.
+	reset, err := AppendRequest(nil, Request{Op: OpElectReset, ID: 3, Name: "e", Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reset = reset[:len(reset)-8]
+	binary.BigEndian.PutUint32(reset[:4], uint32(len(reset)-4))
+	if _, err := ReadRequest(bytes.NewReader(reset), 0); err == nil {
+		t.Fatal("ELECTRESET without an epoch accepted")
+	}
+}
+
+// TestPayloadHelpers: the typed payload encoders round-trip and reject
+// foreign shapes.
+func TestPayloadHelpers(t *testing.T) {
+	if tok, ok := ParseTokenPayload(TokenPayload(0x1122334455667788)); !ok || tok != 0x1122334455667788 {
+		t.Fatalf("token round trip = (%x, %v)", tok, ok)
+	}
+	if _, ok := ParseTokenPayload(nil); ok {
+		t.Fatal("empty payload parsed as a token")
+	}
+	if leader, epoch, ok := ParseElectPayload(ElectPayload(true, 42)); !ok || !leader || epoch != 42 {
+		t.Fatalf("elect round trip = (%v, %d, %v)", leader, epoch, ok)
+	}
+	// The 1-byte v1 ELECT payload still parses, epoch 0.
+	if leader, epoch, ok := ParseElectPayload([]byte{ElectLeader}); !ok || !leader || epoch != 0 {
+		t.Fatalf("v1 elect payload = (%v, %d, %v)", leader, epoch, ok)
+	}
+	if _, _, ok := ParseElectPayload([]byte{1, 2}); ok {
+		t.Fatal("2-byte elect payload accepted")
+	}
+	if v, ok := ParseHelloPayload(HelloPayload(2)); !ok || v != 2 {
+		t.Fatalf("hello round trip = (%d, %v)", v, ok)
+	}
+	if _, ok := ParseHelloPayload([]byte{1}); ok {
+		t.Fatal("short hello payload accepted")
+	}
+	if StatusName(StatusFenced) != "FENCED" || OpName(OpElectEpoch) != "ELECTEPOCH" {
+		t.Fatal("mnemonics missing for v2 codes")
 	}
 }
 

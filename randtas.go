@@ -45,16 +45,30 @@
 //
 // TAS and LeaderElection objects are one-shot, exactly as in the paper.
 // For long-lived synchronization build an Arena — a sharded pool of
-// recyclable TAS instances — and chain them into a reusable Mutex:
+// recyclable TAS instances — and chain them into a reusable Mutex. The
+// v2 locking surface is fenced and context-aware: every acquisition
+// returns a strictly monotone fencing Token, and releases verify it:
 //
 //	m, err := randtas.NewMutex(randtas.ArenaOptions{Options: randtas.Options{N: 8}})
 //	if err != nil {
 //	    log.Fatal(err)
 //	}
 //	p := m.Proc(0) // one MutexProc per goroutine
-//	p.Lock()
-//	// critical section
-//	p.Unlock()
+//	tok, err := p.Lock(ctx)
+//	if err != nil {
+//	    return err // ctx done, or the lock was evicted
+//	}
+//	// critical section; pass tok to downstream resources so they can
+//	// reject writers whose lease was revoked
+//	if err := p.Unlock(tok); err == randtas.ErrFenced {
+//	    // the lock was taken away (lease expiry) while we held it
+//	}
+//
+// Named objects live in a Registry (the in-process face of the tasd
+// lock service): named fenced mutexes, and named re-electable Elections
+// whose epochs preserve the paper's one-shot contract — one TAS slot
+// per epoch, exactly one leader per epoch, Reset retires the epoch's
+// slot to the arena and installs a fresh one.
 //
 // The step-complexity experiments of the paper run on a deterministic
 // simulator with adversarial schedulers; see cmd/tasbench and the
@@ -62,8 +76,12 @@
 package randtas
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
-	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/agtv"
 	"repro/internal/arena"
@@ -71,6 +89,7 @@ import (
 	"repro/internal/concurrent"
 	"repro/internal/core"
 	"repro/internal/ratrace"
+	"repro/internal/rng"
 	"repro/internal/shm"
 	"repro/internal/tas"
 )
@@ -139,6 +158,34 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("randtas: unknown algorithm %q (want combined, logstar, sifting, adaptive-sifting, ratrace, ratrace-original or agtv)", name)
 }
 
+// Token is a fencing token: the strictly monotone sequence number of the
+// TAS round (or election epoch) that granted an acquisition. A resource
+// downstream of a lock admits a write only if its token is the largest
+// it has ever seen; a holder whose lease was revoked then cannot corrupt
+// state, no matter how late its writes arrive. Zero is never a valid
+// token.
+type Token = uint64
+
+// Lock-ownership errors, re-exported from the arena layer. The tasd
+// server maps ErrFenced onto the wire's StatusFenced.
+var (
+	// ErrFenced reports a release (or other fenced operation) whose
+	// token was superseded: the lease expired, or the lock was revoked
+	// or evicted while held.
+	ErrFenced = arena.ErrFenced
+	// ErrNotHeld reports an Unlock by a proc that holds nothing.
+	ErrNotHeld = arena.ErrNotHeld
+	// ErrBadToken reports an Unlock whose token does not match the held
+	// round — a stale token from an earlier acquisition.
+	ErrBadToken = arena.ErrBadToken
+	// ErrRetired reports an operation on a mutex that was evicted from
+	// its registry; look the name up again for a fresh instance.
+	ErrRetired = arena.ErrRetired
+	// ErrStaleEpoch reports an Election.Reset that lost: the given epoch
+	// was already reset past.
+	ErrStaleEpoch = arena.ErrStaleEpoch
+)
+
 // Options configures a leader election or TAS object.
 type Options struct {
 	// N is the maximum number of processes (Proc ids 0..N-1). Required.
@@ -146,8 +193,39 @@ type Options struct {
 	// Algorithm picks the construction; the zero value is Combined.
 	Algorithm Algorithm
 	// Seed, if non-zero, makes all coin flips deterministic (useful for
-	// tests). With Seed zero a process-unique default is used.
+	// tests). With Seed zero every object draws a random seed at
+	// construction (crypto/rand bootstrap), and per-proc streams are
+	// decorrelated from it by a splitmix64 finalizer — no global
+	// math/rand state is involved.
 	Seed int64
+}
+
+// seedCounter backs the crypto/rand-failure fallback in randomSeed.
+var seedCounter atomic.Uint64
+
+// randomSeed draws a fresh nonzero object seed. crypto/rand gives
+// cross-object decorrelation by construction; on the (practically
+// unobservable) error path a golden-ratio counter mixed with the wall
+// clock keeps seeds distinct within and across processes.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if s := int64(binary.LittleEndian.Uint64(b[:]) >> 1); s != 0 {
+			return s
+		}
+	}
+	g := rng.New(seedCounter.Add(0x9e3779b97f4a7c15) ^ uint64(time.Now().UnixNano()))
+	return int64(g.Next()>>1) | 1
+}
+
+// resolve pins a random seed at object construction when none was
+// given, so every Proc of one object shares a deterministic base and
+// distinct objects are decorrelated by construction.
+func (o Options) resolve() Options {
+	if o.Seed == 0 {
+		o.Seed = randomSeed()
+	}
+	return o
 }
 
 // buildElector constructs the chosen algorithm on s.
@@ -187,6 +265,7 @@ type LeaderElection struct {
 
 // NewLeaderElection builds a leader election object.
 func NewLeaderElection(opts Options) (*LeaderElection, error) {
+	opts = opts.resolve()
 	space := concurrent.NewSpace()
 	le, err := buildElector(space, opts)
 	if err != nil {
@@ -247,6 +326,7 @@ type TASObject struct {
 
 // NewTAS builds a test-and-set object.
 func NewTAS(opts Options) (*TASObject, error) {
+	opts = opts.resolve()
 	space := concurrent.NewSpace()
 	le, err := buildElector(space, opts)
 	if err != nil {
@@ -343,6 +423,7 @@ func NewArena(opts ArenaOptions) (*Arena, error) {
 	if opts.Algorithm < Combined || opts.Algorithm > AGTV {
 		return nil, fmt.Errorf("randtas: unknown algorithm %v", opts.Algorithm)
 	}
+	opts.Options = opts.Options.resolve()
 	a, err := arena.New(arena.Config{
 		N:        opts.N,
 		Shards:   opts.Shards,
@@ -389,17 +470,24 @@ type RegistryOptions struct {
 	// (default arena.DefaultRegistryShards). It bounds lookup
 	// contention, not capacity — each shard holds any number of names.
 	RegistryShards int
+	// MaxIdle, when positive, lets Registry.Evict retire named mutexes
+	// whose counters have been quiet for at least this long, returning
+	// their final rounds' slots to the arena. Zero disables eviction.
+	MaxIdle time.Duration
 }
 
 // NamedMutexStats re-exports the per-name mutex counters.
 type NamedMutexStats = arena.NamedStats
 
-// Registry is a directory of named synchronization objects — long-lived
-// mutexes and one-shot leader elections — lazily created on first
-// lookup and all drawing their register space from one shared Arena.
-// It is the in-process face of the tasd lock service: cmd/tasd serves
-// exactly this surface over TCP. All methods are safe for concurrent
-// use.
+// NamedElectionStats re-exports the per-name election standing.
+type NamedElectionStats = arena.ElectionInfo
+
+// Registry is a directory of named synchronization objects — fenced
+// long-lived mutexes and re-electable epoch'd Elections — lazily
+// created on first lookup and all drawing their register space from one
+// shared Arena. It is the in-process face of the tasd lock service:
+// cmd/tasd serves exactly this surface over TCP. All methods are safe
+// for concurrent use.
 type Registry struct {
 	opts ArenaOptions
 	r    *arena.Registry
@@ -411,69 +499,200 @@ func NewRegistry(opts RegistryOptions) (*Registry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.NewRegistry(opts.RegistryShards), nil
+	return a.NewRegistry(opts.RegistryShards, opts.MaxIdle), nil
 }
 
 // NewRegistry builds a registry over this arena. Any number of
-// registries and standalone mutexes may share one arena.
-func (a *Arena) NewRegistry(shards int) *Registry {
-	return &Registry{opts: a.opts, r: arena.NewRegistry(a.a, shards)}
+// registries and standalone mutexes may share one arena. maxIdle zero
+// disables eviction.
+func (a *Arena) NewRegistry(shards int, maxIdle time.Duration) *Registry {
+	return &Registry{opts: a.opts, r: arena.NewRegistry(a.a, arena.RegistryConfig{Shards: shards, MaxIdle: maxIdle})}
 }
 
-// Mutex returns the named lock, creating it on first use. The returned
-// wrapper is cheap and may be discarded; lookups of one name always
-// resolve to the same underlying lock.
+// Mutex returns the named lock, creating it on first use (and afresh
+// after an eviction). The returned wrapper is cheap and may be
+// discarded; lookups of one name always resolve to the same underlying
+// lock until it is evicted.
 func (r *Registry) Mutex(name string) *Mutex {
 	return &Mutex{opts: r.opts, m: r.r.Mutex(name)}
 }
 
-// TAS returns the named one-shot test-and-set, creating it on first
-// use. Its slot stays checked out of the arena until Close, so a
-// decided election remains readable indefinitely.
-func (r *Registry) TAS(name string) *NamedTAS {
-	return &NamedTAS{opts: r.opts.Options, slot: r.r.Election(name)}
+// Election returns the named re-electable election, creating it on
+// first use. Its current epoch's slot stays checked out of the arena
+// until the epoch is reset or the registry closes, so a decided epoch
+// remains readable indefinitely.
+func (r *Registry) Election(name string) *Election {
+	return &Election{opts: r.opts.Options, e: r.r.Election(name)}
 }
 
-// Len reports the number of named mutexes and one-shot objects
-// currently registered.
+// TAS returns the named one-shot test-and-set.
+//
+// Deprecated: named one-shot objects are the epoch-1 view of an
+// Election; use Registry.Election, whose Reset makes the name
+// re-electable without weakening the one-shot contract within an epoch.
+func (r *Registry) TAS(name string) *NamedTAS {
+	return &NamedTAS{opts: r.opts.Options, e: r.r.Election(name)}
+}
+
+// Len reports the number of named mutexes and elections currently
+// registered.
 func (r *Registry) Len() (mutexes, elections int) { return r.r.Len() }
 
 // Stats snapshots every named mutex's counters, sorted by name.
 func (r *Registry) Stats() []NamedMutexStats { return r.r.Stats() }
 
+// ElectionStats snapshots every named election's standing, sorted by
+// name.
+func (r *Registry) ElectionStats() []NamedElectionStats { return r.r.ElectionStats() }
+
 // ArenaStats sums the backing arena's pool counters across shards.
 func (r *Registry) ArenaStats() ArenaShardStats { return r.r.Arena().TotalStats() }
 
-// Close recycles the named one-shot objects' slots back into the arena
-// and empties the registry. The caller must guarantee no goroutine is
-// still using any named object.
+// Evict retires named mutexes idle for at least RegistryOptions.MaxIdle
+// and returns how many it retired; see RegistryOptions.MaxIdle. Late
+// users of an evicted lock observe ErrRetired and re-look the name up.
+func (r *Registry) Evict() int { return r.r.Evict() }
+
+// Evictions reports the total number of named mutexes ever evicted.
+func (r *Registry) Evictions() uint64 { return r.r.Evictions() }
+
+// Close recycles the named elections' current-epoch slots back into the
+// arena and empties the registry. The caller must guarantee no
+// goroutine is still using any named object.
 func (r *Registry) Close() { r.r.Close() }
 
-// NamedTAS is a registry-held one-shot test-and-set. It behaves exactly
-// like a TASObject — at most one TAS call per Proc, exactly one winner
-// ever — but its registers live in an arena slot owned by the registry.
+// Election is a registry-held, re-electable leader election. Within an
+// epoch it behaves exactly like a one-shot LeaderElection — at most one
+// participation per Proc, exactly one leader ever — and Reset bumps the
+// epoch: the old slot returns to the arena, a pristine one is
+// installed, and every proc may participate again. The (epoch, leader)
+// pair is the fencing value for leadership: a deposed leader's epoch is
+// forever below the current one.
+type Election struct {
+	opts Options
+	e    *arena.Election
+}
+
+// Epoch returns the current epoch number (counted from 1).
+func (e *Election) Epoch() uint64 { return e.e.Epoch() }
+
+// Resets returns the number of completed epoch bumps.
+func (e *Election) Resets() uint64 { return e.e.Resets() }
+
+// Reset retires the given epoch — recycling its slot once any stragglers
+// drain — and installs the next, returning the now-current epoch. If
+// epoch is stale (someone already reset past it) the error is
+// ErrStaleEpoch and the returned epoch is the one that superseded it.
+func (e *Election) Reset(epoch uint64) (uint64, error) { return e.e.Reset(epoch) }
+
+// Registers returns one epoch's register footprint.
+func (e *Election) Registers() int { return e.e.Registers() }
+
+// Proc returns the access point for process id (0 ≤ id < N). Each
+// ElectionProc belongs to one goroutine; unlike one-shot Procs it is
+// reusable — it may Elect once per epoch, forever.
+func (e *Election) Proc(id int) *ElectionProc {
+	if id < 0 || id >= e.opts.N {
+		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, e.opts.N))
+	}
+	return &ElectionProc{h: newHandle(id, e.opts), e: e.e, id: id}
+}
+
+// ElectionProc is one goroutine's handle on an Election.
+type ElectionProc struct {
+	h  *concurrent.Handle
+	e  *arena.Election
+	id int
+
+	cachedEpoch  uint64
+	cachedLeader bool
+}
+
+// Elect participates in the current epoch (at most one real TAS per
+// epoch per proc — the wait-free election itself needs no context) and
+// reports whether this proc leads it, plus the epoch number. Repeated
+// calls within one epoch return the first answer; after a Reset the
+// proc participates afresh in the new epoch.
+func (p *ElectionProc) Elect() (leader bool, epoch uint64) {
+	if p.cachedEpoch != 0 && p.cachedEpoch == p.e.Epoch() {
+		return p.cachedLeader, p.cachedEpoch
+	}
+	leader, epoch = p.e.Participate(p.h, p.id)
+	p.cachedLeader, p.cachedEpoch = leader, epoch
+	return leader, epoch
+}
+
+// Participate is Elect without the per-proc answer cache: the
+// participation bitmap alone decides, so a proc (or slot) that already
+// ran in this epoch is a loser — even if its earlier run won. This is
+// the building block for services that hand one proc id to a
+// succession of owners (tasd recycles connection slots): the new owner
+// must not inherit its dead predecessor's leadership, and any
+// repeat-query stability is the service's own cache to provide.
+// Participate leaves Elect's cache untouched, so mixing the two on one
+// proc keeps Elect's repeat-stability; a demoted Participate answer
+// never rewrites an earlier Elect win.
+func (p *ElectionProc) Participate() (leader bool, epoch uint64) {
+	return p.e.Participate(p.h, p.id)
+}
+
+// Steps reports the shared-memory steps this proc has taken across all
+// epochs.
+func (p *ElectionProc) Steps() int { return p.h.Steps() }
+
+// NamedTAS is a registry-held one-shot test-and-set: the epoch-pinned
+// compatibility view of an Election.
+//
+// Deprecated: use Registry.Election.
 type NamedTAS struct {
 	opts Options
-	slot *arena.Slot
+	e    *arena.Election
 }
 
 // Registers returns the object's register footprint.
-func (t *NamedTAS) Registers() int { return t.slot.Registers() }
+func (t *NamedTAS) Registers() int { return t.e.Registers() }
 
 // Proc returns the context for process id (0 ≤ id < N). Each Proc
 // belongs to one goroutine and may call TAS at most once.
-func (t *NamedTAS) Proc(id int) *TASProc {
+func (t *NamedTAS) Proc(id int) *NamedTASProc {
 	if id < 0 || id >= t.opts.N {
 		panic(fmt.Sprintf("randtas: process id %d out of range [0,%d)", id, t.opts.N))
 	}
-	return &TASProc{h: newHandle(id, t.opts), obj: t.slot.Obj}
+	return &NamedTASProc{p: &ElectionProc{h: newHandle(id, t.opts), e: t.e, id: id}}
 }
 
-// Mutex is a long-lived lock for up to N processes built by chaining
-// one-shot TAS rounds from an Arena: Lock wins the current round's
-// election, Unlock installs a fresh round for the waiters and recycles
-// the old one. It uses only atomic registers (plus one atomic pointer
-// to publish rounds) — no compare-and-swap in the election itself.
+// NamedTASProc is one process's access point to a NamedTAS.
+//
+// Deprecated: use ElectionProc via Registry.Election.
+type NamedTASProc struct {
+	p    *ElectionProc
+	used bool
+}
+
+// TAS returns 0 for the unique winner of the election's current epoch
+// and 1 otherwise. It may be called once per proc.
+func (p *NamedTASProc) TAS() int {
+	if p.used {
+		panic("randtas: TAS called twice on one NamedTASProc (objects are one-shot)")
+	}
+	p.used = true
+	if leader, _ := p.p.Elect(); leader {
+		return 0
+	}
+	return 1
+}
+
+// Steps reports the shared-memory steps this process has taken.
+func (p *NamedTASProc) Steps() int { return p.p.Steps() }
+
+// Mutex is a long-lived fenced lock for up to N processes built by
+// chaining one-shot TAS rounds from an Arena: an acquisition wins the
+// current round's election and returns the round's sequence number as a
+// fencing Token; Unlock verifies the token, installs a fresh round for
+// the waiters and recycles the old one. It uses only atomic registers
+// (plus one atomic pointer to publish rounds and one gate word to
+// arbitrate release against revocation) — no compare-and-swap in the
+// election itself.
 type Mutex struct {
 	opts ArenaOptions
 	m    *arena.Mutex
@@ -499,43 +718,76 @@ func (m *Mutex) Proc(id int) *MutexProc {
 	return &MutexProc{p: m.m.Proc(id, newHandle(id, m.opts.Options))}
 }
 
-// Stats snapshots the mutex's round and contention counters.
+// Stats snapshots the mutex's round, contention and expiry counters.
 func (m *Mutex) Stats() MutexStats { return m.m.Stats() }
+
+// Holder returns the fencing token of the current holder, or 0 when the
+// lock is free. Tokens are strictly monotone over the lock's history, so
+// a downstream resource that only admits the largest token it has seen
+// rejects every fenced (revoked) writer.
+func (m *Mutex) Holder() Token { return m.m.Holder() }
+
+// Revoke forcibly releases the holder of token tok — the
+// lease-enforcement hook. Waiters proceed on a force-installed
+// successor round (with strictly larger tokens), and the zombie
+// holder's own Unlock(tok) reports ErrFenced. It returns false when tok
+// no longer owns the lock.
+func (m *Mutex) Revoke(tok Token) bool { return m.m.Revoke(tok) }
+
+// Retired reports whether this mutex was evicted from its registry.
+func (m *Mutex) Retired() bool { return m.m.Retired() }
 
 // MutexProc is one goroutine's handle on a Mutex.
 type MutexProc struct {
 	p *arena.MutexProc
 }
 
-// Lock acquires the mutex, blocking until this proc wins a TAS round.
-func (p *MutexProc) Lock() { p.p.Lock() }
+// Lock acquires the mutex, blocking until this proc wins a TAS round or
+// ctx is done, and returns the round's fencing Token. The context is
+// polled only while waiting for the holder to hand over, never on the
+// uncontended path; a nil ctx blocks indefinitely. The error is
+// ctx.Err() on cancellation or ErrRetired if the lock was evicted.
+func (p *MutexProc) Lock(ctx context.Context) (Token, error) { return p.p.Lock(ctx) }
+
+// LockWhile acquires like Lock but keeps waiting only while stop
+// reports false — the building block for wait conditions a context
+// cannot express (tasd uses it to abort waiters whose client hung up).
+// stop is polled only between rounds.
+func (p *MutexProc) LockWhile(stop func() bool) (Token, bool) { return p.p.LockWhile(stop) }
 
 // LockUntil acquires like Lock but gives up when stop reports true,
-// returning whether the mutex was acquired. stop is polled only while
-// waiting for the holder to hand over, never on the fast path.
-func (p *MutexProc) LockUntil(stop func() bool) bool { return p.p.LockUntil(stop) }
+// returning whether the mutex was acquired.
+//
+// Deprecated: use LockWhile, which also returns the fencing token (or
+// Token() afterwards). LockUntil remains for v1 callers.
+func (p *MutexProc) LockUntil(stop func() bool) bool {
+	_, ok := p.p.LockWhile(stop)
+	return ok
+}
 
-// TryLock makes a single attempt at the current round and reports whether
-// the mutex was acquired. It never blocks.
-func (p *MutexProc) TryLock() bool { return p.p.TryLock() }
+// TryLock makes a single attempt at the current round, returning the
+// fencing token and whether the mutex was acquired. It never blocks.
+func (p *MutexProc) TryLock() (Token, bool) { return p.p.TryLock() }
 
-// Unlock releases the mutex. It panics if this proc does not hold it.
-func (p *MutexProc) Unlock() { p.p.Unlock() }
+// Unlock releases the mutex if tok still owns it. ErrFenced means the
+// token was superseded while held (lease expiry or eviction) — the
+// proc's state is cleaned up and it may lock again, but the caller must
+// treat its critical section as having lost the lock at some point.
+// ErrNotHeld and ErrBadToken report misuse; the lock is not released.
+func (p *MutexProc) Unlock(tok Token) error { return p.p.Unlock(tok) }
+
+// Token returns the fencing token this proc currently holds, or 0.
+func (p *MutexProc) Token() Token { return p.p.Token() }
 
 // Steps reports the cumulative shared-memory steps this proc has taken
 // across all rounds; it is monotone over the proc's lifetime.
 func (p *MutexProc) Steps() int { return p.p.Steps() }
 
+// newHandle derives the per-proc coin stream for an object whose seed
+// was already resolved at construction: the object seed and proc id are
+// pushed through a splitmix64 round, so nearby ids and nearby seeds
+// yield statistically independent streams.
 func newHandle(id int, opts Options) *concurrent.Handle {
-	seed := opts.Seed
-	if seed == 0 {
-		// Fresh coins per run; the global source auto-seeds.
-		seed = rand.Int63() | 1
-	}
-	// Decorrelate per-process streams.
-	mixed := uint64(seed) + uint64(id+1)*0xbf58476d1ce4e5b9
-	mixed ^= mixed >> 30
-	mixed *= 0x94d049bb133111eb
-	mixed ^= mixed >> 27
-	return concurrent.NewHandle(id, int64(mixed>>1))
+	g := rng.New(uint64(opts.Seed) ^ (uint64(id+1) * 0xbf58476d1ce4e5b9))
+	return concurrent.NewHandle(id, int64(g.Next()>>1)|1)
 }

@@ -4,10 +4,33 @@
 // A Client is one participant of the lock service: the server dedicates
 // one process slot of its arena to the connection, so each client maps
 // to one "process" of the underlying Giakkoupis–Woelfel algorithms.
-// The synchronous methods (Acquire, TryAcquire, Release, Elect, Stats)
+// Dialing negotiates the protocol version with a HELLO frame (falling
+// back transparently to v1 against an old daemon). The synchronous
+// methods (Acquire, TryAcquire, Release, Elect, ResetElection, Stats)
 // issue one request and await its response; Do submits a pipelined
 // batch — all requests in one write, all responses in one pass — which
 // the server likewise turns around as a single batch.
+//
+// # Fencing and leases
+//
+// Acquire and TryAcquire return the grant's fencing Token — strictly
+// monotone per lock — and accept a lease TTL: a client that hangs while
+// holding a leased lock is expired by the server, and its eventual
+// Release answers ErrFenced. Pass the token to the resources the lock
+// guards so they can reject writers whose lease was revoked. Elect
+// returns the leadership epoch alongside the verdict; ResetElection
+// retires an epoch so the name can elect a fresh leader, fenced by the
+// epoch number.
+//
+// # Contexts
+//
+// Every operation takes a context; its deadline (or cancellation) is
+// enforced on the connection I/O. A context that fires mid-operation
+// leaves the stream without a known frame boundary, so the client marks
+// itself broken and every later call fails — close it and dial again.
+// This is the right trade for a lock service: after a timed-out ACQUIRE
+// the grant may or may not have happened, and abandoning the connection
+// lets the server's disconnect recovery (or the lease) resolve it.
 //
 // A Client is not safe for concurrent use: it represents a single
 // process, and interleaving two goroutines' requests on one connection
@@ -17,13 +40,29 @@ package tasclient
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"repro/internal/wire"
 )
+
+// Token is a fencing token (or election epoch) granted by the server;
+// see the package comment. Zero is never a valid token.
+type Token = uint64
+
+// ErrFenced reports an operation whose token or epoch was superseded:
+// the lease expired and the lock moved on, or the election was reset
+// past the given epoch. The wrapped response carries the current fence.
+var ErrFenced = errors.New("tasclient: fenced (token or epoch superseded)")
+
+// ErrBroken reports a client whose stream was abandoned mid-operation
+// (context expiry or transport error); dial a fresh one.
+var ErrBroken = errors.New("tasclient: connection broken by an earlier error")
 
 // Op is one operation of a pipelined batch.
 type Op struct {
@@ -31,6 +70,14 @@ type Op struct {
 	Code byte
 	// Name is the lock or election name (ignored for OpStats).
 	Name string
+	// TTL is the lease duration for OpAcquire/OpTryAcquire (0 = no
+	// lease; rounded up to a millisecond).
+	TTL time.Duration
+	// Token is the fencing token for OpRelease (0 = let the server use
+	// its own record, the v1 behavior).
+	Token Token
+	// Epoch is the compare-and-bump guard for OpElectReset.
+	Epoch uint64
 }
 
 // Re-exported opcodes for building Do batches.
@@ -40,6 +87,8 @@ const (
 	OpRelease    = wire.OpRelease
 	OpElect      = wire.OpElect
 	OpStats      = wire.OpStats
+	OpElectEpoch = wire.OpElectEpoch
+	OpElectReset = wire.OpElectReset
 )
 
 // Result is one operation's outcome within a Do batch.
@@ -49,8 +98,17 @@ type Result struct {
 	OK bool
 	// Busy reports a lost TRYACQUIRE probe (OK is false).
 	Busy bool
-	// Leader reports an ELECT win (meaningful when OK on an OpElect).
+	// Fenced reports a superseded token or epoch (OK is false); Token
+	// carries the current fence the server answered with.
+	Fenced bool
+	// Leader reports an ELECT/ELECTEPOCH win (meaningful when OK).
 	Leader bool
+	// Token is the granted fencing token (ACQUIRE/TRYACQUIRE on a v2
+	// connection), the current epoch (ELECTRESET), or the fence that
+	// superseded the caller (Fenced responses).
+	Token Token
+	// Epoch is the election epoch participated in (OpElectEpoch).
+	Epoch uint64
 	// Err is the server's error message, "" when none.
 	Err string
 	// Payload is the raw response payload (JSON for OpStats).
@@ -64,88 +122,230 @@ type Stats = wire.Stats
 // Client is one connection to a tasd server. Not safe for concurrent
 // use; see the package comment.
 type Client struct {
-	nc     net.Conn
-	br     *bufio.Reader
-	nextID uint32
-	wbuf   []byte
+	nc      net.Conn
+	br      *bufio.Reader
+	nextID  uint32
+	wbuf    []byte
+	version uint32
+	broken  error
 }
 
-// Dial connects to a tasd server at addr ("host:port").
+// Dial connects with no timeout; see DialContext.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 0)
+	return DialContext(context.Background(), addr)
 }
 
 // DialTimeout is Dial with a connection timeout (0 = none).
+//
+// Deprecated: use DialContext with a deadline.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a tasd server at addr ("host:port") and
+// negotiates the protocol version with a HELLO frame. A pre-v2 daemon
+// rejects HELLO and closes the connection, so the client transparently
+// redials once and proceeds in v1 mode (no leases, no tokens on the
+// wire — Version reports what was agreed).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	c, err := dialRaw(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.do(ctx, []Op{{Code: wire.OpHello}})
+	if err == nil && res[0].OK {
+		if v, ok := wire.ParseHelloPayload(res[0].Payload); ok && v >= 1 {
+			c.version = v
+			return c, nil
+		}
+		c.nc.Close()
+		return nil, fmt.Errorf("tasclient: malformed HELLO response")
+	}
+	c.nc.Close()
+	if err == nil && res[0].Err != "" {
+		// A pre-v2 server rejects HELLO one of two ways, then hangs up:
+		// its strict v1 frame check trips on the 4-byte version trailer
+		// ("protocol error: wire: request frame …"), or — were the
+		// trailer ever dropped — the opcode itself is foreign ("unknown
+		// opcode 6"). Either way, fall back to protocol v1 on a fresh
+		// connection. Anything else ("server full: …") is a real
+		// refusal to surface.
+		if strings.HasPrefix(res[0].Err, "unknown opcode") || strings.HasPrefix(res[0].Err, "protocol error") {
+			c2, err2 := dialRaw(ctx, addr)
+			if err2 != nil {
+				return nil, err2
+			}
+			c2.version = 1
+			return c2, nil
+		}
+		return nil, fmt.Errorf("tasclient: %s", res[0].Err)
+	}
+	if err == nil {
+		err = fmt.Errorf("tasclient: unexpected HELLO status")
+	}
+	return nil, err
+}
+
+func dialRaw(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // request frames are tiny; don't wait to coalesce
 	}
-	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version}, nil
 }
+
+// Version reports the negotiated protocol version.
+func (c *Client) Version() int { return int(c.version) }
 
 // Close closes the connection. Locks still held by this client are
 // recovered (released) by the server.
 func (c *Client) Close() error { return c.nc.Close() }
 
+// arm applies ctx to the connection: an already-set deadline maps to a
+// conn deadline, and a later cancellation wakes any blocked I/O by
+// moving the deadline into the past. The returned disarm must run when
+// the operation finishes.
+func (c *Client) arm(ctx context.Context) (disarm func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(d)
+	}
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		c.nc.SetDeadline(time.Unix(1, 0)) // wake blocked reads/writes now
+		close(fired)
+	})
+	return func() {
+		if !stop() {
+			// The callback already started: wait for its deadline write
+			// to land before clearing, or a cancellation racing a
+			// completed operation would poison the connection's
+			// deadline for every later call.
+			<-fired
+		}
+		c.nc.SetDeadline(time.Time{})
+	}
+}
+
 // Do executes a pipelined batch: every request is written in one
 // syscall, then every response is read, in order. The returned slice
-// has one Result per op. The error is non-nil only for transport or
-// protocol failures; per-operation failures (a busy lock, a
-// release-without-acquire) land in the individual Results.
-func (c *Client) Do(ops []Op) ([]Result, error) {
+// has one Result per op. The error is non-nil only for transport,
+// protocol or context failures — which also break the client; see the
+// package comment — while per-operation failures (a busy lock, a fenced
+// release, a release-without-acquire) land in the individual Results.
+func (c *Client) Do(ctx context.Context, ops []Op) ([]Result, error) {
+	return c.do(ctx, ops)
+}
+
+func (c *Client) do(ctx context.Context, ops []Op) ([]Result, error) {
+	if c.broken != nil {
+		return nil, c.broken
+	}
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	disarm := c.arm(ctx)
+	defer disarm()
 	c.wbuf = c.wbuf[:0]
 	firstID := c.nextID
 	for _, op := range ops {
+		req := wire.Request{Op: op.Code, ID: c.nextID, Name: op.Name, Token: op.Token, Epoch: op.Epoch}
+		if op.Code == wire.OpHello {
+			req.Version = wire.Version
+		}
+		if op.TTL > 0 {
+			ms := (op.TTL + time.Millisecond - 1) / time.Millisecond
+			if ms > 1<<31 {
+				return nil, fmt.Errorf("tasclient: lease TTL %v too large", op.TTL)
+			}
+			req.TTLMillis = uint32(ms)
+		}
 		var err error
-		c.wbuf, err = wire.AppendRequest(c.wbuf, wire.Request{Op: op.Code, ID: c.nextID, Name: op.Name})
+		c.wbuf, err = wire.AppendRequest(c.wbuf, req)
 		if err != nil {
 			return nil, err
 		}
 		c.nextID++
 	}
 	if _, err := c.nc.Write(c.wbuf); err != nil {
-		return nil, err
+		return nil, c.fail(ctx, err)
 	}
 	results := make([]Result, len(ops))
 	for i := range ops {
 		resp, err := wire.ReadResponse(c.br, 0)
 		if err != nil {
-			return nil, fmt.Errorf("tasclient: reading response %d/%d: %w", i+1, len(ops), err)
+			return nil, c.fail(ctx, fmt.Errorf("tasclient: reading response %d/%d: %w", i+1, len(ops), err))
 		}
 		if resp.ID != firstID+uint32(i) {
-			return nil, fmt.Errorf("tasclient: response id %d, want %d (stream desynchronized)", resp.ID, firstID+uint32(i))
+			return nil, c.fail(ctx, fmt.Errorf("tasclient: response id %d, want %d (stream desynchronized)", resp.ID, firstID+uint32(i)))
 		}
 		r := Result{Payload: resp.Payload}
 		switch resp.Status {
 		case wire.StatusOK:
 			r.OK = true
-			if ops[i].Code == OpElect {
-				r.Leader = len(resp.Payload) == 1 && resp.Payload[0] == wire.ElectLeader
+			switch ops[i].Code {
+			case OpAcquire, OpTryAcquire, OpElectReset:
+				if tok, ok := wire.ParseTokenPayload(resp.Payload); ok {
+					r.Token = tok
+				}
+			case OpElect, OpElectEpoch:
+				if leader, epoch, ok := wire.ParseElectPayload(resp.Payload); ok {
+					r.Leader, r.Epoch = leader, epoch
+				}
 			}
 		case wire.StatusBusy:
 			r.Busy = true
+		case wire.StatusFenced:
+			r.Fenced = true
+			if tok, ok := wire.ParseTokenPayload(resp.Payload); ok {
+				r.Token = tok
+			}
 		case wire.StatusError:
 			r.Err = string(resp.Payload)
 		default:
-			return nil, fmt.Errorf("tasclient: unknown response status %d", resp.Status)
+			return nil, c.fail(ctx, fmt.Errorf("tasclient: unknown response status %d", resp.Status))
 		}
 		results[i] = r
 	}
 	return results, nil
 }
 
+// fail marks the client broken: the stream has no known frame boundary
+// anymore. Context expiry is reported as the context's error.
+func (c *Client) fail(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			err = ctxErr
+		}
+	}
+	c.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+	return err
+}
+
 // one runs a single operation and folds server-side errors into error.
-func (c *Client) one(op Op) (Result, error) {
-	res, err := c.Do([]Op{op})
+func (c *Client) one(ctx context.Context, op Op) (Result, error) {
+	res, err := c.do(ctx, []Op{op})
 	if err != nil {
 		return Result{}, err
+	}
+	if res[0].Fenced {
+		return res[0], fmt.Errorf("%w: %s %q (current fence %d)", ErrFenced, wire.OpName(op.Code), op.Name, res[0].Token)
 	}
 	if res[0].Err != "" {
 		return res[0], fmt.Errorf("tasclient: %s %q: %s", wire.OpName(op.Code), op.Name, res[0].Err)
@@ -153,43 +353,89 @@ func (c *Client) one(op Op) (Result, error) {
 	return res[0], nil
 }
 
-// Acquire blocks until the named lock is held by this client.
-func (c *Client) Acquire(name string) error {
-	_, err := c.one(Op{Code: OpAcquire, Name: name})
+// Acquire blocks until the named lock is held by this client (or ctx is
+// done) and returns the grant's fencing token. A positive ttl attaches
+// a lease: if this client then neither releases nor disconnects within
+// ttl, the server expires the grant — waiters proceed, and this
+// client's Release answers ErrFenced. ttl requires a v2 server.
+func (c *Client) Acquire(ctx context.Context, name string, ttl time.Duration) (Token, error) {
+	if err := c.checkLease(ttl); err != nil {
+		return 0, err
+	}
+	res, err := c.one(ctx, Op{Code: OpAcquire, Name: name, TTL: ttl})
+	if err != nil {
+		return 0, err
+	}
+	return res.Token, nil
+}
+
+// TryAcquire makes one non-blocking attempt at the named lock,
+// reporting the fencing token and whether it is now held. ttl behaves
+// as in Acquire.
+func (c *Client) TryAcquire(ctx context.Context, name string, ttl time.Duration) (Token, bool, error) {
+	if err := c.checkLease(ttl); err != nil {
+		return 0, false, err
+	}
+	res, err := c.one(ctx, Op{Code: OpTryAcquire, Name: name, TTL: ttl})
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Token, res.OK, nil
+}
+
+func (c *Client) checkLease(ttl time.Duration) error {
+	if ttl > 0 && c.version < 2 {
+		return fmt.Errorf("tasclient: lease TTLs need protocol v2, server negotiated v%d", c.version)
+	}
+	return nil
+}
+
+// Release releases the named lock, verifying tok against the grant the
+// server recorded. ErrFenced (check with errors.Is) means the token was
+// superseded — the lease expired, or tok belongs to an earlier grant.
+// Token 0 releases whatever the server recorded (the v1 behavior).
+func (c *Client) Release(ctx context.Context, name string, tok Token) error {
+	_, err := c.one(ctx, Op{Code: OpRelease, Name: name, Token: tok})
 	return err
 }
 
-// TryAcquire makes one non-blocking attempt at the named lock and
-// reports whether it is now held.
-func (c *Client) TryAcquire(name string) (bool, error) {
-	res, err := c.one(Op{Code: OpTryAcquire, Name: name})
-	if err != nil {
-		return false, err
+// Elect joins the named election's current epoch and reports whether
+// this client leads it, plus the epoch number (the leadership fencing
+// value). Within one epoch, repeating the call returns the same answer;
+// after a ResetElection the client participates afresh. Against a v1
+// server the epoch is always 0 and the election is decided once,
+// forever.
+func (c *Client) Elect(ctx context.Context, name string) (leader bool, epoch uint64, err error) {
+	code := byte(OpElectEpoch)
+	if c.version < 2 {
+		code = OpElect
 	}
-	return res.OK, nil
+	res, err := c.one(ctx, Op{Code: code, Name: name})
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Leader, res.Epoch, nil
 }
 
-// Release releases the named lock. It errors if this client does not
-// hold it.
-func (c *Client) Release(name string) error {
-	_, err := c.one(Op{Code: OpRelease, Name: name})
-	return err
-}
-
-// Elect joins the named one-shot leader election and reports whether
-// this client is the unique leader. Repeating the call returns the same
-// answer: the election is decided at most once.
-func (c *Client) Elect(name string) (bool, error) {
-	res, err := c.one(Op{Code: OpElect, Name: name})
-	if err != nil {
-		return false, err
+// ResetElection retires the named election's given epoch and returns
+// the now-current one: the old epoch's leadership ends, a fresh
+// election opens, and every client may participate again. ErrFenced
+// means epoch was already reset past (the returned epoch is current).
+// Requires a v2 server.
+func (c *Client) ResetElection(ctx context.Context, name string, epoch uint64) (uint64, error) {
+	if c.version < 2 {
+		return 0, fmt.Errorf("tasclient: ResetElection needs protocol v2, server negotiated v%d", c.version)
 	}
-	return res.Leader, nil
+	res, err := c.one(ctx, Op{Code: OpElectReset, Name: name, Epoch: epoch})
+	if err != nil {
+		return res.Token, err
+	}
+	return res.Token, nil
 }
 
 // Stats fetches the server's counter snapshot.
-func (c *Client) Stats() (Stats, error) {
-	res, err := c.one(Op{Code: OpStats})
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	res, err := c.one(ctx, Op{Code: OpStats})
 	if err != nil {
 		return Stats{}, err
 	}
