@@ -13,6 +13,8 @@
 //	tasbench -mode=simcompare [-simtrials N] [-simout BENCH_PR3.json] [-simpreref NS]
 //	tasbench -mode=net [-clients C] [-pipeline D] [-locks L] [-duration D]
 //	         [-addr host:port] [-netout BENCH_PR4.json] [-netfloor OPS]
+//	tasbench -mode=dst [-dstseeds N] [-seed S] [-dstscenario all|mixed|...]
+//	         [-dstops N] [-dstv]
 //
 // Each experiment prints a fixed-width table whose *shape* (who wins, by
 // what growth rate, where crossovers fall) reproduces the corresponding
@@ -50,7 +52,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables), 'throughput' (real-goroutine Mutex load test), 'compare' (mutex fast-path before/after JSON), 'simcompare' (simulator engine before/after JSON) or 'net' (tasd loopback load test)")
+		mode       = flag.String("mode", "experiments", "'experiments' (simulator tables), 'throughput' (real-goroutine Mutex load test), 'compare' (mutex fast-path before/after JSON), 'simcompare' (simulator engine before/after JSON), 'net' (tasd loopback load test) or 'dst' (deterministic whole-service simulation over a seed corpus)")
 		experiment = flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 		trials     = flag.Int("trials", 100, "Monte-Carlo trials per table cell")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -82,10 +84,27 @@ func main() {
 
 		holdLock = flag.String("holdlock", "smoke/hold", "hold: lock name to acquire")
 		holdFor  = flag.Duration("holdfor", 0, "hold: how long to sit on the lock before releasing")
+
+		dstSeeds    = flag.Int("dstseeds", 64, "dst: corpus size (seeds base, base+1, ...)")
+		dstScenario = flag.String("dstscenario", "all", "dst: scenario ('mixed', 'locks', 'chaos', 'elect', 'fuzz') or 'all' to rotate")
+		dstOps      = flag.Int("dstops", 0, "dst: operations per client (0 = scenario default)")
+		dstVerbose  = flag.Bool("dstv", false, "dst: print one line per seed")
 	)
 	flag.Parse()
 
 	switch *mode {
+	case "dst":
+		err := runDST(dstConfig{
+			seeds:    *dstSeeds,
+			base:     uint64(*seed),
+			scenario: *dstScenario,
+			ops:      *dstOps,
+			verbose:  *dstVerbose,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
 	case "hold":
 		if err := runHold(*netAddr, *holdLock, *ttl, *holdFor); err != nil {
 			fatalf("tasbench: %v", err)
@@ -154,7 +173,7 @@ func main() {
 	case "experiments":
 		// fall through to the simulator tables below
 	default:
-		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare', 'net' or 'hold')", *mode)
+		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare', 'net', 'hold' or 'dst')", *mode)
 	}
 
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}

@@ -11,6 +11,7 @@
 //
 //	tasd [-addr 127.0.0.1:7420] [-max-clients 64] [-algo combined]
 //	     [-shards S] [-prealloc P] [-seed S] [-lease-sweep 5ms]
+//	     [-max-idle 0] [-evict-interval 0]
 //	     [-drain-timeout 10s] [-quiet]
 //
 // Every connected client owns one process slot of the arena, so the
@@ -45,6 +46,8 @@ func main() {
 		prealloc     = flag.Int("prealloc", 0, "preallocated slots per shard (0 = default)")
 		seed         = flag.Int64("seed", 0, "deterministic coin seed (0 = per-run random)")
 		leaseSweep   = flag.Duration("lease-sweep", 5*time.Millisecond, "lease sweeper interval — a lease is enforced within TTL + this")
+		maxIdle      = flag.Duration("max-idle", 0, "evict named locks idle this long (0 = never evict)")
+		evictTick    = flag.Duration("evict-interval", 0, "eviction pass cadence (0 = every max-idle)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -59,14 +62,16 @@ func main() {
 		logf = func(string, ...interface{}) {}
 	}
 	srv, err := server.New(server.Config{
-		Addr:        *addr,
-		MaxClients:  *maxClients,
-		Algorithm:   algorithm,
-		Seed:        *seed,
-		ArenaShards: *shards,
-		Prealloc:    *prealloc,
-		LeaseSweep:  *leaseSweep,
-		Logf:        logf,
+		Addr:          *addr,
+		MaxClients:    *maxClients,
+		Algorithm:     algorithm,
+		Seed:          *seed,
+		ArenaShards:   *shards,
+		Prealloc:      *prealloc,
+		LeaseSweep:    *leaseSweep,
+		MaxIdle:       *maxIdle,
+		EvictInterval: *evictTick,
+		Logf:          logf,
 	})
 	if err != nil {
 		log.Fatalf("tasd: %v", err)

@@ -53,6 +53,10 @@ type RegistryConfig struct {
 	// MaxIdle is the quiet time after which Evict retires a named mutex.
 	// Zero disables eviction (Evict becomes a no-op).
 	MaxIdle time.Duration
+	// Now supplies the clock Evict measures idleness against (nil means
+	// time.Now). A simulated service injects its virtual clock here so
+	// eviction timing is deterministic.
+	Now func() time.Time
 }
 
 // Registry maps names to synchronization objects built on one shared
@@ -60,6 +64,7 @@ type RegistryConfig struct {
 type Registry struct {
 	a       *Arena
 	maxIdle time.Duration
+	now     func() time.Time
 	shards  []registryShard
 	evicted atomic.Uint64 // total mutexes retired by Evict
 }
@@ -86,7 +91,11 @@ func NewRegistry(a *Arena, cfg RegistryConfig) *Registry {
 	if shards <= 0 {
 		shards = DefaultRegistryShards
 	}
-	r := &Registry{a: a, maxIdle: cfg.MaxIdle, shards: make([]registryShard, shards)}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	r := &Registry{a: a, maxIdle: cfg.MaxIdle, now: now, shards: make([]registryShard, shards)}
 	for i := range r.shards {
 		r.shards[i].mutexes = make(map[string]*Mutex)
 		r.shards[i].elections = make(map[string]*Election)
@@ -187,7 +196,7 @@ func (r *Registry) Evict() int {
 	if r.maxIdle <= 0 {
 		return 0
 	}
-	now := time.Now()
+	now := r.now()
 	evicted := 0
 	for i := range r.shards {
 		sh := &r.shards[i]

@@ -1,0 +1,78 @@
+// Package dst is the deterministic-simulation-testing layer: a seeded
+// virtual clock whose time advances only when every actor is parked, and
+// an in-memory net.Conn/net.Listener fabric with per-link fault
+// injection. Together they let an entire tasd instance plus N tasclients
+// run effectively single-threaded under one splitmix64-seeded scheduler,
+// so any failure replays byte-identically from its seed
+// (FoundationDB-style simulation, applied to the lock service).
+//
+// The package has two halves:
+//
+//   - Clock: the injection seam. Production code asks a Clock for
+//     Now/Sleep/AfterFunc and spawns goroutines through Go. Real (the
+//     default) forwards to the time package and the go statement, with
+//     zero added cost on the hot path. SimClock implements the same
+//     interface over a virtual event heap.
+//
+//   - Fabric: an in-memory transport that satisfies net.Listener and
+//     net.Conn, scheduling every byte delivery as a SimClock event so
+//     message timing, drops, duplication, corruption, resets and
+//     half-open partitions are all drawn from one seeded stream.
+//
+// The seed→schedule contract: given the same seed and the same program,
+// the sequence of fired events — and therefore every interleaving the
+// service observes — is identical across runs and across GOMAXPROCS
+// settings, because at most one actor is runnable at a time and every
+// wake-up flows through the event heap in (time, sequence) order.
+package dst
+
+import "time"
+
+// Clock abstracts time and goroutine spawning so a service can run
+// either on the wall clock or inside a SimClock. Implementations must be
+// safe for concurrent use.
+type Clock interface {
+	// Now returns the current (real or virtual) time.
+	Now() time.Time
+	// Since is Now().Sub(t), provided so call sites read naturally.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling actor for d. Under simulation this
+	// parks the actor and lets virtual time advance; a non-positive d
+	// still parks for one scheduling step (a deterministic yield).
+	Sleep(d time.Duration)
+	// AfterFunc schedules f to run after d in its own actor. Stop
+	// cancels it if it has not fired yet.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Go runs f concurrently. Under simulation the spawned goroutine
+	// is a managed actor: it starts at the current virtual time, in
+	// spawn order, and the scheduler tracks its parking. All
+	// goroutines of a simulated service must be spawned through Go —
+	// a bare go statement would be invisible to the scheduler and
+	// break determinism.
+	Go(f func())
+}
+
+// Timer is the handle returned by Clock.AfterFunc.
+type Timer interface {
+	// Stop cancels the pending call, reporting whether it was still
+	// pending (mirrors time.Timer.Stop).
+	Stop() bool
+}
+
+// Real is the wall-clock Clock: the time package plus the go statement.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)           { time.Sleep(d) }
+func (realClock) Go(f func())                     { go f() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }

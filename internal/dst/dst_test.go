@@ -1,0 +1,381 @@
+package dst
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimClockSleepOrder(t *testing.T) {
+	clk := NewSimClock()
+	var mu []string
+	for _, a := range []struct {
+		name string
+		d    time.Duration
+	}{{"c", 30 * time.Millisecond}, {"a", 10 * time.Millisecond}, {"b", 20 * time.Millisecond}} {
+		a := a
+		clk.Go(func() {
+			clk.Sleep(a.d)
+			mu = append(mu, a.name) // single-runnable: no lock needed
+		})
+	}
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := strings.Join(mu, ""); got != "abc" {
+		t.Fatalf("wake order = %q, want abc", got)
+	}
+	if got, want := clk.VirtualNow(), 30*time.Millisecond; got != want {
+		t.Fatalf("VirtualNow = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockAfterFunc(t *testing.T) {
+	clk := NewSimClock()
+	var fired, stopped atomic.Bool
+	clk.Go(func() {
+		tm := clk.AfterFunc(5*time.Millisecond, func() { fired.Store(true) })
+		tm2 := clk.AfterFunc(50*time.Millisecond, func() { stopped.Store(true) })
+		clk.Sleep(10 * time.Millisecond)
+		if !tm2.Stop() {
+			t.Error("Stop on pending timer = false, want true")
+		}
+		if tm.Stop() {
+			t.Error("Stop on fired timer = true, want false")
+		}
+		_ = tm
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !fired.Load() {
+		t.Error("5ms AfterFunc never fired")
+	}
+	if stopped.Load() {
+		t.Error("stopped AfterFunc fired anyway")
+	}
+}
+
+func TestSimClockDeadlockDetection(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 1)
+	ln, err := f.Listen("tasd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acceptErr error
+	clk.Go(func() {
+		// Nothing ever dials: this park can never be satisfied.
+		_, acceptErr = ln.Accept()
+	})
+	err = clk.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil for a stuck accept, want deadlock error")
+	}
+	if !strings.Contains(err.Error(), "accept tasd") {
+		t.Errorf("deadlock error %q does not name the parked actor", err)
+	}
+	if !errors.Is(acceptErr, ErrSimDeadlock) {
+		t.Errorf("Accept error = %v, want ErrSimDeadlock", acceptErr)
+	}
+}
+
+// echoOnce accepts one conn and echoes every read back to the writer.
+func echoOnce(t *testing.T, clk *SimClock, ln net.Listener) {
+	clk.Go(func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256)
+		for {
+			n, err := nc.Read(buf)
+			if err != nil {
+				nc.Close()
+				return
+			}
+			if _, err := nc.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestFabricRoundTrip(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 7)
+	f.SetFaults(Faults{DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond})
+	ln, err := f.Listen("tasd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoOnce(t, clk, ln)
+	var got []byte
+	clk.Go(func() {
+		nc, err := f.Dial("tasd")
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		msgs := []string{"hello ", "fabric ", "world"}
+		for _, m := range msgs {
+			if _, err := nc.Write([]byte(m)); err != nil {
+				t.Errorf("Write: %v", err)
+			}
+		}
+		want := []byte("hello fabric world")
+		buf := make([]byte, 1)
+		for len(got) < len(want) {
+			n, err := nc.Read(buf)
+			if err != nil {
+				t.Errorf("Read after %q: %v", got, err)
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		nc.Close()
+		ln.Close()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello fabric world")) {
+		t.Fatalf("echoed %q", got)
+	}
+}
+
+func TestFabricReadDeadline(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 3)
+	ln, _ := f.Listen("tasd")
+	var readErr error
+	var waited time.Duration
+	clk.Go(func() {
+		nc, err := f.Dial("tasd")
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		start := clk.Now()
+		nc.SetReadDeadline(clk.Now().Add(10 * time.Millisecond))
+		_, readErr = nc.Read(make([]byte, 1))
+		waited = clk.Since(start)
+		nc.Close()
+		ln.Close()
+	})
+	clk.Go(func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the conn open, never write: the reader must time out.
+		clk.Sleep(50 * time.Millisecond)
+		nc.Close()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	var ne net.Error
+	if !errors.As(readErr, &ne) || !ne.Timeout() {
+		t.Fatalf("Read error = %v, want net.Error timeout", readErr)
+	}
+	if !errors.Is(readErr, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read error = %v, want errors.Is(_, os.ErrDeadlineExceeded)", readErr)
+	}
+	if waited != 10*time.Millisecond {
+		t.Fatalf("read timed out after %v, want exactly 10ms of virtual time", waited)
+	}
+}
+
+func TestFabricPastDeadlineWakesParkedReader(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 3)
+	ln, _ := f.Listen("tasd")
+	var readErr error
+	clk.Go(func() {
+		nc, _ := ln.Accept()
+		_, readErr = nc.Read(make([]byte, 1)) // parks with no deadline
+		nc.Close()
+	})
+	clk.Go(func() {
+		nc, err := f.Dial("tasd")
+		if err != nil {
+			return
+		}
+		clk.Sleep(5 * time.Millisecond)
+		// The drain move: expire the peer's read from outside.
+		nc.(*SimConn).peer.SetReadDeadline(clk.Now())
+		clk.Sleep(5 * time.Millisecond)
+		nc.Close()
+		ln.Close()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	var ne net.Error
+	if !errors.As(readErr, &ne) || !ne.Timeout() {
+		t.Fatalf("parked Read returned %v, want timeout", readErr)
+	}
+}
+
+func TestFabricCloseEOFAndReset(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 9)
+	ln, _ := f.Listen("tasd")
+	var eofErr, resetErr error
+	clk.Go(func() { // server: read both conns to their end state
+		for i := 0; i < 2; i++ {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			i := i
+			clk.Go(func() {
+				buf := make([]byte, 16)
+				for {
+					_, err := nc.Read(buf)
+					if err != nil {
+						if i == 0 {
+							eofErr = err
+						} else {
+							resetErr = err
+						}
+						nc.Close()
+						return
+					}
+				}
+			})
+		}
+		ln.Close()
+	})
+	clk.Go(func() {
+		a, _ := f.Dial("tasd")
+		a.Write([]byte("bye"))
+		a.Close() // clean: peer reads "bye" then EOF
+		b, _ := f.Dial("tasd")
+		b.Write([]byte("boom"))
+		clk.Sleep(time.Millisecond)
+		b.(*SimConn).Reset() // abrupt: peer sees a reset
+		clk.Sleep(time.Millisecond)
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if eofErr != io.EOF {
+		t.Errorf("clean close surfaced %v, want io.EOF", eofErr)
+	}
+	var ne net.Error
+	if !errors.As(resetErr, &ne) || ne.Timeout() {
+		t.Errorf("reset surfaced %v, want non-timeout net.Error", resetErr)
+	}
+}
+
+func TestFabricPartitionHoldsAndHeals(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 11)
+	ln, _ := f.Listen("tasd")
+	echoOnce(t, clk, ln)
+	var gotAt time.Duration
+	clk.Go(func() {
+		nc, _ := f.Dial("tasd")
+		sc := nc.(*SimConn)
+		clk.Sleep(time.Millisecond)
+		sc.PartitionOutbound(20 * time.Millisecond) // half-open: replies still flow
+		nc.Write([]byte("x"))
+		buf := make([]byte, 1)
+		if _, err := nc.Read(buf); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		gotAt = clk.VirtualNow()
+		nc.Close()
+		ln.Close()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if gotAt < 21*time.Millisecond {
+		t.Fatalf("echo arrived at +%v, before the partition healed", gotAt)
+	}
+}
+
+// runEchoTraffic drives a fixed workload over a faulty fabric and
+// returns the trace hash. Used to prove the seed→schedule contract.
+func runEchoTraffic(seed uint64) (uint64, uint64) {
+	clk := NewSimClock()
+	f := NewFabric(clk, seed)
+	f.SetFaults(Faults{
+		DelayMin: 100 * time.Microsecond, DelayMax: 3 * time.Millisecond,
+		ConnectDelay: 200 * time.Microsecond,
+		DropProb:     0.05, DupProb: 0.05, CorruptProb: 0.05, ResetProb: 0.01,
+	})
+	ln, _ := f.Listen("tasd")
+	clk.Go(func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			clk.Go(func() {
+				buf := make([]byte, 64)
+				for {
+					nc.SetReadDeadline(clk.Now().Add(10 * time.Millisecond))
+					n, err := nc.Read(buf)
+					if err != nil {
+						nc.Close()
+						return
+					}
+					nc.Write(buf[:n])
+				}
+			})
+		}
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		clk.Go(func() {
+			nc, err := f.Dial("tasd")
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64)
+			for op := 0; op < 20; op++ {
+				if _, err := nc.Write([]byte(fmt.Sprintf("client %d op %d", i, op))); err != nil {
+					break
+				}
+				nc.SetReadDeadline(clk.Now().Add(5 * time.Millisecond))
+				if _, err := nc.Read(buf); err != nil {
+					var ne net.Error
+					if !errors.As(err, &ne) || !ne.Timeout() {
+						break
+					}
+				}
+				clk.Sleep(time.Duration(i+1) * 100 * time.Microsecond)
+			}
+			nc.Close()
+		})
+	}
+	clk.AfterFunc(500*time.Millisecond, func() { ln.Close() })
+	clk.Wait()
+	return clk.TraceHash()
+}
+
+func TestFabricReplayDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 42} {
+		h1, n1 := runEchoTraffic(seed)
+		h2, n2 := runEchoTraffic(seed)
+		if h1 != h2 || n1 != n2 {
+			t.Fatalf("seed %d: run1 (%x, %d events) != run2 (%x, %d events)", seed, h1, n1, h2, n2)
+		}
+	}
+	h1, _ := runEchoTraffic(1)
+	h3, _ := runEchoTraffic(3)
+	if h1 == h3 {
+		t.Fatal("different seeds produced identical traces; fault stream looks unseeded")
+	}
+}

@@ -1,0 +1,32 @@
+package dst
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrSimDeadlock is the sticky error blocking calls return when the
+// scheduler detects a deadlock (every actor parked, no event pending)
+// and force-wakes the run so it can unwind.
+var ErrSimDeadlock = errors.New("dst: simulation deadlock")
+
+// fabricError is a net.Error produced by the fabric.
+type fabricError struct {
+	msg     string
+	timeout bool
+}
+
+func (e *fabricError) Error() string   { return e.msg }
+func (e *fabricError) Timeout() bool   { return e.timeout }
+func (e *fabricError) Temporary() bool { return e.timeout }
+
+// Is lets errors.Is(err, os.ErrDeadlineExceeded) hold for fabric
+// timeouts, matching net.Conn deadline semantics.
+func (e *fabricError) Is(target error) bool {
+	return e.timeout && target == os.ErrDeadlineExceeded
+}
+
+var (
+	errTimeout   = &fabricError{msg: "i/o timeout", timeout: true}
+	errConnReset = &fabricError{msg: "connection reset by peer"}
+)

@@ -1,0 +1,438 @@
+package dst
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Faults is the per-link fault model, applied independently to every
+// message (one Write call) crossing the fabric. All probabilities are
+// drawn from the fabric's single splitmix64 stream, in Write-call
+// order, so the fault schedule is a pure function of the seed.
+type Faults struct {
+	// DelayMin/DelayMax bound the uniform propagation delay drawn per
+	// message. Deliveries on one direction of one connection never
+	// reorder (TCP semantics): a short draw behind a long one is
+	// clamped to the earlier message's delivery time.
+	DelayMin, DelayMax time.Duration
+	// ConnectDelay is the dial handshake latency.
+	ConnectDelay time.Duration
+	// DropProb silently discards the message (models a hostile or
+	// lossy path below the byte stream; the reader simply stalls,
+	// since TCP itself would retransmit — a drop here is effectively
+	// an unbounded delay the frame layer must tolerate).
+	DropProb float64
+	// DupProb delivers the message's bytes twice, back to back —
+	// stream-level garbage the frame parser must reject or survive.
+	DupProb float64
+	// CorruptProb flips one random bit somewhere in the message
+	// (length prefix, header and trailer included).
+	CorruptProb float64
+	// ResetProb tears the connection down with a reset in place of
+	// the delivery: both directions fail, pending bytes are lost.
+	ResetProb float64
+}
+
+// Fabric is an in-memory network: named listeners, dialable
+// connections, and seeded fault injection, all scheduled on one
+// SimClock so every byte delivery is a deterministic event.
+type Fabric struct {
+	clk       *SimClock
+	rng       rng.SplitMix64 // guarded by clk.mu
+	faults    Faults
+	listeners map[string]*SimListener
+	dials     int
+}
+
+// NewFabric returns a fabric scheduling on clk, with its fault draws
+// seeded by seed. Faults default to zero (a perfect network); use
+// SetFaults to inject.
+func NewFabric(clk *SimClock, seed uint64) *Fabric {
+	return &Fabric{
+		clk:       clk,
+		rng:       rng.New(seed),
+		listeners: make(map[string]*SimListener),
+	}
+}
+
+// SetFaults replaces the fault model. Safe to call mid-run (from an
+// actor), e.g. to begin and end a chaos phase.
+func (f *Fabric) SetFaults(fl Faults) {
+	f.clk.mu.Lock()
+	defer f.clk.mu.Unlock()
+	f.faults = fl
+}
+
+// Listen binds name on the fabric.
+func (f *Fabric) Listen(name string) (net.Listener, error) {
+	f.clk.mu.Lock()
+	defer f.clk.mu.Unlock()
+	if _, dup := f.listeners[name]; dup {
+		return nil, fmt.Errorf("dst: address already in use: %s", name)
+	}
+	l := &SimListener{f: f, name: name}
+	f.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to the named listener. The returned conn is usable
+// immediately; the accept side surfaces after the handshake delay.
+func (f *Fabric) Dial(name string) (net.Conn, error) {
+	f.clk.mu.Lock()
+	defer f.clk.mu.Unlock()
+	l := f.listeners[name]
+	if l == nil || l.closed {
+		return nil, &net.OpError{Op: "dial", Net: "dst", Err: fmt.Errorf("connection refused: %s", name)}
+	}
+	f.dials++
+	cname := fmt.Sprintf("c%d", f.dials)
+	now := f.clk.nowNano.Load()
+	client := &SimConn{f: f, local: fabricAddr(cname), remote: fabricAddr(name), in: &stream{lastAt: now}}
+	server := &SimConn{f: f, local: fabricAddr(name), remote: fabricAddr(cname), in: &stream{lastAt: now}}
+	client.peer, server.peer = server, client
+	f.clk.scheduleLocked(f.faults.ConnectDelay, "dial "+cname, nil, false, func() {
+		if l.closed {
+			server.resetLocked()
+			return
+		}
+		l.queue = append(l.queue, server)
+		f.clk.wakeLocked(l.accw, false, false)
+		l.accw = nil
+	}, nil)
+	return client, nil
+}
+
+// fabricAddr is a net.Addr on the fabric.
+type fabricAddr string
+
+func (a fabricAddr) Network() string { return "dst" }
+func (a fabricAddr) String() string  { return string(a) }
+
+// SimListener implements net.Listener over the fabric.
+type SimListener struct {
+	f      *Fabric
+	name   string
+	queue  []*SimConn
+	accw   *waiter
+	closed bool
+}
+
+// Accept parks the calling actor until a dial arrives or the listener
+// closes.
+func (l *SimListener) Accept() (net.Conn, error) {
+	c := l.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(l.queue) > 0 {
+			nc := l.queue[0]
+			l.queue = l.queue[1:]
+			return nc, nil
+		}
+		if l.closed {
+			return nil, &net.OpError{Op: "accept", Net: "dst", Addr: fabricAddr(l.name), Err: net.ErrClosed}
+		}
+		w := &waiter{ch: make(chan struct{}), label: "accept " + l.name}
+		l.accw = w
+		c.parkLocked(w)
+		if l.accw == w {
+			l.accw = nil
+		}
+		if w.deadlock {
+			return nil, &net.OpError{Op: "accept", Net: "dst", Addr: fabricAddr(l.name), Err: ErrSimDeadlock}
+		}
+	}
+}
+
+// Close unbinds the listener and wakes a parked Accept (through an
+// immediate event, keeping the wake deterministic).
+func (l *SimListener) Close() error {
+	c := l.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	delete(l.f.listeners, l.name)
+	c.scheduleLocked(0, "lnclose "+l.name, nil, false, func() {
+		c.wakeLocked(l.accw, false, false)
+		l.accw = nil
+	}, nil)
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *SimListener) Addr() net.Addr { return fabricAddr(l.name) }
+
+// stream is one direction of a connection: bytes delivered but not yet
+// read, plus the parked reader waiting on them.
+type stream struct {
+	buf       []byte
+	eof       bool  // peer closed cleanly; surfaces after buffered data
+	err       error // sticky fault (connection reset); surfaces immediately
+	lastAt    int64 // delivery-order watermark (no reordering within a direction)
+	reader    *waiter
+	rdeadline int64 // absolute virtual nanos; 0 means none
+}
+
+// SimConn implements net.Conn over the fabric. Writes never block: they
+// draw faults, then schedule delivery events. Reads park the calling
+// actor until data, EOF, a reset, or the read deadline arrives.
+type SimConn struct {
+	f      *Fabric
+	local  fabricAddr
+	remote fabricAddr
+	in     *stream
+	peer   *SimConn
+	closed bool
+	// blockedUntil is this side's outbound half of a partition:
+	// messages written before it heals are queued to deliver at the
+	// heal time. The two directions partition independently
+	// (half-open partitions).
+	blockedUntil int64
+}
+
+// Read implements net.Conn.
+func (sc *SimConn) Read(b []byte) (int, error) {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := sc.in
+	for {
+		if sc.closed {
+			return 0, &net.OpError{Op: "read", Net: "dst", Addr: sc.local, Err: net.ErrClosed}
+		}
+		if st.err != nil {
+			return 0, &net.OpError{Op: "read", Net: "dst", Addr: sc.local, Err: st.err}
+		}
+		if len(st.buf) > 0 {
+			n := copy(b, st.buf)
+			st.buf = st.buf[n:]
+			return n, nil
+		}
+		if st.eof {
+			return 0, io.EOF
+		}
+		now := c.nowNano.Load()
+		if st.rdeadline > 0 && st.rdeadline <= now {
+			return 0, &net.OpError{Op: "read", Net: "dst", Addr: sc.local, Err: errTimeout}
+		}
+		w := &waiter{ch: make(chan struct{}), label: fmt.Sprintf("read %s<-%s", sc.local, sc.remote)}
+		if st.rdeadline > 0 {
+			w.deadline = c.scheduleAtLocked(st.rdeadline, fmt.Sprintf("rto %s", sc.local), w, true, nil)
+		}
+		st.reader = w
+		c.parkLocked(w)
+		if st.reader == w {
+			st.reader = nil
+		}
+		if w.deadlock {
+			return 0, &net.OpError{Op: "read", Net: "dst", Addr: sc.local, Err: ErrSimDeadlock}
+		}
+		if w.timedOut {
+			return 0, &net.OpError{Op: "read", Net: "dst", Addr: sc.local, Err: errTimeout}
+		}
+	}
+}
+
+// Write implements net.Conn. The message is subjected to the fault
+// model and scheduled for delivery; the call itself never blocks.
+func (sc *SimConn) Write(b []byte) (int, error) {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sc.closed {
+		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: net.ErrClosed}
+	}
+	if sc.in.err != nil {
+		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: sc.in.err}
+	}
+	if sc.peer.closed {
+		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: errConnReset}
+	}
+	fl := sc.f.faults
+	if fl.ResetProb > 0 && sc.f.rng.Coin(fl.ResetProb) {
+		delay := sc.drawDelayLocked(fl)
+		c.scheduleLocked(delay, fmt.Sprintf("rst %s->%s", sc.local, sc.remote), nil, false, func() {
+			sc.resetLocked()
+		}, nil)
+		return len(b), nil
+	}
+	if fl.DropProb > 0 && sc.f.rng.Coin(fl.DropProb) {
+		return len(b), nil
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	if fl.CorruptProb > 0 && sc.f.rng.Coin(fl.CorruptProb) {
+		data[sc.f.rng.Intn(len(data))] ^= 1 << sc.f.rng.Intn(8)
+	}
+	at := c.nowNano.Load() + int64(sc.drawDelayLocked(fl))
+	if at < sc.peer.in.lastAt {
+		at = sc.peer.in.lastAt
+	}
+	if at < sc.blockedUntil {
+		at = sc.blockedUntil
+	}
+	sc.peer.in.lastAt = at
+	sc.deliverLocked(at, data)
+	if fl.DupProb > 0 && sc.f.rng.Coin(fl.DupProb) {
+		sc.deliverLocked(at, data)
+	}
+	return len(b), nil
+}
+
+func (sc *SimConn) drawDelayLocked(fl Faults) time.Duration {
+	d := fl.DelayMin
+	if span := fl.DelayMax - fl.DelayMin; span > 0 {
+		d += time.Duration(sc.f.rng.Intn(int(span)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (sc *SimConn) deliverLocked(at int64, data []byte) {
+	c := sc.f.clk
+	label := fmt.Sprintf("dlv %s->%s %dB", sc.local, sc.remote, len(data))
+	c.scheduleAtLocked(at, label, nil, false, func() {
+		st := sc.peer.in
+		if sc.peer.closed || st.err != nil {
+			return
+		}
+		st.buf = append(st.buf, data...)
+		c.wakeLocked(st.reader, false, false)
+		st.reader = nil
+	})
+}
+
+// resetLocked tears both directions down: sticky errors, buffers
+// discarded, parked readers woken. Each reader wakes through its own
+// immediate event — one event may release at most one actor, or the
+// single-runnable invariant (and with it determinism) breaks.
+func (sc *SimConn) resetLocked() {
+	c := sc.f.clk
+	for _, side := range [2]*SimConn{sc, sc.peer} {
+		st := side.in
+		if st.err == nil {
+			st.err = errConnReset
+		}
+		st.buf = nil
+		if w := st.reader; w != nil {
+			st.reader = nil
+			c.scheduleLocked(0, "rstwake "+string(side.local), w, false, nil, nil)
+		}
+	}
+}
+
+// Reset injects an immediate connection reset (both directions), as a
+// scheduled event so a chaos actor can call it deterministically.
+func (sc *SimConn) Reset() {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scheduleLocked(0, fmt.Sprintf("rst %s->%s", sc.local, sc.remote), nil, false, func() {
+		sc.resetLocked()
+	}, nil)
+}
+
+// PartitionOutbound holds messages written by this side for d: they
+// deliver when the partition heals. Combined with an untouched inbound
+// direction this models a half-open partition.
+func (sc *SimConn) PartitionOutbound(d time.Duration) {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	heal := c.nowNano.Load() + int64(d)
+	if heal > sc.blockedUntil {
+		sc.blockedUntil = heal
+	}
+}
+
+// PartitionInbound holds messages written by the peer for d.
+func (sc *SimConn) PartitionInbound(d time.Duration) {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	heal := c.nowNano.Load() + int64(d)
+	if heal > sc.peer.blockedUntil {
+		sc.peer.blockedUntil = heal
+	}
+}
+
+// Close implements net.Conn: local reads fail immediately; the peer
+// sees EOF after any in-flight data drains.
+func (sc *SimConn) Close() error {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sc.closed {
+		return nil
+	}
+	sc.closed = true
+	c.scheduleLocked(0, "close "+string(sc.local), nil, false, func() {
+		c.wakeLocked(sc.in.reader, false, false)
+		sc.in.reader = nil
+	}, nil)
+	at := c.nowNano.Load()
+	if at < sc.peer.in.lastAt {
+		at = sc.peer.in.lastAt
+	}
+	sc.peer.in.lastAt = at
+	c.scheduleAtLocked(at, "fin "+string(sc.local), nil, false, func() {
+		st := sc.peer.in
+		st.eof = true
+		c.wakeLocked(st.reader, false, false)
+		st.reader = nil
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (sc *SimConn) LocalAddr() net.Addr { return sc.local }
+
+// RemoteAddr implements net.Conn.
+func (sc *SimConn) RemoteAddr() net.Addr { return sc.remote }
+
+// SetReadDeadline implements net.Conn. A deadline at or before the
+// virtual now wakes a parked reader on the next scheduling step — the
+// semantics Server.Shutdown relies on to flush blocked handlers.
+func (sc *SimConn) SetReadDeadline(t time.Time) error {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := sc.in
+	if t.IsZero() {
+		st.rdeadline = 0
+	} else {
+		dl := t.UnixNano()
+		if t.Before(simEpoch) {
+			// A deadline from the real clock's past (e.g. time.Unix(1, 0))
+			// predates the virtual epoch: expire immediately.
+			dl = c.nowNano.Load()
+		}
+		st.rdeadline = dl
+	}
+	if w := st.reader; w != nil {
+		if w.deadline != nil {
+			w.deadline.cancelled = true
+			w.deadline = nil
+		}
+		if st.rdeadline > 0 {
+			w.deadline = c.scheduleAtLocked(st.rdeadline, fmt.Sprintf("rto %s", sc.local), w, true, nil)
+		}
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Fabric writes never block, so
+// the deadline is accepted and ignored.
+func (sc *SimConn) SetWriteDeadline(time.Time) error { return nil }
+
+// SetDeadline implements net.Conn.
+func (sc *SimConn) SetDeadline(t time.Time) error { return sc.SetReadDeadline(t) }

@@ -1,0 +1,888 @@
+// Package dstrun drives a whole tasd instance plus a fleet of clients
+// inside the deterministic simulation (internal/dst): one seeded
+// virtual clock, one in-memory network fabric, every goroutine a
+// managed actor. A scenario is reproduced byte-identically from its
+// seed — same seed, same event trace — so any failure the randomized
+// schedule finds can be replayed and debugged offline.
+//
+// Invariants are checked continuously (on every scheduler step) and at
+// teardown:
+//
+//   - at most one holder per lock, via the server's own token-keyed
+//     exclusion check (Violations must stay 0)
+//   - fencing tokens observed on each lock's owner word are monotone
+//   - at most one leader per election epoch
+//   - an overdue lease is enforced within TTL + 2×LeaseSweep
+//   - a renewed lease (EXTEND / KeepAlive) survives past its original
+//     TTL, and an unrenewed one does not
+//   - idle names are evicted, and an evicted name is usable afresh
+//   - after a drain no waiter is left stuck (the scheduler's deadlock
+//     detector stays quiet and the run ends)
+package dstrun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dst"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/tasclient"
+)
+
+// Scenario selects which actors a run spawns.
+type Scenario string
+
+const (
+	// ScenarioLocks is contended acquire/release traffic with leases,
+	// renewals, expiry races, abandoned connections and eviction.
+	ScenarioLocks Scenario = "locks"
+	// ScenarioElect is epoch'd leader elections with resets.
+	ScenarioElect Scenario = "elect"
+	// ScenarioChaos is ScenarioLocks plus a chaos actor injecting
+	// partitions and connection resets mid-traffic.
+	ScenarioChaos Scenario = "chaos"
+	// ScenarioFuzz aims the wire-frame fuzzer at the server while one
+	// well-behaved client verifies the service stays available.
+	ScenarioFuzz Scenario = "fuzz"
+	// ScenarioMixed runs everything at once.
+	ScenarioMixed Scenario = "mixed"
+)
+
+// Config parameterizes one simulated run. The zero value of every
+// field picks a sensible default.
+type Config struct {
+	Seed     uint64
+	Clients  int      // lock/elect client actors (default 4)
+	Ops      int      // operations per client (default 40)
+	Scenario Scenario // default ScenarioMixed
+	// LeaseSweep is the server's sweep interval (default 2ms); lease
+	// TTLs used by the traffic are derived from it.
+	LeaseSweep time.Duration
+	// MaxIdle is the server's eviction threshold (default 15×sweep for
+	// scenarios with lock traffic; set negative to disable).
+	MaxIdle time.Duration
+	// Faults configures the fabric. A zero value gets modest link
+	// delays (fault-free otherwise); pass an explicit mix for drops,
+	// duplicates, corruption or resets.
+	Faults dst.Faults
+	// Trace records the full event trace in the report (expensive;
+	// TraceHash is always computed).
+	Trace bool
+}
+
+// Report is one run's deterministic outcome: same Config (and binary)
+// in, identical Report out — including the trace hash, which covers
+// every scheduled event.
+type Report struct {
+	Seed      uint64
+	Scenario  Scenario
+	Events    uint64
+	TraceHash uint64
+	Virtual   time.Duration // virtual time consumed
+
+	Acquires   int
+	Releases   int
+	Busy       int
+	Fenced     int
+	Extends    int
+	Elections  int
+	FuzzFrames int
+	Redials    int
+
+	Expiries   uint64 // leases the sweeper enforced
+	Evictions  uint64 // names retired by the eviction pass
+	Violations uint64 // server-side exclusion failures (must be 0)
+
+	// Errors are invariant violations; empty means the run passed.
+	Errors []string
+	// Trace is the full event trace when Config.Trace was set.
+	Trace []string
+}
+
+// Failed reports whether the run broke an invariant.
+func (r Report) Failed() bool { return len(r.Errors) > 0 || r.Violations > 0 }
+
+func withDefaults(cfg Config) Config {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 40
+	}
+	if cfg.Scenario == "" {
+		cfg.Scenario = ScenarioMixed
+	}
+	if cfg.LeaseSweep <= 0 {
+		cfg.LeaseSweep = 2 * time.Millisecond
+	}
+	if cfg.MaxIdle == 0 {
+		cfg.MaxIdle = 15 * cfg.LeaseSweep
+	}
+	if cfg.Faults == (dst.Faults{}) {
+		cfg.Faults = dst.Faults{
+			DelayMin:     20 * time.Microsecond,
+			DelayMax:     300 * time.Microsecond,
+			ConnectDelay: 50 * time.Microsecond,
+		}
+	}
+	return cfg
+}
+
+// run is the shared state of one simulated scenario.
+type run struct {
+	cfg Config
+	clk *dst.SimClock
+	fab *dst.Fabric
+	srv *server.Server
+
+	mon         monitor
+	clientsDone atomic.Int64
+	actorCount  int64
+	kaActive    atomic.Int64
+	wantEvict   bool
+	// strict enables the expectation checks that only hold on a
+	// fault-free (delays-only) fabric: byte-level corruption can morph
+	// a frame into a different valid request, and injected resets kill
+	// heartbeats, so under such fault mixes only the unconditional
+	// invariants (exclusion, monotonicity, lease bounds, ≤1 leader,
+	// drain liveness) are asserted.
+	strict bool
+}
+
+// monitor accumulates counters and invariant errors. All writers are
+// managed actors, so under the simulation every access is serialized by
+// the scheduler; the mutex makes the type safe for real-clock use too.
+type monitor struct {
+	mu         sync.Mutex
+	acquires   int
+	releases   int
+	busy       int
+	fenced     int
+	extends    int
+	elections  int
+	fuzzed     int
+	redials    int
+	errs       []string
+	seen       map[string]bool
+	maxTok     map[string]uint64
+	leaders    map[string]map[uint64]int
+	srvLeaders map[string]map[uint64]int
+	conns      []*dst.SimConn
+}
+
+const maxErrors = 20
+
+// errOnce records an invariant violation, deduplicated by key so a
+// per-step check can't flood the report.
+func (m *monitor) errOnce(key, format string, args ...interface{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen == nil {
+		m.seen = map[string]bool{}
+	}
+	if m.seen[key] || len(m.errs) >= maxErrors {
+		return
+	}
+	m.seen[key] = true
+	m.errs = append(m.errs, fmt.Sprintf(format, args...))
+}
+
+func (m *monitor) add(field *int, n int) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+// Run executes one scenario to completion and reports. The error is
+// non-nil only for setup failures; invariant violations land in
+// Report.Errors.
+func Run(cfg Config) (Report, error) {
+	cfg = withDefaults(cfg)
+	clk := dst.NewSimClock()
+	clk.RecordTrace(cfg.Trace)
+	fab := dst.NewFabric(clk, cfg.Seed)
+	fab.SetFaults(cfg.Faults)
+	ln, err := fab.Listen("tasd")
+	if err != nil {
+		return Report{}, err
+	}
+
+	r := &run{cfg: cfg, clk: clk, fab: fab}
+	r.strict = cfg.Faults.DropProb == 0 && cfg.Faults.DupProb == 0 &&
+		cfg.Faults.CorruptProb == 0 && cfg.Faults.ResetProb == 0
+	r.wantEvict = cfg.MaxIdle > 0 && cfg.Scenario != ScenarioElect && cfg.Scenario != ScenarioFuzz
+	maxIdle := cfg.MaxIdle
+	if maxIdle < 0 {
+		maxIdle = 0
+	}
+	srv, err := server.New(server.Config{
+		MaxClients: 2*cfg.Clients + 8,
+		Seed:       int64(cfg.Seed + 0x5eed),
+		LeaseSweep: cfg.LeaseSweep,
+		MaxIdle:    maxIdle,
+		Clock:      clk,
+		Listener:   ln,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	r.srv = srv
+	if err := srv.Listen(); err != nil {
+		return Report{}, err
+	}
+	clk.OnStep(r.check)
+	clk.Go(func() { _ = srv.Serve() })
+
+	spawn := func(f func()) {
+		r.actorCount++
+		clk.Go(func() {
+			defer r.clientsDone.Add(1)
+			f()
+		})
+	}
+	switch cfg.Scenario {
+	case ScenarioLocks:
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.lockClient(i, true) })
+		}
+	case ScenarioElect:
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.electClient(i) })
+		}
+	case ScenarioChaos:
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.lockClient(i, true) })
+		}
+		spawn(r.chaosActor)
+	case ScenarioFuzz:
+		spawn(func() { r.lockClient(0, false) })
+		spawn(func() { r.fuzzActor(0) })
+		spawn(func() { r.fuzzActor(1) })
+	default: // ScenarioMixed
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.lockClient(i, true) })
+		}
+		spawn(func() { r.electClient(0) })
+		spawn(func() { r.fuzzActor(0) })
+		spawn(r.chaosActor)
+	}
+	clk.Go(r.coordinator)
+
+	if err := clk.Wait(); err != nil {
+		r.mon.errOnce("deadlock", "stuck waiters after drain: %v", err)
+	}
+
+	hash, events := clk.TraceHash()
+	m := &r.mon
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Report{
+		Seed:       cfg.Seed,
+		Scenario:   cfg.Scenario,
+		Events:     events,
+		TraceHash:  hash,
+		Virtual:    clk.VirtualNow(),
+		Acquires:   m.acquires,
+		Releases:   m.releases,
+		Busy:       m.busy,
+		Fenced:     m.fenced,
+		Extends:    m.extends,
+		Elections:  m.elections,
+		FuzzFrames: m.fuzzed,
+		Redials:    m.redials,
+		Expiries:   srv.LeaseExpirations(),
+		Evictions:  srv.Registry().Evictions(),
+		Violations: srv.Violations(),
+		Errors:     append([]string(nil), m.errs...),
+		Trace:      clk.Trace(),
+	}, nil
+}
+
+// check runs on every scheduler step with no actor running: the
+// continuous invariant sweep.
+func (r *run) check(time.Duration) {
+	if v := r.srv.Violations(); v > 0 {
+		r.mon.errOnce("exclusion", "server exclusion check failed %d time(s)", v)
+	}
+	nowNano := r.clk.Now().UnixNano()
+	bound := int64(2 * r.cfg.LeaseSweep)
+	r.srv.VisitLocks(func(name string, owner uint64, lease int64) {
+		if owner == 0 {
+			return
+		}
+		if watermarked(name) {
+			r.mon.mu.Lock()
+			if r.mon.maxTok == nil {
+				r.mon.maxTok = map[string]uint64{}
+			}
+			prev := r.mon.maxTok[name]
+			r.mon.maxTok[name] = owner
+			r.mon.mu.Unlock()
+			if owner < prev {
+				// An eviction legitimately restarts a name's token
+				// sequence (fresh incarnation); with none on record
+				// a regression is a real fencing violation.
+				if r.srv.Registry().Evictions() == 0 {
+					r.mon.errOnce("tok-"+name, "fencing token went backwards on %q: %d after %d", name, owner, prev)
+				}
+				return
+			}
+		}
+		if lease != 0 && nowNano-lease > bound {
+			r.mon.errOnce("lease-"+name, "lease on %q overdue by %v (bound %v)",
+				name, time.Duration(nowNano-lease), time.Duration(bound))
+		}
+	})
+	// ≤1 leader per epoch, from the server's own election state: the
+	// recorded winner of a decided epoch must never change. This is the
+	// unconditional form of the invariant — the client-observed variant
+	// (in electOnce) can be forged by response corruption.
+	for _, es := range r.srv.Registry().ElectionStats() {
+		if !es.Decided {
+			continue
+		}
+		r.mon.mu.Lock()
+		if r.mon.srvLeaders == nil {
+			r.mon.srvLeaders = map[string]map[uint64]int{}
+		}
+		byEpoch := r.mon.srvLeaders[es.Name]
+		if byEpoch == nil {
+			byEpoch = map[uint64]int{}
+			r.mon.srvLeaders[es.Name] = byEpoch
+		}
+		prev, seen := byEpoch[es.Epoch]
+		if !seen {
+			byEpoch[es.Epoch] = es.Winner
+		}
+		r.mon.mu.Unlock()
+		if seen && prev != es.Winner {
+			r.mon.errOnce(fmt.Sprintf("srv-leader-%s-%d", es.Name, es.Epoch),
+				"server changed the winner of election %q epoch %d: proc %d then %d",
+				es.Name, es.Epoch, prev, es.Winner)
+		}
+	}
+}
+
+// watermarked reports whether a lock name participates in the
+// token-monotonicity check. Names subject to eviction are excluded: a
+// fresh incarnation legitimately restarts its token sequence.
+func watermarked(name string) bool {
+	return len(name) > 0 && (name[0] == 'l' || name[0] == 'n') // lock*, nolease*
+}
+
+// coordinator waits for the traffic to finish, verifies eviction and
+// reuse-after-eviction, then drains the server.
+func (r *run) coordinator() {
+	for r.clientsDone.Load() < r.actorCount || r.kaActive.Load() > 0 {
+		r.clk.Sleep(500 * time.Microsecond)
+	}
+	if r.wantEvict {
+		// Eviction needs two passes over an unchanged counter
+		// signature, at least MaxIdle apart.
+		r.clk.Sleep(r.cfg.MaxIdle + 2*r.evictInterval() + 2*r.cfg.LeaseSweep)
+		if r.strict && r.srv.Registry().Evictions() == 0 {
+			r.mon.errOnce("evict", "no eviction after %v of idleness (MaxIdle %v)",
+				r.cfg.MaxIdle+2*r.evictInterval(), r.cfg.MaxIdle)
+		}
+		// An evicted name must come back fresh and usable.
+		if cl := r.connect(false); cl != nil {
+			ctx := context.Background()
+			tok, err := cl.Acquire(ctx, "eph0", 0)
+			if err != nil {
+				if r.strict {
+					r.mon.errOnce("evict-reuse", "reacquiring evicted name: %v", err)
+				}
+			} else {
+				r.mon.add(&r.mon.acquires, 1)
+				if err := cl.Release(ctx, "eph0", tok); err != nil && r.strict {
+					r.mon.errOnce("evict-reuse-rel", "releasing reacquired name: %v", err)
+				} else if err == nil {
+					r.mon.add(&r.mon.releases, 1)
+				}
+			}
+			cl.Close()
+		}
+	}
+	if err := r.srv.Shutdown(context.Background()); err != nil {
+		r.mon.errOnce("drain", "shutdown: %v", err)
+	}
+}
+
+func (r *run) evictInterval() time.Duration {
+	// Mirrors server.New's default.
+	return r.cfg.MaxIdle
+}
+
+// opBudget is the virtual read deadline armed before every client
+// operation. On a lossy fabric a dropped frame would otherwise park the
+// reader forever — virtual time advances unboundedly and the run never
+// terminates. Generous enough that no healthy operation (including a
+// contended blocking ACQUIRE) comes near it.
+const opBudget = 250 * time.Millisecond
+
+// simClient pairs a protocol client with its raw fabric conn and arms
+// a fresh virtual read deadline before every operation. Each method
+// forwards to the underlying tasclient.Client.
+type simClient struct {
+	cl  *tasclient.Client
+	nc  net.Conn
+	clk *dst.SimClock
+}
+
+func (s *simClient) arm() { s.nc.SetReadDeadline(s.clk.Now().Add(opBudget)) }
+
+func (s *simClient) Close() error { return s.cl.Close() }
+
+func (s *simClient) Acquire(ctx context.Context, name string, ttl time.Duration) (tasclient.Token, error) {
+	s.arm()
+	return s.cl.Acquire(ctx, name, ttl)
+}
+
+func (s *simClient) TryAcquire(ctx context.Context, name string, ttl time.Duration) (tasclient.Token, bool, error) {
+	s.arm()
+	return s.cl.TryAcquire(ctx, name, ttl)
+}
+
+func (s *simClient) Release(ctx context.Context, name string, tok tasclient.Token) error {
+	s.arm()
+	return s.cl.Release(ctx, name, tok)
+}
+
+func (s *simClient) Extend(ctx context.Context, name string, tok tasclient.Token, ttl time.Duration) error {
+	s.arm()
+	return s.cl.Extend(ctx, name, tok, ttl)
+}
+
+func (s *simClient) Elect(ctx context.Context, name string) (bool, uint64, error) {
+	s.arm()
+	return s.cl.Elect(ctx, name)
+}
+
+func (s *simClient) ResetElection(ctx context.Context, name string, epoch uint64) (uint64, error) {
+	s.arm()
+	return s.cl.ResetElection(ctx, name, epoch)
+}
+
+func (s *simClient) Do(ctx context.Context, ops []tasclient.Op) ([]tasclient.Result, error) {
+	s.arm()
+	return s.cl.Do(ctx, ops)
+}
+
+// connect dials the fabric and speaks HELLO; nil when the server is
+// unreachable (drained or full). register exposes the link to the
+// chaos actor.
+func (r *run) connect(register bool) *simClient {
+	nc, err := r.fab.Dial("tasd")
+	if err != nil {
+		return nil
+	}
+	if sc, ok := nc.(*dst.SimConn); ok && register {
+		r.mon.mu.Lock()
+		r.mon.conns = append(r.mon.conns, sc)
+		r.mon.mu.Unlock()
+	}
+	nc.SetReadDeadline(r.clk.Now().Add(opBudget))
+	cl, err := tasclient.NewClientConn(context.Background(), nc)
+	if err != nil {
+		return nil
+	}
+	cl.SetClock(r.clk)
+	return &simClient{cl: cl, nc: nc, clk: r.clk}
+}
+
+// lockClient is the main traffic generator: a weighted mix of lock
+// operations with built-in expectations. full=false keeps to plain
+// leaseless traffic (the availability probe of the fuzz scenario).
+func (r *run) lockClient(i int, full bool) {
+	g := rng.New(r.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	cl := r.connect(true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	redial := func() bool {
+		cl.Close()
+		r.mon.add(&r.mon.redials, 1)
+		cl = r.connect(true)
+		return cl != nil
+	}
+	// Touch the ephemeral names once so the eviction pass has idle
+	// candidates with history.
+	if full && r.wantEvict {
+		name := fmt.Sprintf("eph%d", i%3)
+		if tok, ok, err := cl.TryAcquire(ctx, name, 0); err == nil && ok {
+			cl.Release(ctx, name, tok)
+		}
+	}
+	kaDone := false
+	for op := 0; op < r.cfg.Ops; op++ {
+		if cl == nil {
+			return
+		}
+		pick := g.Intn(100)
+		if !full {
+			pick = pick % 25 // leaseless acquire/release only
+		}
+		switch {
+		case pick < 25: // leaseless blocking acquire — can never be fenced
+			name := fmt.Sprintf("nolease%d", g.Intn(2))
+			tok, err := cl.Acquire(ctx, name, 0)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			r.clk.Sleep(time.Duration(g.Intn(int(2 * sweep))))
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				if r.strict {
+					r.mon.errOnce("nolease-fence", "leaseless grant on %q was fenced: %v", name, err)
+				}
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 40: // leased try-acquire, released well within TTL
+			name := fmt.Sprintf("lock%d", g.Intn(3))
+			ttl := 6 * sweep
+			tok, ok, err := cl.TryAcquire(ctx, name, ttl)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			if !ok {
+				r.mon.add(&r.mon.busy, 1)
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			r.clk.Sleep(time.Duration(g.Intn(int(2 * sweep))))
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				if r.strict {
+					r.mon.errOnce("early-fence", "grant on %q fenced %v into a %v lease", name, 2*sweep, ttl)
+				}
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 52: // lease-expiry-vs-release race: either outcome is legal
+			name := fmt.Sprintf("lock%d", g.Intn(3))
+			ttl := 3 * sweep
+			tok, err := cl.Acquire(ctx, name, ttl)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			r.clk.Sleep(ttl - sweep + time.Duration(g.Intn(int(3*sweep))))
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				r.mon.add(&r.mon.fenced, 1)
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 62: // renewal: extends must carry the lease past its TTL
+			name := fmt.Sprintf("lock%d", g.Intn(3))
+			ttl := 3 * sweep
+			tok, err := cl.Acquire(ctx, name, ttl)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			lost := false
+			for k := 0; k < 4 && !lost; k++ { // hold for 4×sweep > ttl
+				r.clk.Sleep(sweep)
+				if err := cl.Extend(ctx, name, tok, ttl); err != nil {
+					if errors.Is(err, tasclient.ErrFenced) && r.strict {
+						r.mon.errOnce("renew-fence", "renewed lease on %q lost: %v", name, err)
+					}
+					lost = true
+					break
+				}
+				r.mon.add(&r.mon.extends, 1)
+			}
+			if lost {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				if r.strict {
+					r.mon.errOnce("renew-fence", "renewed lease on %q fenced at release", name)
+				}
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 70: // expiry liveness: an unrenewed lease MUST be enforced
+			name := fmt.Sprintf("lock%d", g.Intn(3))
+			ttl := 2 * sweep
+			tok, err := cl.Acquire(ctx, name, ttl)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			r.clk.Sleep(ttl + 3*sweep + sweep/2)
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				if r.strict {
+					r.mon.errOnce("no-expiry", "lease on %q (%v) not enforced after %v", name, ttl, ttl+3*sweep)
+				}
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				r.mon.add(&r.mon.fenced, 1)
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 78: // elections with occasional resets
+			if !r.electOnce(cl, &g, i) {
+				if !redial() {
+					return
+				}
+			}
+
+		case pick < 85: // abandon: disconnect with a lock held; recovery frees it
+			name := fmt.Sprintf("lock%d", g.Intn(3))
+			if _, _, err := cl.TryAcquire(ctx, name, 0); err == nil {
+				r.mon.add(&r.mon.acquires, 1)
+			}
+			if !redial() {
+				return
+			}
+
+		case pick < 93 && !kaDone: // one KeepAlive episode per client
+			kaDone = true
+			name := fmt.Sprintf("ka%d", i)
+			ttl := 4 * sweep
+			tok, err := cl.Acquire(ctx, name, ttl)
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			r.mon.add(&r.mon.acquires, 1)
+			// The heartbeat link is deliberately NOT registered with the
+			// chaos actor: resetting it silently kills the renewals and
+			// would fail the expectation below for the wrong reason. One
+			// deadline covers the whole episode so a dropped renewal
+			// reply can't park the heartbeat forever.
+			var kc *tasclient.Client
+			if nc, derr := r.fab.Dial("tasd"); derr == nil {
+				nc.SetReadDeadline(r.clk.Now().Add(3*ttl + opBudget))
+				if kcc, herr := tasclient.NewClientConn(ctx, nc); herr == nil {
+					kcc.SetClock(r.clk)
+					kc = kcc
+				} else {
+					nc.Close()
+				}
+			}
+			if kc != nil {
+				r.kaActive.Add(1)
+				r.clk.Go(func() {
+					defer r.kaActive.Add(-1)
+					// Returns once the release below fences the token
+					// (or the drain breaks the connection).
+					kc.KeepAlive(context.Background(), name, tok, ttl)
+					kc.Close()
+				})
+			}
+			r.clk.Sleep(3 * ttl) // far past the unrenewed deadline
+			err = cl.Release(ctx, name, tok)
+			switch {
+			case err == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(err, tasclient.ErrFenced):
+				if kc != nil && r.strict {
+					r.mon.errOnce("ka-fence", "KeepAlive failed to hold lease on %q", name)
+				}
+			default:
+				if !redial() {
+					return
+				}
+			}
+
+		default: // pipelined batch
+			res, err := cl.Do(ctx, []tasclient.Op{
+				{Code: tasclient.OpTryAcquire, Name: "nolease0"},
+				{Code: tasclient.OpRelease, Name: "nolease0"},
+				{Code: tasclient.OpStats},
+			})
+			if err != nil {
+				if !redial() {
+					return
+				}
+				continue
+			}
+			if res[0].OK {
+				r.mon.add(&r.mon.acquires, 1)
+				if res[1].OK {
+					r.mon.add(&r.mon.releases, 1)
+				}
+			} else if res[0].Busy {
+				r.mon.add(&r.mon.busy, 1)
+			}
+		}
+	}
+}
+
+// electClient only runs elections.
+func (r *run) electClient(i int) {
+	g := rng.New(r.cfg.Seed ^ (0xbf58476d1ce4e5b9 * uint64(i+1)))
+	cl := r.connect(true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	for op := 0; op < r.cfg.Ops; op++ {
+		if cl == nil {
+			return
+		}
+		if !r.electOnce(cl, &g, 100+i) {
+			cl.Close()
+			r.mon.add(&r.mon.redials, 1)
+			cl = r.connect(true)
+		}
+		r.clk.Sleep(time.Duration(g.Intn(int(r.cfg.LeaseSweep))))
+	}
+}
+
+// electOnce joins an election, records the (name, epoch, winner) triple
+// for the ≤1-leader-per-epoch invariant, and occasionally resets the
+// epoch. It reports false when the connection broke.
+func (r *run) electOnce(cl *simClient, g *rng.SplitMix64, who int) bool {
+	ctx := context.Background()
+	name := fmt.Sprintf("group%d", g.Intn(2))
+	leader, epoch, err := cl.Elect(ctx, name)
+	if err != nil {
+		return false
+	}
+	r.mon.add(&r.mon.elections, 1)
+	if leader {
+		r.mon.mu.Lock()
+		if r.mon.leaders == nil {
+			r.mon.leaders = map[string]map[uint64]int{}
+		}
+		byEpoch := r.mon.leaders[name]
+		if byEpoch == nil {
+			byEpoch = map[uint64]int{}
+			r.mon.leaders[name] = byEpoch
+		}
+		prev, seen := byEpoch[epoch]
+		if !seen {
+			byEpoch[epoch] = who
+		}
+		r.mon.mu.Unlock()
+		// Only on a corruption-free fabric: a flipped bit in a response
+		// payload can tell a loser it won, which no client-side check can
+		// tell apart from a real violation. The server-side winner check
+		// in check() stays unconditional.
+		if seen && prev != who && r.strict {
+			r.mon.errOnce(fmt.Sprintf("leader-%s-%d", name, epoch),
+				"two leaders for election %q epoch %d: clients %d and %d", name, epoch, prev, who)
+		}
+	}
+	if g.Coin(0.15) {
+		if _, err := cl.ResetElection(ctx, name, epoch); err != nil && !errors.Is(err, tasclient.ErrFenced) {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosActor injects half-open partitions and connection resets into
+// live client links, on the seeded schedule.
+func (r *run) chaosActor() {
+	g := rng.New(r.cfg.Seed ^ 0x94d049bb133111eb)
+	sweep := r.cfg.LeaseSweep
+	for k := 0; k < r.cfg.Ops/2; k++ {
+		r.clk.Sleep(time.Duration(int(sweep)/2 + g.Intn(int(2*sweep))))
+		r.mon.mu.Lock()
+		var sc *dst.SimConn
+		if n := len(r.mon.conns); n > 0 {
+			sc = r.mon.conns[g.Intn(n)]
+		}
+		r.mon.mu.Unlock()
+		if sc == nil {
+			continue
+		}
+		switch g.Intn(4) {
+		case 0:
+			sc.PartitionOutbound(time.Duration(g.Intn(int(2 * sweep))))
+		case 1:
+			sc.PartitionInbound(time.Duration(g.Intn(int(2 * sweep))))
+		case 2:
+			sc.PartitionOutbound(time.Duration(g.Intn(int(2 * sweep))))
+			sc.PartitionInbound(time.Duration(g.Intn(int(sweep))))
+		default:
+			sc.Reset()
+		}
+	}
+}
+
+// drain reads and discards whatever the server answers until the read
+// deadline (or a close) fires.
+func drain(nc net.Conn, clk *dst.SimClock, d time.Duration) {
+	nc.SetReadDeadline(clk.Now().Add(d))
+	io.Copy(io.Discard, nc)
+}

@@ -71,11 +71,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	randtas "repro"
+	"repro/internal/dst"
 	"repro/internal/wire"
 )
 
@@ -103,31 +105,57 @@ type Config struct {
 	// (deadlines are computed against a sweeper-maintained coarse clock
 	// so the grant path never reads the wall clock).
 	LeaseSweep time.Duration
+	// MaxIdle, when positive, enables server-driven eviction: named
+	// locks whose counters have been quiet for at least this long are
+	// retired on the eviction timer, their final slots returned to the
+	// arena and the server's per-name state (including retained procs)
+	// dropped. A name used again simply starts fresh.
+	MaxIdle time.Duration
+	// EvictInterval is how often the sweeper runs an eviction pass
+	// (default MaxIdle when MaxIdle is set; irrelevant otherwise).
+	EvictInterval time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (connections, drain, expiries). Per-request logging would dominate
 	// the request cost and is deliberately absent.
 	Logf func(format string, args ...interface{})
+	// Clock abstracts time and goroutine spawning (nil means the wall
+	// clock, dst.Real). Injecting a *dst.SimClock virtualizes the lease
+	// sweeper, the coarse clock, eviction, dead-peer probes and drain
+	// timeouts, making the whole server schedulable by the
+	// deterministic-simulation layer.
+	Clock dst.Clock
+	// Listener, when non-nil, is served instead of binding Addr — the
+	// injection point for the dst in-memory fabric.
+	Listener net.Listener
 }
 
 // Server is a tasd instance. Construct with New, bind with Listen, run
 // with Serve, stop with Shutdown.
 type Server struct {
-	cfg       Config
-	reg       *randtas.Registry
-	ln        net.Listener
-	ids       chan int
-	started   time.Time
-	draining  atomic.Bool
-	wg        sync.WaitGroup
-	sweepStop chan struct{}
-	sweepDone chan struct{}
-	sweepOnce sync.Once
+	cfg   Config
+	reg   *randtas.Registry
+	clock dst.Clock
+	// sim gates the few behaviors a virtualized server needs that the
+	// real one must not pay for: parking blocked waiters in virtual
+	// time and polling drains instead of selecting on channels (channel
+	// readiness is invisible to the virtual scheduler). The production
+	// hot path is identical either way.
+	sim         bool
+	ln          net.Listener
+	ids         chan int
+	startedNano int64
+	draining    atomic.Bool
+	wg          sync.WaitGroup
+	sweepStop   chan struct{}
+	sweepDone   chan struct{}
+	sweepOnce   sync.Once
+	sweepExited atomic.Bool
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
 	active     atomic.Int64
-	opCounts   [9]atomic.Uint64 // indexed by opcode; [0] unused
+	opCounts   [10]atomic.Uint64 // indexed by opcode; [0] unused
 	violations atomic.Uint64
 	expiries   atomic.Uint64 // leases enforced by the sweeper
 	// coarseNow is the sweeper-maintained wall clock (unix nanos),
@@ -197,9 +225,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.LeaseSweep <= 0 {
 		cfg.LeaseSweep = 5 * time.Millisecond
 	}
+	if cfg.MaxIdle > 0 && cfg.EvictInterval <= 0 {
+		cfg.EvictInterval = cfg.MaxIdle
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = dst.Real
+	}
+	_, sim := cfg.Clock.(*dst.SimClock)
 	reg, err := randtas.NewRegistry(randtas.RegistryOptions{
 		ArenaOptions: randtas.ArenaOptions{
 			Options:  randtas.Options{N: cfg.MaxClients, Algorithm: cfg.Algorithm, Seed: cfg.Seed},
@@ -207,6 +242,8 @@ func New(cfg Config) (*Server, error) {
 			Prealloc: cfg.Prealloc,
 		},
 		RegistryShards: cfg.RegistryShards,
+		MaxIdle:        cfg.MaxIdle,
+		Now:            cfg.Clock.Now,
 	})
 	if err != nil {
 		return nil, err
@@ -214,6 +251,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		reg:       reg,
+		clock:     cfg.Clock,
+		sim:       sim,
 		ids:       make(chan int, cfg.MaxClients),
 		conns:     make(map[net.Conn]struct{}),
 		sweepStop: make(chan struct{}),
@@ -225,20 +264,24 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Listen binds the configured address and starts the lease sweeper.
-// Addr is valid afterwards.
+// Listen binds the configured address (or adopts Config.Listener) and
+// starts the lease sweeper. Addr is valid afterwards.
 func (s *Server) Listen() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return err
+	ln := s.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return err
+		}
 	}
 	s.ln = ln
-	s.started = time.Now()
+	s.startedNano = s.clock.Now().UnixNano()
 	// Initialize the coarse clock before any grant can read it — a
 	// zero clock would compute 1970-epoch deadlines and instantly
 	// expire the first leases.
-	s.coarseNow.Store(s.started.UnixNano())
-	go s.sweepLeases()
+	s.coarseNow.Store(s.startedNano)
+	s.clock.Go(s.sweepLeases)
 	s.cfg.Logf("tasd: listening on %s (max %d clients, algorithm %s, protocol v%d, lease sweep %v)",
 		ln.Addr(), s.cfg.MaxClients, s.cfg.Algorithm, wire.Version, s.cfg.LeaseSweep)
 	return nil
@@ -291,7 +334,7 @@ func (s *Server) Serve() error {
 			s.wg.Add(1)
 			s.mu.Unlock()
 			s.active.Add(1)
-			go s.handle(nc, id)
+			s.clock.Go(func() { s.handle(nc, id) })
 		default:
 			// All process slots are taken: refuse rather than queue, so
 			// admitted clients keep their wait-free slot guarantee.
@@ -311,45 +354,85 @@ func (s *Server) Serve() error {
 // grant (no ABA) — and losing the CAS to a concurrent RELEASE simply
 // means the holder made it in time.
 func (s *Server) sweepLeases() {
-	defer close(s.sweepDone)
-	t := time.NewTicker(s.cfg.LeaseSweep)
-	defer t.Stop()
+	defer func() {
+		s.sweepExited.Store(true)
+		close(s.sweepDone)
+	}()
+	var nextEvict int64
+	if s.cfg.EvictInterval > 0 {
+		nextEvict = s.clock.Now().UnixNano() + int64(s.cfg.EvictInterval)
+	}
 	for {
+		s.clock.Sleep(s.cfg.LeaseSweep)
 		select {
 		case <-s.sweepStop:
 			return
-		case now := <-t.C:
-			nowNano := now.UnixNano()
-			s.coarseNow.Store(nowNano)
-			s.locks.Range(func(_, v interface{}) bool {
-				e := v.(*lockEntry)
-				tok := e.owner.Load()
-				if tok == 0 {
-					return true
-				}
-				deadline := e.lease.Load()
-				if deadline == 0 || nowNano < deadline {
-					return true
-				}
-				// Re-read the owner: a (token, lease) pair read across a
-				// concurrent release+regrant could mix an old deadline
-				// with a new token. Grants store the lease before the
-				// owner word, so an unchanged token pins the deadline.
-				if e.owner.Load() != tok || !e.owner.CompareAndSwap(tok, 0) {
-					return true
-				}
-				// CAS, not a blind store: if the fenced holder's release
-				// already slipped in (its arena-level unlock still wins
-				// the gate when it beats our Revoke) and a successor was
-				// granted, the lease word now carries the successor's
-				// deadline, which must survive.
-				e.lease.CompareAndSwap(deadline, 0)
-				e.m.Revoke(tok)
-				s.expiries.Add(1)
+		default:
+		}
+		nowNano := s.clock.Now().UnixNano()
+		s.coarseNow.Store(nowNano)
+		type overdue struct {
+			name     string
+			e        *lockEntry
+			tok      uint64
+			deadline int64
+		}
+		var due []overdue
+		s.locks.Range(func(k, v interface{}) bool {
+			e := v.(*lockEntry)
+			tok := e.owner.Load()
+			if tok == 0 {
 				return true
-			})
+			}
+			deadline := e.lease.Load()
+			if deadline == 0 || nowNano < deadline {
+				return true
+			}
+			due = append(due, overdue{k.(string), e, tok, deadline})
+			return true
+		})
+		// Enforce in name order: sync.Map.Range order would leak Go's
+		// map seed into the simulated schedule.
+		sort.Slice(due, func(i, j int) bool { return due[i].name < due[j].name })
+		for _, x := range due {
+			// Re-read the owner: a (token, lease) pair read across a
+			// concurrent release+regrant could mix an old deadline
+			// with a new token. Grants store the lease before the
+			// owner word, so an unchanged token pins the deadline.
+			if x.e.owner.Load() != x.tok || !x.e.owner.CompareAndSwap(x.tok, 0) {
+				continue
+			}
+			// CAS, not a blind store: if the fenced holder's release
+			// already slipped in (its arena-level unlock still wins
+			// the gate when it beats our Revoke) and a successor was
+			// granted, the lease word now carries the successor's
+			// deadline, which must survive.
+			x.e.lease.CompareAndSwap(x.deadline, 0)
+			x.e.m.Revoke(x.tok)
+			s.expiries.Add(1)
+		}
+		if nextEvict != 0 && nowNano >= nextEvict {
+			nextEvict = nowNano + int64(s.cfg.EvictInterval)
+			if n := s.reg.Evict(); n > 0 {
+				s.purgeRetired(n)
+			}
 		}
 	}
+}
+
+// purgeRetired drops server-side state for locks the eviction pass
+// retired, releasing each entry's retained procs for the collector. A
+// name looked up again resolves to a fresh registry mutex — the
+// CompareAndDelete ensures a racing re-resolution's new entry survives.
+func (s *Server) purgeRetired(evicted int) {
+	purged := 0
+	s.locks.Range(func(k, v interface{}) bool {
+		if v.(*lockEntry).m.Retired() && s.locks.CompareAndDelete(k, v) {
+			purged++
+		}
+		return true
+	})
+	s.cfg.Logf("tasd: evicted %d idle locks (%d server entries purged)", evicted, purged)
 }
 
 // Shutdown drains the server: stop accepting, wake every connection's
@@ -364,38 +447,75 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	s.mu.Lock()
-	n := len(s.conns)
-	for nc := range s.conns {
-		nc.SetReadDeadline(time.Now()) // wake blocked readers; batches in flight complete
+	now := s.clock.Now()
+	conns := s.snapshotConns()
+	for _, nc := range conns {
+		nc.SetReadDeadline(now) // wake blocked readers; batches in flight complete
 	}
-	s.mu.Unlock()
-	s.cfg.Logf("tasd: draining %d connections", n)
+	s.cfg.Logf("tasd: draining %d connections", len(conns))
 
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
 	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		err = ctx.Err()
-		s.mu.Lock()
-		for nc := range s.conns {
-			nc.Close()
+	if s.sim {
+		// Channel readiness is invisible to the virtual scheduler, so
+		// poll the handler count in virtual time instead of selecting
+		// on a wg-completion channel.
+		for s.active.Load() > 0 {
+			if err == nil && ctx.Err() != nil {
+				err = ctx.Err()
+				for _, nc := range s.snapshotConns() {
+					nc.Close()
+				}
+			}
+			s.clock.Sleep(drainPoll)
 		}
-		s.mu.Unlock()
-		<-done // cleanup (lock recovery) still runs per connection
+		// A handler that decremented active but hasn't reached wg.Done
+		// is runnable, not parked, so the poll above cannot observe
+		// zero before every handler finished: this Wait never blocks.
+		s.wg.Wait()
+	} else {
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+			for _, nc := range s.snapshotConns() {
+				nc.Close()
+			}
+			<-done // cleanup (lock recovery) still runs per connection
+		}
 	}
 	if s.ln != nil {
 		s.sweepOnce.Do(func() { close(s.sweepStop) }) // Shutdown is idempotent
+		if s.sim {
+			for !s.sweepExited.Load() {
+				s.clock.Sleep(drainPoll)
+			}
+		}
 		<-s.sweepDone
 	}
 	s.reg.Close()
 	s.cfg.Logf("tasd: drained")
 	return err
+}
+
+// snapshotConns copies the live connection set in remote-address order —
+// map iteration order would leak Go's map seed into the simulated
+// schedule when the drain wakes blocked readers.
+func (s *Server) snapshotConns() []net.Conn {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool {
+		return conns[i].RemoteAddr().String() < conns[j].RemoteAddr().String()
+	})
+	return conns
 }
 
 // Registry exposes the backing registry (for in-process inspection and
@@ -408,15 +528,50 @@ func (s *Server) Violations() uint64 { return s.violations.Load() }
 // LeaseExpirations reports how many leases the sweeper has enforced.
 func (s *Server) LeaseExpirations() uint64 { return s.expiries.Load() }
 
+// VisitLocks calls f for every named lock's server-side state: the
+// holder's fencing token (0 when free) and the lease deadline in unix
+// nanos (0 when leaseless). The dst invariant checker uses it to assert
+// lease-enforcement bounds; visit order is unspecified.
+func (s *Server) VisitLocks(f func(name string, owner uint64, leaseDeadline int64)) {
+	s.locks.Range(func(k, v interface{}) bool {
+		e := v.(*lockEntry)
+		f(k.(string), e.owner.Load(), e.lease.Load())
+		return true
+	})
+}
+
+// CoarseNow reports the sweeper-maintained coarse clock in unix nanos.
+func (s *Server) CoarseNow() int64 { return s.coarseNow.Load() }
+
 // lockEntry returns the server-side state of a named lock, creating it
-// on first use.
+// on first use. An entry whose mutex was retired by eviction is dropped
+// and re-resolved — the registry hands out a fresh incarnation for the
+// name, and the stale procs go with the old entry.
 func (s *Server) lockEntry(name string) *lockEntry {
-	if e, ok := s.locks.Load(name); ok {
-		return e.(*lockEntry)
+	for {
+		if v, ok := s.locks.Load(name); ok {
+			e := v.(*lockEntry)
+			if !e.m.Retired() {
+				return e
+			}
+			s.locks.CompareAndDelete(name, v)
+			continue
+		}
+		e := &lockEntry{m: s.reg.Mutex(name), procs: make([]*randtas.MutexProc, s.cfg.MaxClients)}
+		if e.m.Retired() {
+			// Lost a race with an eviction pass between the registry
+			// lookup and retirement; the next lookup starts fresh.
+			continue
+		}
+		if actual, loaded := s.locks.LoadOrStore(name, e); loaded {
+			if le := actual.(*lockEntry); !le.m.Retired() {
+				return le
+			}
+			s.locks.CompareAndDelete(name, actual)
+			continue
+		}
+		return e
 	}
-	e := &lockEntry{m: s.reg.Mutex(name), procs: make([]*randtas.MutexProc, s.cfg.MaxClients)}
-	actual, _ := s.locks.LoadOrStore(name, e)
-	return actual.(*lockEntry)
 }
 
 // electionEntry returns the server-side state of a named election,
@@ -448,8 +603,9 @@ type conn struct {
 	// epoch's ELECTEPOCH answer per name.
 	elected      map[string]byte
 	epochElected map[string]electResult
-	// lastProbe rate-limits dead-peer probes while blocked on a lock.
-	lastProbe time.Time
+	// lastProbe rate-limits dead-peer probes while blocked on a lock,
+	// in coarse-clock unix nanos.
+	lastProbe int64
 }
 
 type electResult struct {
@@ -466,7 +622,13 @@ type connLock struct {
 
 func (c *conn) lock(name string) *connLock {
 	if cl, ok := c.locks[name]; ok {
-		return cl
+		// A held connLock stays pinned to its incarnation even if
+		// retired (the fenced-reap path needs the original entry); an
+		// idle one follows the name to its evicted successor.
+		if cl.held || !cl.entry.m.Retired() {
+			return cl
+		}
+		delete(c.locks, name)
 	}
 	e := c.s.lockEntry(name)
 	cl := &connLock{entry: e, proc: e.proc(c.id)}
@@ -515,18 +677,31 @@ const maxBatchedResponses = 256 << 10
 // ACQUIRE's wait loop.
 const deadProbeInterval = 50 * time.Millisecond
 
+// drainPoll is the virtual-time interval at which a simulated Shutdown
+// polls handler and sweeper exits (channel closes from unmanaged
+// goroutines are invisible to the virtual scheduler).
+const drainPoll = 500 * time.Microsecond
+
+// simAcquirePoll is how long a simulated blocked ACQUIRE parks between
+// stop-predicate checks. Without the park the wait loop would spin with
+// virtual time frozen — a runnable actor pins the scheduler — and the
+// holder's release could never be delivered.
+const simAcquirePoll = 200 * time.Microsecond
+
 // dead reports whether the peer has hung up, detected by a 1 ms Peek
 // through the connection's own reader (this goroutine is the only
 // reader, and Peek consumes nothing, so pipelined frames are
 // preserved). A timeout just means "no news" — only EOF or a hard
-// error counts as dead.
+// error counts as dead. Probe pacing reads the sweeper's coarse clock,
+// so the wait loop itself never touches the wall clock; the precise
+// clock is consulted only for the (rate-limited) probe deadline.
 func (c *conn) dead() bool {
-	now := time.Now()
-	if now.Sub(c.lastProbe) < deadProbeInterval {
+	now := c.s.coarseNow.Load()
+	if now-c.lastProbe < int64(deadProbeInterval) {
 		return false
 	}
 	c.lastProbe = now
-	c.nc.SetReadDeadline(now.Add(time.Millisecond))
+	c.nc.SetReadDeadline(c.s.clock.Now().Add(time.Millisecond))
 	_, err := c.br.Peek(1)
 	c.nc.SetReadDeadline(time.Time{})
 	if err == nil {
@@ -542,7 +717,15 @@ func (c *conn) dead() bool {
 func (s *Server) handle(nc net.Conn, id int) {
 	c := &conn{s: s, id: id, version: 1, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), locks: map[string]*connLock{}}
 	defer func() {
-		for _, cl := range c.locks {
+		// Recovery in name order: map iteration order would leak Go's
+		// map seed into the simulated schedule.
+		names := make([]string, 0, len(c.locks))
+		for name := range c.locks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cl := c.locks[name]
 			if cl.held {
 				// Recover the lock: win the owner word first so the next
 				// winner's exclusion check sees it free. Losing the CAS
@@ -659,54 +842,104 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 		return true
 
 	case wire.OpAcquire:
-		cl := c.lock(req.Name)
-		c.reapFenced(cl) // a lease-expired grant is cleaned up, not an error
-		if cl.held {
-			c.replyErr(req.ID, "ACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
-			return true
-		}
-		// Block through LockWhile (not a TryLock probe first — that
-		// would count every contended ACQUIRE as a TRYACQUIRE loss in
-		// the per-lock stats). The stop predicate runs only while
-		// waiting for the holder to hand over; on the first poll it
-		// flushes the batch's earlier responses so pipelined
-		// predecessors aren't delayed, and it keeps the waiter
-		// abortable: by a drain (a waiter is otherwise un-wakeable —
-		// worst case clients deadlocked across two locks would pin
-		// Shutdown forever) and by its own client vanishing (a dead
-		// waiter would otherwise occupy a process slot until the lock
-		// frees).
-		var flushErr error
-		flushed := false
-		tok, won := cl.proc.LockWhile(func() bool {
-			if !flushed {
-				flushed = true
-				flushErr = c.flush()
+		for {
+			cl := c.lock(req.Name)
+			c.reapFenced(cl) // a lease-expired grant is cleaned up, not an error
+			if cl.held {
+				c.replyErr(req.ID, "ACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
+				return true
 			}
-			return flushErr != nil || s.draining.Load() || c.dead()
-		})
-		if !won {
+			// Block through LockWhile (not a TryLock probe first — that
+			// would count every contended ACQUIRE as a TRYACQUIRE loss in
+			// the per-lock stats). The stop predicate runs only while
+			// waiting for the holder to hand over; on the first poll it
+			// flushes the batch's earlier responses so pipelined
+			// predecessors aren't delayed, and it keeps the waiter
+			// abortable: by a drain (a waiter is otherwise un-wakeable —
+			// worst case clients deadlocked across two locks would pin
+			// Shutdown forever) and by its own client vanishing (a dead
+			// waiter would otherwise occupy a process slot until the lock
+			// frees).
+			var flushErr error
+			flushed := false
+			tok, won := cl.proc.LockWhile(func() bool {
+				if !flushed {
+					flushed = true
+					flushErr = c.flush()
+				}
+				if flushErr != nil || s.draining.Load() || c.dead() {
+					return true
+				}
+				if s.sim {
+					// Park the waiter in virtual time; see simAcquirePoll.
+					s.clock.Sleep(simAcquirePoll)
+				}
+				return false
+			})
+			if won {
+				c.grant(cl, req, tok)
+				return true
+			}
+			if flushErr == nil && !s.draining.Load() && cl.entry.m.Retired() {
+				// The name was evicted mid-wait. The client asked for the
+				// name, not the incarnation — retry on its successor.
+				continue
+			}
 			if flushErr == nil && s.draining.Load() {
 				c.replyErr(req.ID, "ACQUIRE %q: server draining", req.Name)
 			}
 			return false
 		}
-		c.grant(cl, req, tok)
-		return true
 
 	case wire.OpTryAcquire:
-		cl := c.lock(req.Name)
-		c.reapFenced(cl)
-		if cl.held {
-			c.replyErr(req.ID, "TRYACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
+		for {
+			cl := c.lock(req.Name)
+			c.reapFenced(cl)
+			if cl.held {
+				c.replyErr(req.ID, "TRYACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
+				return true
+			}
+			tok, ok := cl.proc.TryLock()
+			if !ok {
+				if cl.entry.m.Retired() {
+					// Evicted between lookup and probe; the successor
+					// incarnation takes the retry.
+					continue
+				}
+				c.reply(req.ID, wire.StatusBusy, nil)
+				return true
+			}
+			c.grant(cl, req, tok)
 			return true
 		}
-		tok, ok := cl.proc.TryLock()
+
+	case wire.OpExtend:
+		// Renew a live lease by fencing token. Token-addressed, not
+		// connection-addressed, so a KeepAlive heartbeat may run on a
+		// dedicated connection. Near the deadline the sweeper wins
+		// races by design: a renewal must land at least one sweep
+		// early (the client-side KeepAlive renews at TTL/3).
+		v, ok := s.locks.Load(req.Name)
 		if !ok {
-			c.reply(req.ID, wire.StatusBusy, nil)
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(0))
 			return true
 		}
-		c.grant(cl, req, tok)
+		e := v.(*lockEntry)
+		if e.owner.Load() != req.Token {
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(uint64(e.m.Holder())))
+			return true
+		}
+		ttl := time.Duration(req.TTLMillis)*time.Millisecond + s.cfg.LeaseSweep
+		e.lease.Store(s.coarseNow.Load() + int64(ttl))
+		if e.owner.Load() != req.Token {
+			// The sweeper (or a release) fenced the grant between the
+			// check and the stamp. The stale deadline we wrote is
+			// harmless — grants overwrite the lease word and the
+			// sweeper ignores free locks — but the caller must know.
+			c.reply(req.ID, wire.StatusFenced, wire.TokenPayload(uint64(e.m.Holder())))
+			return true
+		}
+		c.reply(req.ID, wire.StatusOK, wire.TokenPayload(req.Token))
 		return true
 
 	case wire.OpRelease:
@@ -867,7 +1100,7 @@ func (s *Server) statsPayload() ([]byte, error) {
 func (s *Server) stats() wire.Stats {
 	st := wire.Stats{
 		ProtocolVersion:  wire.Version,
-		UptimeSeconds:    time.Since(s.started).Seconds(),
+		UptimeSeconds:    time.Duration(s.coarseNow.Load() - s.startedNano).Seconds(),
 		ActiveConns:      int(s.active.Load()),
 		MaxClients:       s.cfg.MaxClients,
 		Ops:              map[string]uint64{},

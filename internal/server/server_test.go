@@ -1010,3 +1010,145 @@ func TestStressLoopback(t *testing.T) {
 	}
 	t.Logf("stress: %d ops, %d expiries, %d violations", ops.Load(), srv.LeaseExpirations(), srv.Violations())
 }
+
+// TestExtendLease: EXTEND pushes a lease deadline forward so a renewed
+// grant outlives its original TTL; it is token-addressed (any
+// connection can renew), and a wrong, stale, or unknown token is
+// fenced without touching the live lease.
+func TestExtendLease(t *testing.T) {
+	srv, addr := start(t, server.Config{MaxClients: 4, LeaseSweep: 2 * time.Millisecond})
+	a, b := dial(t, addr), dial(t, addr)
+
+	ttl := 400 * time.Millisecond
+	tok, err := a.Acquire(bg, "L", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renew well past the original deadline: 3×TTL of holding with
+	// renewals every TTL/4 must never let the sweeper fire.
+	until := time.Now().Add(3 * ttl)
+	for time.Now().Before(until) {
+		if err := a.Extend(bg, "L", tok, ttl); err != nil {
+			t.Fatalf("renewal refused mid-lease: %v", err)
+		}
+		time.Sleep(ttl / 4)
+	}
+	if n := srv.LeaseExpirations(); n != 0 {
+		t.Fatalf("renewed lease expired %d time(s)", n)
+	}
+	// Token-addressed: a different connection renews the same grant.
+	if err := b.Extend(bg, "L", tok, ttl); err != nil {
+		t.Fatalf("renewal from a second connection: %v", err)
+	}
+	// A wrong token is fenced; so is a name that was never acquired.
+	if err := b.Extend(bg, "L", tok+1, ttl); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("wrong-token EXTEND = %v, want ErrFenced", err)
+	}
+	if err := b.Extend(bg, "never-acquired", 99, ttl); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("unknown-name EXTEND = %v, want ErrFenced", err)
+	}
+	if err := a.Release(bg, "L", tok); err != nil {
+		t.Fatal(err)
+	}
+	// After release the token is dead: renewing it is fenced.
+	if err := a.Extend(bg, "L", tok, ttl); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("EXTEND of a released token = %v, want ErrFenced", err)
+	}
+}
+
+// TestEviction: a name left idle past MaxIdle is retired by the
+// sweeper's eviction pass, drops out of STATS, and is usable afresh
+// with a new incarnation.
+func TestEviction(t *testing.T) {
+	srv, addr := start(t, server.Config{
+		MaxClients: 4,
+		LeaseSweep: time.Millisecond,
+		MaxIdle:    10 * time.Millisecond,
+	})
+	a := dial(t, addr)
+	tok, err := a.Acquire(bg, "E", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(bg, "E", tok); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Registry().Evictions() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle name never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The retired entry is purged from the stats listing.
+	for {
+		st, err := a.Stats(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listed := false
+		for _, l := range st.Locks {
+			if l.Name == "E" {
+				listed = true
+			}
+		}
+		if !listed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("evicted name still listed in stats: %+v", st.Locks)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The name comes back fresh and fully usable.
+	tok2, err := a.Acquire(bg, "E", 0)
+	if err != nil {
+		t.Fatalf("acquire after eviction: %v", err)
+	}
+	if err := a.Release(bg, "E", tok2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeepAliveRealClock: the client-side heartbeat holds a lease under
+// the real clock, and cancelling its context stops it cleanly — after
+// which the lease lapses on schedule.
+func TestKeepAliveRealClock(t *testing.T) {
+	srv, addr := start(t, server.Config{MaxClients: 4, LeaseSweep: 2 * time.Millisecond})
+	a, hb := dial(t, addr), dial(t, addr)
+
+	ttl := 300 * time.Millisecond
+	tok, err := a.Acquire(bg, "K", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- hb.KeepAlive(ctx, "K", tok, ttl) }()
+
+	time.Sleep(5 * ttl / 2) // far past the unrenewed deadline
+	if n := srv.LeaseExpirations(); n != 0 {
+		t.Fatalf("lease expired %d time(s) under KeepAlive", n)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled KeepAlive = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("KeepAlive did not return after cancellation")
+	}
+	// Unrenewed now: the sweeper must enforce the lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.LeaseExpirations() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired after KeepAlive stopped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := a.Release(bg, "K", tok); !errors.Is(err, tasclient.ErrFenced) {
+		t.Fatalf("zombie release = %v, want ErrFenced", err)
+	}
+}

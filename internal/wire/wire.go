@@ -34,6 +34,15 @@
 //	RELEASE     u64 fencing token (0 or absent: server-tracked, v1 style)
 //	ELECTEPOCH  (none) — participate in the election's current epoch
 //	ELECTRESET  u64 epoch believed current (compare-and-bump guard)
+//	EXTEND      u64 fencing token + u32 new lease TTL in milliseconds
+//
+// EXTEND renews the lease of a live grant (the heartbeat behind
+// tasclient.KeepAlive): if the token still owns the lock the lease
+// deadline moves to now + TTL and the answer is OK; a superseded token
+// answers StatusFenced with the current fence, telling the holder to
+// stop renewing. An extension must arrive at least one sweep interval
+// before the old deadline to be guaranteed effective — renewing at
+// TTL/3 intervals, as KeepAlive does, clears that bar comfortably.
 //
 // A v1 frame is exactly a v2 frame with an empty trailer, so old
 // clients keep working against a v2 server unchanged: no TTL means no
@@ -69,6 +78,7 @@ const (
 	OpHello      byte = 6 // version negotiation, first frame of a v2 client
 	OpElectEpoch byte = 7 // participate in the election's current epoch
 	OpElectReset byte = 8 // retire the given epoch and install the next
+	OpExtend     byte = 9 // renew the lease on a held lock (token verified)
 )
 
 // Response status codes.
@@ -122,6 +132,8 @@ func OpName(op byte) string {
 		return "ELECTEPOCH"
 	case OpElectReset:
 		return "ELECTRESET"
+	case OpExtend:
+		return "EXTEND"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
@@ -151,10 +163,12 @@ type Request struct {
 	Name string
 
 	// TTLMillis is the requested lease in milliseconds on ACQUIRE /
-	// TRYACQUIRE; 0 means no lease.
+	// TRYACQUIRE, or the renewed lease on EXTEND (where it must be
+	// positive); 0 means no lease.
 	TTLMillis uint32
-	// Token is the fencing token on RELEASE; 0 means "whatever the
-	// server recorded" (v1 semantics).
+	// Token is the fencing token on RELEASE (0 means "whatever the
+	// server recorded", v1 semantics) and the token being renewed on
+	// EXTEND (required).
 	Token uint64
 	// Epoch is the compare-and-bump guard on ELECTRESET.
 	Epoch uint64
@@ -193,6 +207,8 @@ func trailerLen(req Request) int {
 		}
 	case OpElectReset:
 		return 8
+	case OpExtend:
+		return 12
 	}
 	return 0
 }
@@ -205,6 +221,9 @@ func AppendRequest(buf []byte, req Request) ([]byte, error) {
 	if len(req.Name) > MaxName {
 		return buf, fmt.Errorf("wire: name %d bytes exceeds the %d-byte limit", len(req.Name), MaxName)
 	}
+	if req.Op == OpExtend && (req.Token == 0 || req.TTLMillis == 0) {
+		return buf, errors.New("wire: EXTEND requires a fencing token and a positive TTL")
+	}
 	tl := trailerLen(req)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(requestHeader+len(req.Name)+tl))
 	buf = append(buf, req.Op)
@@ -214,6 +233,9 @@ func AppendRequest(buf []byte, req Request) ([]byte, error) {
 	switch {
 	case req.Op == OpHello:
 		buf = binary.BigEndian.AppendUint32(buf, req.Version)
+	case req.Op == OpExtend:
+		buf = binary.BigEndian.AppendUint64(buf, req.Token)
+		buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
 	case tl == 4:
 		buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
 	case req.Op == OpElectReset:
@@ -305,6 +327,15 @@ func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
 			return Request{}, fmt.Errorf("wire: ELECTRESET trailer %d bytes, want 8", len(trailer))
 		}
 		req.Epoch = binary.BigEndian.Uint64(trailer)
+	case OpExtend:
+		if len(trailer) != 12 {
+			return Request{}, fmt.Errorf("wire: EXTEND trailer %d bytes, want 12", len(trailer))
+		}
+		req.Token = binary.BigEndian.Uint64(trailer)
+		req.TTLMillis = binary.BigEndian.Uint32(trailer[8:])
+		if req.Token == 0 || req.TTLMillis == 0 {
+			return Request{}, errors.New("wire: EXTEND requires a fencing token and a positive TTL")
+		}
 	default:
 		if len(trailer) != 0 {
 			return Request{}, fmt.Errorf("wire: %s frame carries an unexpected %d-byte trailer", OpName(req.Op), len(trailer))

@@ -219,3 +219,48 @@ func TestCorruptLength(t *testing.T) {
 		t.Fatal("undersized request frame accepted")
 	}
 }
+
+// TestExtendFrame: EXTEND round-trips its 12-byte trailer and rejects
+// every malformed shape — a zero token or TTL (both directions), and a
+// wrong-sized trailer.
+func TestExtendFrame(t *testing.T) {
+	want := Request{Op: OpExtend, ID: 11, Name: "leased", Token: 0xfeedface, TTLMillis: 2500}
+	buf, err := AppendRequest(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := 4 + 6 + len("leased") + 12; len(buf) != n {
+		t.Fatalf("EXTEND frame is %d bytes, want %d", len(buf), n)
+	}
+	got, err := ReadRequest(bytes.NewReader(buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+
+	// Zero token / zero TTL refused at encode time.
+	if _, err := AppendRequest(nil, Request{Op: OpExtend, Name: "x", TTLMillis: 5}); err == nil {
+		t.Fatal("EXTEND with zero token encoded")
+	}
+	if _, err := AppendRequest(nil, Request{Op: OpExtend, Name: "x", Token: 1}); err == nil {
+		t.Fatal("EXTEND with zero TTL encoded")
+	}
+
+	// ...and at decode time, for a hand-built all-zero trailer.
+	zero := append([]byte{}, buf...)
+	for i := len(zero) - 12; i < len(zero); i++ {
+		zero[i] = 0
+	}
+	if _, err := ReadRequest(bytes.NewReader(zero), 0); err == nil {
+		t.Fatal("EXTEND with zeroed trailer decoded")
+	}
+
+	// Wrong trailer size is a framing error.
+	short := append([]byte{}, buf[:len(buf)-4]...)
+	binary.BigEndian.PutUint32(short[:4], uint32(len(short)-4))
+	if _, err := ReadRequest(bytes.NewReader(short), 0); err == nil {
+		t.Fatal("8-byte EXTEND trailer accepted")
+	}
+}

@@ -474,6 +474,10 @@ type RegistryOptions struct {
 	// whose counters have been quiet for at least this long, returning
 	// their final rounds' slots to the arena. Zero disables eviction.
 	MaxIdle time.Duration
+	// Now supplies the clock Evict measures idleness against (nil means
+	// time.Now). Injected by deterministic-simulation harnesses; normal
+	// callers leave it nil.
+	Now func() time.Time
 }
 
 // NamedMutexStats re-exports the per-name mutex counters.
@@ -499,7 +503,11 @@ func NewRegistry(opts RegistryOptions) (*Registry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.NewRegistry(opts.RegistryShards, opts.MaxIdle), nil
+	return &Registry{opts: a.opts, r: arena.NewRegistry(a.a, arena.RegistryConfig{
+		Shards:  opts.RegistryShards,
+		MaxIdle: opts.MaxIdle,
+		Now:     opts.Now,
+	})}, nil
 }
 
 // NewRegistry builds a registry over this arena. Any number of

@@ -48,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dst"
 	"repro/internal/wire"
 )
 
@@ -71,10 +72,11 @@ type Op struct {
 	// Name is the lock or election name (ignored for OpStats).
 	Name string
 	// TTL is the lease duration for OpAcquire/OpTryAcquire (0 = no
-	// lease; rounded up to a millisecond).
+	// lease; rounded up to a millisecond), or the renewed lease for
+	// OpExtend (required positive there).
 	TTL time.Duration
 	// Token is the fencing token for OpRelease (0 = let the server use
-	// its own record, the v1 behavior).
+	// its own record, the v1 behavior) and for OpExtend (required).
 	Token Token
 	// Epoch is the compare-and-bump guard for OpElectReset.
 	Epoch uint64
@@ -89,6 +91,7 @@ const (
 	OpStats      = wire.OpStats
 	OpElectEpoch = wire.OpElectEpoch
 	OpElectReset = wire.OpElectReset
+	OpExtend     = wire.OpExtend
 )
 
 // Result is one operation's outcome within a Do batch.
@@ -128,6 +131,7 @@ type Client struct {
 	wbuf    []byte
 	version uint32
 	broken  error
+	clock   dst.Clock
 }
 
 // Dial connects with no timeout; see DialContext.
@@ -201,7 +205,45 @@ func dialRaw(ctx context.Context, addr string) (*Client, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // request frames are tiny; don't wait to coalesce
 	}
-	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version}, nil
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real}, nil
+}
+
+// NewClientConn speaks the tasd protocol over an existing connection —
+// the injection point for the deterministic-simulation fabric (or any
+// custom transport). Unlike DialContext there is no v1 redial fallback:
+// the transport cannot be redialed here, so a server that rejects HELLO
+// surfaces as an error.
+func NewClientConn(ctx context.Context, nc net.Conn) (*Client, error) {
+	c := &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real}
+	res, err := c.do(ctx, []Op{{Code: wire.OpHello}})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !res[0].OK {
+		nc.Close()
+		if res[0].Err != "" {
+			return nil, fmt.Errorf("tasclient: %s", res[0].Err)
+		}
+		return nil, fmt.Errorf("tasclient: unexpected HELLO status")
+	}
+	v, ok := wire.ParseHelloPayload(res[0].Payload)
+	if !ok || v < 1 {
+		nc.Close()
+		return nil, fmt.Errorf("tasclient: malformed HELLO response")
+	}
+	c.version = v
+	return c, nil
+}
+
+// SetClock swaps the clock KeepAlive paces its heartbeats with (nil
+// restores the wall clock). A simulated client injects its virtual
+// clock here so renewal timing is deterministic.
+func (c *Client) SetClock(clk dst.Clock) {
+	if clk == nil {
+		clk = dst.Real
+	}
+	c.clock = clk
 }
 
 // Version reports the negotiated protocol version.
@@ -299,7 +341,7 @@ func (c *Client) do(ctx context.Context, ops []Op) ([]Result, error) {
 		case wire.StatusOK:
 			r.OK = true
 			switch ops[i].Code {
-			case OpAcquire, OpTryAcquire, OpElectReset:
+			case OpAcquire, OpTryAcquire, OpElectReset, OpExtend:
 				if tok, ok := wire.ParseTokenPayload(resp.Payload); ok {
 					r.Token = tok
 				}
@@ -397,6 +439,76 @@ func (c *Client) checkLease(ttl time.Duration) error {
 func (c *Client) Release(ctx context.Context, name string, tok Token) error {
 	_, err := c.one(ctx, Op{Code: OpRelease, Name: name, Token: tok})
 	return err
+}
+
+// Extend renews the lease on a held lock: the grant identified by tok
+// gets a fresh ttl measured from now. Token-addressed, not
+// connection-addressed — any client may renew any live grant it knows
+// the token of, so a heartbeat can run on its own connection. ErrFenced
+// means the grant is gone: the lease already expired, the lock was
+// released, or tok was never current. Requires a v2 server.
+func (c *Client) Extend(ctx context.Context, name string, tok Token, ttl time.Duration) error {
+	if c.version < 2 {
+		return fmt.Errorf("tasclient: Extend needs protocol v2, server negotiated v%d", c.version)
+	}
+	if tok == 0 || ttl <= 0 {
+		return fmt.Errorf("tasclient: Extend requires a fencing token and a positive TTL")
+	}
+	_, err := c.one(ctx, Op{Code: OpExtend, Name: name, Token: tok, TTL: ttl})
+	return err
+}
+
+// KeepAlive renews the lease on a held lock every ttl/3 until ctx is
+// done (returning nil) or a renewal fails (returning the error —
+// ErrFenced once the grant is lost). It blocks the calling goroutine
+// and owns the client's stream while it runs, so run it on a dedicated
+// Client; Extend is token-addressed, so a separate connection renews
+// another connection's grant just fine. The ttl/3 cadence leaves two
+// missed heartbeats plus the server's sweep granularity of slack before
+// the lease can expire.
+//
+// Cancellation is watched with the wall clock; a simulated client
+// should pass context.Background() and bound the heartbeat's life by
+// closing the connection (the renewal then fails and KeepAlive
+// returns).
+func (c *Client) KeepAlive(ctx context.Context, name string, tok Token, ttl time.Duration) error {
+	if c.version < 2 {
+		return fmt.Errorf("tasclient: KeepAlive needs protocol v2, server negotiated v%d", c.version)
+	}
+	if tok == 0 || ttl <= 0 {
+		return fmt.Errorf("tasclient: KeepAlive requires a fencing token and a positive TTL")
+	}
+	interval := ttl / 3
+	for {
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil
+		}
+		if err := c.Extend(ctx, name, tok, ttl); err != nil {
+			if ctx.Err() != nil {
+				return nil // cancelled mid-renewal
+			}
+			return err
+		}
+	}
+}
+
+// sleep pauses for d on the client's clock, cut short by ctx. A context
+// that can't be cancelled sleeps purely on the clock — the path a
+// simulated client must take, since a wall-clock timer would stall the
+// virtual schedule.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		c.clock.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Elect joins the named election's current epoch and reports whether
