@@ -30,6 +30,7 @@ var dstScenarios = []dstrun.Scenario{
 	dstrun.ScenarioChaos,
 	dstrun.ScenarioElect,
 	dstrun.ScenarioFuzz,
+	dstrun.ScenarioAbortStorm,
 }
 
 // dstFaults is the byte-level fault mix applied to every fourth seed,
@@ -83,10 +84,10 @@ func runDST(cfg dstConfig) error {
 			fmt.Printf("FAIL seed %#x scenario %-5s  violations=%d errors=%q\n", seed, sc, rep.Violations, rep.Errors)
 			fmt.Printf("  replay: tasbench -mode=dst -dstseeds 1 -seed %d -dstscenario %s\n", int64(seed), sc)
 		} else if cfg.verbose {
-			fmt.Printf("ok   seed %#x scenario %-5s  events=%-7d hash=%#016x virtual=%-10v acq=%d rel=%d ext=%d elect=%d fuzz=%d exp=%d evict=%d\n",
+			fmt.Printf("ok   seed %#x scenario %-5s  events=%-7d hash=%#016x virtual=%-10v acq=%d rel=%d ext=%d elect=%d fuzz=%d exp=%d evict=%d abort=%d\n",
 				seed, sc, rep.Events, rep.TraceHash, rep.Virtual,
 				rep.Acquires, rep.Releases, rep.Extends, rep.Elections, rep.FuzzFrames,
-				rep.Expiries, rep.Evictions)
+				rep.Expiries, rep.Evictions, rep.Aborts)
 		}
 	}
 	fmt.Printf("dst: %d/%d seeds passed (base %#x, %v, replay check on first seed)\n",

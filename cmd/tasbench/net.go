@@ -19,6 +19,12 @@
 //	       release with the (now stale) token and require StatusFenced —
 //	       the end-to-end fencing contract under load.
 //
+//	disconnect  disconnect storm: slow holders keep the locks pinned
+//	       while every other client blocks in ACQUIRE and hangs up
+//	       mid-wait; the run passes only if the server aborts every
+//	       abandoned waiter through the elector and the arena's slot
+//	       population returns to one slot per lock within budget.
+//
 // Reported: total ops/sec, batch round-trip ("wait") p50/p99, lease
 // expiries, fenced releases, and the server's own counters. Mutual
 // exclusion is verified server-side — every granted acquisition checks
@@ -39,9 +45,9 @@
 //
 // Usage:
 //
-//	tasbench -mode=net [-scenario pairs|churn|storm] [-clients C]
+//	tasbench -mode=net [-scenario pairs|churn|storm|disconnect] [-clients C]
 //	         [-pipeline D] [-locks L] [-duration D] [-ttl TTL]
-//	         [-abandon N] [-addr host:port] [-netout BENCH_PR5.json]
+//	         [-abandon N] [-addr host:port] [-netout BENCH_PR7.json]
 //	         [-netfloor OPS] [-algos combined,...] [-seed S]
 //	tasbench -mode=hold [-addr host:port] [-holdlock NAME] [-ttl TTL]
 //	         [-holdfor D]
@@ -106,20 +112,28 @@ type netReport struct {
 	LeaseExpirations  uint64 `json:"lease_expirations"`
 	FencedReleases    int    `json:"fenced_releases"`
 	Abandoned         int    `json:"abandoned_holds"`
+	Disconnects       int    `json:"disconnects,omitempty"`
 	ServerRounds      uint64 `json:"server_rounds"`
 	ServerContended   uint64 `json:"server_contended"`
+	ServerAborts      uint64 `json:"server_aborts"`
+	ServerRecovered   uint64 `json:"server_recovered"`
 	ArenaSlots        uint64 `json:"arena_slots"`
 	ArenaPuts         uint64 `json:"arena_puts"`
+	// SlotsOutstanding is the arena's live slot population after the
+	// run settled (Hits+Steals+Misses−Puts): the post-storm leak gate,
+	// which must come back to one slot per named lock.
+	SlotsOutstanding int64 `json:"slots_outstanding"`
 
 	FloorOpsPerSec float64 `json:"floor_ops_per_sec,omitempty"`
 }
 
 type netWorker struct {
-	pairs     int
-	fenced    int
-	abandoned int
-	rtts      []time.Duration
-	err       error
+	pairs       int
+	fenced      int
+	abandoned   int
+	disconnects int
+	rtts        []time.Duration
+	err         error
 }
 
 func runNet(cfg netConfig) error {
@@ -128,11 +142,11 @@ func runNet(cfg netConfig) error {
 			cfg.clients, cfg.pipeline, cfg.locks)
 	}
 	switch cfg.scenario {
-	case "pairs", "churn", "storm":
+	case "pairs", "churn", "storm", "disconnect":
 	default:
-		return fmt.Errorf("net: unknown -scenario %q (want pairs, churn or storm)", cfg.scenario)
+		return fmt.Errorf("net: unknown -scenario %q (want pairs, churn, storm or disconnect)", cfg.scenario)
 	}
-	if cfg.scenario != "pairs" && cfg.ttl <= 0 {
+	if cfg.scenario != "pairs" && cfg.scenario != "disconnect" && cfg.ttl <= 0 {
 		return fmt.Errorf("net: -scenario=%s needs a positive -ttl", cfg.scenario)
 	}
 	if cfg.abandon < 2 {
@@ -147,10 +161,16 @@ func runNet(cfg netConfig) error {
 	addr := cfg.addr
 	var srv *server.Server
 	if addr == "" {
+		// A slot per load connection plus slack for the stats probe; the
+		// disconnect storm churns through connections faster than the
+		// server reaps them, so it gets extra headroom.
+		maxClients := cfg.clients + 2
+		if cfg.scenario == "disconnect" {
+			maxClients = 2*cfg.clients + 4
+		}
 		srv, err = server.New(server.Config{
-			Addr: "127.0.0.1:0",
-			// A slot per load connection plus slack for the stats probe.
-			MaxClients: cfg.clients + 2,
+			Addr:       "127.0.0.1:0",
+			MaxClients: maxClients,
 			Algorithm:  algo,
 			Seed:       cfg.seed,
 		})
@@ -197,6 +217,8 @@ func runNet(cfg netConfig) error {
 				res.runChurn(c, cfg, w, deadline)
 			case "storm":
 				res.runStorm(c, cfg, w, deadline)
+			case "disconnect":
+				res.runDisconnect(c, cfg, w, deadline, addr)
 			}
 		}(w)
 	}
@@ -205,7 +227,7 @@ func runNet(cfg netConfig) error {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	pairs, fenced, abandoned := 0, 0, 0
+	pairs, fenced, abandoned, disconnects := 0, 0, 0, 0
 	var rtts []time.Duration
 	for w := range workers {
 		if workers[w].err != nil {
@@ -214,11 +236,24 @@ func runNet(cfg netConfig) error {
 		pairs += workers[w].pairs
 		fenced += workers[w].fenced
 		abandoned += workers[w].abandoned
+		disconnects += workers[w].disconnects
 		rtts = append(rtts, workers[w].rtts...)
 	}
 	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
 	ops := 2 * pairs // each pair is one ACQUIRE + one RELEASE
 	opsPerSec := float64(ops) / elapsed.Seconds()
+
+	// The disconnect storm's exit condition is slot reclamation, not a
+	// clock: poll STATS until the arena's live slot population settles
+	// back to one slot per named lock — every abandoned mid-ACQUIRE
+	// waiter aborted through the elector and its round recycled — or
+	// fail loudly if that doesn't happen within the budget (dead-peer
+	// probes are rate-limited to 50ms, so a few hundred ms is generous).
+	if cfg.scenario == "disconnect" {
+		if err := awaitSlotReclaim(addr, 3*time.Second); err != nil {
+			return err
+		}
+	}
 
 	// Server-side verification: the owner-word check must never have
 	// tripped, and — when the server is ours alone, in the clean pairs
@@ -256,10 +291,18 @@ func runNet(cfg netConfig) error {
 		if fenced == 0 {
 			return fmt.Errorf("net: storm scenario observed no fenced releases")
 		}
+	case "disconnect":
+		if disconnects == 0 {
+			return fmt.Errorf("net: disconnect scenario never abandoned a blocked ACQUIRE")
+		}
+		if st.Aborts == 0 {
+			return fmt.Errorf("net: disconnect storm drove no elector aborts — dead waiters were never reaped mid-wait")
+		}
 	}
+	outstanding := int64(st.Arena.Hits+st.Arena.Steals+st.Arena.Misses) - int64(st.Arena.Puts)
 
 	report := netReport{
-		Schema:     "randtas-bench-net/v2",
+		Schema:     "randtas-bench-net/v3",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
@@ -282,25 +325,30 @@ func runNet(cfg netConfig) error {
 		LeaseExpirations:  st.LeaseExpirations,
 		FencedReleases:    fenced,
 		Abandoned:         abandoned,
+		Disconnects:       disconnects,
 		ServerRounds:      rounds,
 		ServerContended:   contended,
+		ServerAborts:      st.Aborts,
+		ServerRecovered:   st.Recovered,
 		ArenaSlots:        st.Arena.Slots,
 		ArenaPuts:         st.Arena.Puts,
+		SlotsOutstanding:  outstanding,
 		FloorOpsPerSec:    cfg.floor,
 	}
 
 	tbl := harness.Table{
 		Title:   "tasd loopback: sustained lock traffic over TCP (protocol v2)",
-		Headers: []string{"algorithm", "scenario", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "expiries", "fenced", "violations"},
+		Headers: []string{"algorithm", "scenario", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "expiries", "fenced", "aborts", "slots out", "violations"},
 		Notes: []string{
 			"ops counts ACQUIRE and RELEASE individually; wait = batch round-trip over the wire.",
 			"violations = server-side token-keyed owner check failures (must be 0).",
+			"aborts = waiters cancelled through the elector; slots out = live arena slots after the run (one per lock).",
 		},
 	}
 	tbl.AddRow(algo.String(), cfg.scenario, ops, fmt.Sprintf("%.0f", opsPerSec),
 		percentile(rtts, 0.50).Round(time.Microsecond).String(),
 		percentile(rtts, 0.99).Round(time.Microsecond).String(),
-		rounds, st.LeaseExpirations, fenced, st.Violations)
+		rounds, st.LeaseExpirations, fenced, st.Aborts, outstanding, st.Violations)
 	fmt.Println(tbl.String())
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -436,6 +484,107 @@ func (res *netWorker) runStorm(c *tasclient.Client, cfg netConfig, w int, deadli
 		if len(res.rtts) < sampleCap {
 			res.rtts = append(res.rtts, time.Since(t0))
 		}
+	}
+}
+
+// runDisconnect is the disconnect-storm drill: worker 0 per lock plays
+// a slow holder (its grants outlast the server's 50ms dead-peer probe
+// rate limit), while every other worker blocks in ACQUIRE behind it and
+// then hangs up mid-wait — a context deadline breaks the connection
+// without a frame boundary, exactly like a crashed client. The server
+// must abort each abandoned waiter through the elector and recycle its
+// round; runNet verifies that afterwards via STATS (aborts > 0, slot
+// population back to one per lock, zero violations).
+func (res *netWorker) runDisconnect(c *tasclient.Client, cfg netConfig, w int, deadline time.Time, addr string) {
+	bg := context.Background()
+	if w < cfg.locks && w < cfg.clients/2 {
+		// Holder: keep lock-w held in long beats so waiters pile up and
+		// their hangups are discovered mid-wait, not at grant time.
+		name := fmt.Sprintf("lock-%d", w)
+		for time.Now().Before(deadline) {
+			tok, err := c.Acquire(bg, name, 0)
+			if err != nil {
+				res.err = fmt.Errorf("disconnect holder %s: %v", name, err)
+				return
+			}
+			time.Sleep(80 * time.Millisecond)
+			if err := c.Release(bg, name, tok); err != nil {
+				res.err = fmt.Errorf("disconnect holder release %s: %v", name, err)
+				return
+			}
+			res.pairs++
+		}
+		return
+	}
+	// Stormer: block behind a holder, hang up mid-wait, redial, repeat.
+	cycle := 0
+	for time.Now().Before(deadline) {
+		name := fmt.Sprintf("lock-%d", (w+cycle)%cfg.locks)
+		cycle++
+		ctx, cancel := context.WithTimeout(bg, time.Duration(5+w%7)*time.Millisecond)
+		tok, err := c.Acquire(ctx, name, 0)
+		cancel()
+		if err == nil {
+			// Slipped in between holder beats; release and go again.
+			if rerr := c.Release(bg, name, tok); rerr == nil {
+				res.pairs++
+			}
+			continue
+		}
+		// The timed-out ACQUIRE abandoned the stream mid-operation; the
+		// close below is what the server's dead-peer probe discovers.
+		res.disconnects++
+		c.Close()
+		c = nil
+		for time.Now().Before(deadline) {
+			if c, err = tasclient.Dial(addr); err == nil {
+				break
+			}
+			// Transiently full while the server reaps our corpses.
+			time.Sleep(2 * time.Millisecond)
+		}
+		if c == nil {
+			return
+		}
+	}
+	if c != nil {
+		c.Close()
+	}
+}
+
+// awaitSlotReclaim polls STATS until the arena's live slot population
+// (Gets minus Puts) settles to the steady-state baseline of one slot
+// per live named lock plus one per live election — both read from the
+// same snapshot, so the drill also works against a shared server that
+// has names from earlier scenarios. An unrecovered winnerless round
+// would pin its slot and hold the population above baseline forever,
+// so equality within the budget is the abort-leaves-no-residue gate.
+func awaitSlotReclaim(addr string, budget time.Duration) error {
+	start := time.Now()
+	last, want := int64(-1), int64(-1)
+	for {
+		// Dial failures are transient right after the storm (connection
+		// slots still held by corpses the server is reaping), so only
+		// the budget turns them fatal.
+		if probe, err := tasclient.Dial(addr); err == nil {
+			st, serr := probe.Stats(context.Background())
+			probe.Close()
+			if serr == nil {
+				if st.Truncated {
+					return fmt.Errorf("net: STATS truncated — too many names to compute the slot baseline")
+				}
+				last = int64(st.Arena.Hits+st.Arena.Steals+st.Arena.Misses) - int64(st.Arena.Puts)
+				want = int64(len(st.Locks) + len(st.Elections))
+				if last == want {
+					return nil
+				}
+			}
+		}
+		if time.Since(start) > budget {
+			return fmt.Errorf("net: arena stuck at %d live slots (want %d) %v after the disconnect storm — aborted waiters leaked",
+				last, want, budget)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

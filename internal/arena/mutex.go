@@ -80,6 +80,9 @@ var (
 	// ErrRetired reports an acquisition attempt on a retired (evicted)
 	// mutex; look the name up again to get its successor.
 	ErrRetired = errors.New("arena: mutex retired (evicted from its registry)")
+	// ErrAborted reports a Lock(nil) cut short by MutexProc.Abort — an
+	// external cancellation with no context to carry the cause.
+	ErrAborted = errors.New("arena: lock acquisition aborted")
 )
 
 // retiredGate is the gate-word sentinel for a retired mutex. Tokens are
@@ -99,6 +102,8 @@ type Mutex struct {
 	contended   atomic.Uint64 // blocking Lock attempts that lost a round's TAS
 	probeLosses atomic.Uint64 // failed nonblocking TryLock probes
 	expirations atomic.Uint64 // revocations (lease expiries enforced via Revoke)
+	aborts      atomic.Uint64 // acquisitions resolved by abort (a loss, by protocol)
+	recovered   atomic.Uint64 // winnerless rounds recycled by abort recovery
 }
 
 type round struct {
@@ -107,6 +112,17 @@ type round struct {
 	refs   atomic.Int64
 	closed atomic.Bool
 	reaped atomic.Bool
+
+	// Abort bookkeeping. aborts counts participants whose TAS resolved
+	// by abort: they lost without implying a winner, so a round whose
+	// refcount drains to zero with aborts > 0, no claimed winner and no
+	// successor may be permanently winnerless — recovering is the
+	// exactly-once ticket for recycling it (see Mutex.recoverRound).
+	// gateHeld marks that recovery still holds the gate pseudo-claim
+	// when it hands the release off to the round's last straggler.
+	aborts     atomic.Int64
+	recovering atomic.Bool
+	gateHeld   atomic.Bool
 }
 
 // NewMutex builds a mutex on a, drawing its first round's slot from
@@ -213,6 +229,14 @@ type MutexStats struct {
 	// Expirations counts forced handovers via Revoke — lease expiries
 	// enforced against hung holders.
 	Expirations uint64
+	// Aborts counts acquisitions that resolved by abort: a cancelled
+	// context, a server drain, or an explicit MutexProc.Abort cut the
+	// attempt short and it was accounted as a loss.
+	Aborts uint64
+	// Recovered counts winnerless rounds recycled by abort recovery:
+	// every live participant of the round aborted, so no winner existed
+	// to install a successor and the mutex recycled the round itself.
+	Recovered uint64
 }
 
 // Stats snapshots the mutex counters.
@@ -222,6 +246,8 @@ func (m *Mutex) Stats() MutexStats {
 		Contended:   m.contended.Load(),
 		ProbeLosses: m.probeLosses.Load(),
 		Expirations: m.expirations.Load(),
+		Aborts:      m.aborts.Load(),
+		Recovered:   m.recovered.Load(),
 	}
 }
 
@@ -232,17 +258,20 @@ func (m *Mutex) Proc(id int, h *concurrent.Handle) *MutexProc {
 	if id < 0 || id >= m.arena.N() {
 		panic("arena: mutex proc id out of range of the backing arena's N")
 	}
-	return &MutexProc{m: m, h: h, id: id}
+	return &MutexProc{m: m, h: h, id: id, wake: make(chan struct{}, 1)}
 }
 
 // MutexProc is one goroutine's handle on a Mutex. It is confined to a
-// single goroutine, like every shm.Handle.
+// single goroutine, like every shm.Handle — with one exception: Abort
+// may be called from any goroutine.
 type MutexProc struct {
-	m    *Mutex
-	h    *concurrent.Handle
-	id   int
-	last uint64 // seq of the round already attempted (one TAS per round)
-	held *round
+	m     *Mutex
+	h     *concurrent.Handle
+	id    int
+	last  uint64 // seq of the round already attempted (one TAS per round)
+	held  *round
+	wake  chan struct{} // capacity 1; Abort's kick out of a park
+	parkT *time.Timer   // reused across parks; owned by this goroutine
 }
 
 // Steps reports the cumulative shared-memory steps this proc has taken
@@ -260,27 +289,49 @@ func (p *MutexProc) Token() uint64 {
 }
 
 // Lock acquires the mutex, blocking until this proc wins a round or ctx
-// is done. On success it returns the round's fencing token. ctx is
-// polled only while waiting for a round transition, so the uncontended
-// path pays nothing; a nil ctx blocks indefinitely.
+// is done. On success it returns the round's fencing token. A nil ctx
+// blocks until the mutex is acquired, retired, or externally aborted.
+//
+// Cancellation is abortive: ctx arms an abort on the proc's handle
+// (context.AfterFunc), so a cancel lands mid-election — at the next
+// spin point of the abortable elector or the next bounded park — not
+// merely between rounds. A cancelled Lock leaves no residue: if the
+// proc turns out to have won the race against its own cancellation, the
+// round is released before returning ctx.Err().
 func (p *MutexProc) Lock(ctx context.Context) (uint64, error) {
-	var stop func() bool
-	if ctx != nil && ctx.Done() != nil {
-		stop = func() bool { return ctx.Err() != nil }
-	}
-	tok, ok := p.LockWhile(stop)
-	if ok {
-		return tok, nil
-	}
-	if p.m.Retired() {
-		return 0, ErrRetired
-	}
-	if ctx != nil {
+	for {
+		var stop func() bool
+		var unwatch func() bool
+		if ctx != nil && ctx.Done() != nil {
+			stop = func() bool { return ctx.Err() != nil }
+			unwatch = context.AfterFunc(ctx, p.Abort)
+		}
+		tok, ok := p.LockWhile(stop)
+		if unwatch != nil && !unwatch() {
+			// The abort callback already ran; its flag (if the win beat
+			// it) must not leak into the next acquisition.
+			p.h.ClearAbort()
+		}
+		if ok {
+			if ctx != nil && ctx.Err() != nil {
+				// Won the race against our own cancellation: undo it.
+				_ = p.Unlock(tok)
+				return 0, ctx.Err()
+			}
+			return tok, nil
+		}
+		if p.m.Retired() {
+			return 0, ErrRetired
+		}
+		if ctx == nil {
+			return 0, ErrAborted // external Abort is the only way out
+		}
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+		// A stale abort from an earlier episode (LockWhile consumed it):
+		// our context is still live, so re-enter.
 	}
-	return 0, ErrRetired // retired is the only other way out
 }
 
 // LockWhile acquires like Lock but gives up when stop reports true,
@@ -289,6 +340,13 @@ func (p *MutexProc) Lock(ctx context.Context) (uint64, error) {
 // uncontended path. A lock service uses this to keep blocked waiters
 // drainable and to abort waiters whose clients have hung up — wait
 // conditions a context cannot express.
+//
+// An Abort (from any goroutine) also ends the wait: it is observed at
+// the elector's spin points and around every park, and LockWhile
+// consumes the abort flag on the way out, so one Abort cancels at most
+// one acquisition. Cancellation latency is hard-bounded: a parked
+// waiter sleeps at most maxParkInterval before re-checking stop, and an
+// Abort wakes the park immediately.
 func (p *MutexProc) LockWhile(stop func() bool) (uint64, bool) {
 	if p.held != nil {
 		panic("arena: Lock on a MutexProc that already holds the mutex")
@@ -298,6 +356,16 @@ func (p *MutexProc) LockWhile(stop func() bool) (uint64, bool) {
 		if p.m.Retired() {
 			return 0, false
 		}
+		if p.h.Aborting() {
+			// Aborted between rounds (parked, or before entering one):
+			// no election state to unwind, so only the mutex-level
+			// counter moves — the round-level aborts counter is
+			// reserved for mid-election departures, the ones that can
+			// leave a round winnerless.
+			p.h.ClearAbort()
+			p.m.aborts.Add(1)
+			return 0, false
+		}
 		r := p.m.cur.Load()
 		if r.seq == p.last {
 			// Already lost this round; one TAS per round per proc, so
@@ -305,13 +373,35 @@ func (p *MutexProc) LockWhile(stop func() bool) (uint64, bool) {
 			if stop != nil && stop() {
 				return 0, false
 			}
-			backoff(&spins)
+			p.park(&spins)
 			continue
 		}
 		spins = 0
-		if p.tryRound(r, true) {
+		won, aborted := p.tryRound(r, true)
+		if won {
 			return r.seq, true
 		}
+		if aborted {
+			p.h.ClearAbort()
+			return 0, false
+		}
+	}
+}
+
+// Abort asks this proc's in-flight acquisition to give up. Unlike every
+// other MutexProc method it is safe to call from any goroutine: it is
+// the crossing point through which a context callback, a lease sweep or
+// a server drain reaches a waiter that is parked or mid-election. The
+// abort resolves as a loss at the proc's next spin or park point; it is
+// consumed by the acquisition it cancels (or, if none is in flight, by
+// the next one). Aborting a proc that currently holds the mutex does
+// not release the lock — it only cuts short a future acquisition, which
+// Lock treats as stale and retries.
+func (p *MutexProc) Abort() {
+	p.h.Abort()
+	select {
+	case p.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -325,50 +415,82 @@ func (p *MutexProc) TryLock() (uint64, bool) {
 		panic("arena: TryLock on a MutexProc that already holds the mutex")
 	}
 	r := p.m.cur.Load()
-	if r.seq == p.last || !p.tryRound(r, false) {
+	if r.seq == p.last {
+		p.m.probeLosses.Add(1)
+		return 0, false
+	}
+	won, _ := p.tryRound(r, false)
+	if !won {
 		p.m.probeLosses.Add(1)
 		return 0, false
 	}
 	return r.seq, true
 }
 
-// tryRound enters round r, runs its TAS once, and returns true on a win
-// (holding the round's reference). On a loss or a closed round the
-// reference is released. blocking distinguishes a Lock attempt (a loss
-// is real contention) from a TryLock probe (the caller accounts for it).
-func (p *MutexProc) tryRound(r *round, blocking bool) bool {
+// tryRound enters round r, runs its TAS once, and returns (won,
+// aborted). On a win the round's reference is kept until Unlock; on a
+// loss, abort or closed round it is released. blocking distinguishes a
+// Lock attempt (a loss is real contention) from a TryLock probe (the
+// caller accounts for it).
+func (p *MutexProc) tryRound(r *round, blocking bool) (bool, bool) {
 	r.refs.Add(1)
 	if r.closed.Load() {
 		// Round already retired; the slot may be reset any moment. Do
 		// not touch its registers.
 		p.leave(r)
-		return false
+		return false, false
 	}
 	p.last = r.seq
-	won := false
+	won, aborted := false, false
 	if p.m.arena.plain {
 		won = r.slot.Obj.TAS(p.h) == 0
 	} else {
 		// The fast path: devirtualized steps, and (unless the arena was
-		// built NoDoorway) the constant-step uncontended doorway.
-		won = r.slot.Obj.TASFast(p.h) == 0
+		// built NoDoorway) the constant-step uncontended doorway. The
+		// abortable variant is step-identical when no abort lands and
+		// falls back to running to completion when the elector offers
+		// no abort protocol.
+		var v int
+		v, aborted = r.slot.Obj.TASFastAbortable(p.h)
+		won = v == 0
 	}
 	if won {
-		// Claim the gate. Failure means the mutex was retired while our
-		// TAS was in flight; the round is closed and will never grant a
-		// successor, so the win is safely discarded as a loss.
-		if !p.m.gate.CompareAndSwap(0, r.seq) {
-			p.leave(r)
-			return false
+		// Claim the gate. The CAS can fail because the mutex was retired
+		// while our TAS was in flight, because an abort recovery of this
+		// round holds the gate, or because the round was already
+		// superseded — in each case a successor (or the tombstone) is
+		// guaranteed by whoever owns the gate, so the win is safely
+		// discarded as a loss. A gate transiently held by an *earlier*
+		// round's deferred recovery clears as soon as that round's last
+		// straggler leaves; spin it out.
+		for {
+			if p.m.gate.CompareAndSwap(0, r.seq) {
+				p.held = r // keep our reference until Unlock
+				return true, false
+			}
+			g := p.m.gate.Load()
+			if g == retiredGate || r.recovering.Load() || p.m.cur.Load() != r {
+				break
+			}
+			runtime.Gosched()
 		}
-		p.held = r // keep our reference until Unlock
-		return true
+		p.leave(r)
+		return false, false
+	}
+	if aborted {
+		// An abort is a loss that implies no winner: count it on the
+		// round before leaving so that a refcount drain can tell a
+		// possibly-winnerless round from a merely quiet one.
+		r.aborts.Add(1)
+		p.m.aborts.Add(1)
+		p.leave(r)
+		return false, true
 	}
 	if blocking {
 		p.m.contended.Add(1)
 	}
 	p.leave(r)
-	return false
+	return false, false
 }
 
 // Unlock releases the mutex if tok still owns it: install a fresh round
@@ -411,24 +533,113 @@ func (p *MutexProc) Unlock(tok uint64) error {
 // closed recycles the slot. The reaped flag makes the recycle exactly
 // once even if the count touches zero more than once (possible when a
 // late arrival increments after a transient zero, sees closed, and backs
-// out without ever touching the registers).
+// out without ever touching the registers). Reaching zero on an *open*
+// round that saw aborts is the winnerless-round trigger: no participant
+// is left inside, nobody claimed the gate, so no winner exists to
+// install a successor — recovery recycles the round in place of the
+// winner that never was.
 func (p *MutexProc) leave(r *round) {
-	if r.refs.Add(-1) == 0 && r.closed.Load() {
+	if r.refs.Add(-1) != 0 {
+		return
+	}
+	if r.closed.Load() {
 		if r.reaped.CompareAndSwap(false, true) {
+			if r.gateHeld.CompareAndSwap(true, false) {
+				// Recovery deferred its gate release to us, the round's
+				// last straggler; every claim of this round is decided
+				// (claims happen before leave), so it is safe now.
+				p.m.gate.CompareAndSwap(r.seq, 0)
+			}
 			p.m.arena.Put(r.slot)
 		}
+		return
+	}
+	if r.aborts.Load() > 0 && r.recovering.CompareAndSwap(false, true) {
+		p.m.recoverRound(r)
 	}
 }
 
-// backoff spins politely: yield the processor for a while, then start
-// sleeping so heavily oversubscribed workloads don't burn whole cores
-// waiting for a round change.
-func backoff(spins *int) {
+// recoverRound recycles a round that may have ended winnerless: its
+// refcount drained to zero while it was still open and at least one
+// participant aborted. Every acquisition of the round has resolved (a
+// claim happens before the claimant's leave), so if the gate is still
+// unclaimed there is no winner and never will be one — recovery stands
+// in for the winner that never was: it pseudo-claims the gate (which
+// atomically excludes Retire and discards any late entrant's win),
+// installs the successor round, and recycles the slot. The recovering
+// ticket taken by the caller makes the attempt exactly-once per round.
+//
+// The net slot accounting is exactly an Unlock's: one Get for the
+// successor, one Put of the recovered slot — a fully-aborted round
+// consumes nothing from the pool and waiters never see a stuck chain.
+func (m *Mutex) recoverRound(r *round) {
+	if !m.gate.CompareAndSwap(0, r.seq) {
+		// Not winnerless after all: a real winner claimed before our
+		// trigger fired (its Unlock installs the successor), or the
+		// mutex was retired (the tombstone is the successor).
+		return
+	}
+	if m.cur.Load() != r {
+		// The chain already moved past r; nothing to recover.
+		m.gate.CompareAndSwap(r.seq, 0)
+		return
+	}
+	// Mark the pseudo-claim as recovery-held *before* installing the
+	// successor: a late entrant of r that wins the TAS after this point
+	// sees either the held gate plus r.recovering, or the closed round,
+	// and discards its win knowing the successor is ours to install.
+	r.gateHeld.Store(true)
+	next := &round{slot: m.arena.Get(0), seq: r.seq + 1}
+	if !m.cur.CompareAndSwap(r, next) {
+		// Unreachable while we hold the gate (handover and retirement
+		// both need it), but fail safe: undo everything.
+		m.arena.Put(next.slot)
+		r.gateHeld.Store(false)
+		m.gate.CompareAndSwap(r.seq, 0)
+		return
+	}
+	r.closed.Store(true)
+	m.recovered.Add(1)
+	if r.refs.Load() == 0 && r.reaped.CompareAndSwap(false, true) {
+		// No straggler re-entered: release the gate and recycle now.
+		// Otherwise the last straggler's leave does both (gateHeld).
+		if r.gateHeld.CompareAndSwap(true, false) {
+			m.gate.CompareAndSwap(r.seq, 0)
+		}
+		m.arena.Put(r.slot)
+	}
+}
+
+// maxParkInterval is the longest a blocked waiter sleeps between checks
+// of its stop predicate — the hard bound on cancellation latency for
+// stop-based waiters (an Abort additionally wakes the park immediately
+// via the proc's wake channel).
+const maxParkInterval = 10 * time.Microsecond
+
+// park spins politely: yield the processor for a while, then sleep in
+// bounded intervals so heavily oversubscribed workloads don't burn whole
+// cores waiting for a round change. The sleep is interruptible by
+// Abort and never exceeds maxParkInterval, so a waiter re-checks its
+// stop predicate within a bounded delay of it flipping true.
+func (p *MutexProc) park(spins *int) {
 	*spins++
-	switch {
-	case *spins < 32:
+	if *spins < 32 {
 		runtime.Gosched()
-	default:
-		time.Sleep(10 * time.Microsecond)
+		return
+	}
+	// The timer is reused across parks (a fresh one per park allocates
+	// on the contended path); it is safe to Reset because every exit
+	// below leaves it stopped-and-drained.
+	if p.parkT == nil {
+		p.parkT = time.NewTimer(maxParkInterval)
+	} else {
+		p.parkT.Reset(maxParkInterval)
+	}
+	select {
+	case <-p.wake:
+		if !p.parkT.Stop() {
+			<-p.parkT.C
+		}
+	case <-p.parkT.C:
 	}
 }

@@ -232,6 +232,13 @@ type Handle struct {
 	id    int
 	steps int
 	rng   rng.SplitMix64
+
+	// aborted is the cancellation flag consulted by abortable step
+	// loops. Unlike every other Handle field it may be written from
+	// any goroutine: Abort is the one crossing point through which an
+	// external canceller (a context callback, a server drain sweep)
+	// reaches a proc spinning inside an election.
+	aborted atomic.Bool
 }
 
 var _ shm.Handle = (*Handle)(nil)
@@ -289,6 +296,23 @@ func (h *Handle) Coin(p float64) bool { return h.rng.Coin(p) }
 // performed — the same step measure the simulator counts.
 func (h *Handle) Steps() int { return h.steps }
 
+// Abort requests that the handle's current (or next) abortable election
+// resolve to a loss at its next spin or park point. Safe to call from
+// any goroutine, any number of times; it stays set until ClearAbort.
+func (h *Handle) Abort() { h.aborted.Store(true) }
+
+// Aborting reports whether an abort has been requested and not cleared.
+// Abortable step loops poll it between shared-memory steps; the check is
+// a local atomic load, so it adds no step in the paper's model and no
+// coherence traffic unless an abort actually lands.
+func (h *Handle) Aborting() bool { return h.aborted.Load() }
+
+// ClearAbort rearms the handle for the next acquisition attempt. Only
+// the goroutine that owns the handle may call it (a stale abort from a
+// previous episode is indistinguishable from a fresh one, so owners
+// clear before re-entering an abortable loop).
+func (h *Handle) ClearAbort() { h.aborted.Store(false) }
+
 // Elector is the devirtualized fast-path protocol: leader electors that
 // implement it offer a step loop specialized to this backend's concrete
 // Handle and Register types (no interface dispatch per step). An
@@ -297,6 +321,28 @@ func (h *Handle) Steps() int { return h.steps }
 // consumption — so the two surfaces are interchangeable mid-workload.
 type Elector interface {
 	ElectFast(h *Handle) bool
+}
+
+// AbortableElector is the abortable extension of the fast-path protocol.
+// ElectFastAbortable runs the same election as ElectFast but polls
+// h.Aborting() at every spin point. It returns (won, aborted):
+//
+//   - (true, false)  — the caller won; indistinguishable from ElectFast.
+//   - (false, false) — the caller genuinely lost: some other participant
+//     won or will win the election.
+//   - (false, true)  — the caller aborted. It has announced its
+//     departure (its protocol state can no longer block or elect
+//     anyone), but its loss implies nothing about a winner existing:
+//     if every live participant aborts, the election ends winnerless.
+//     Accounting for that case is the caller's job (the arena recycles
+//     a winnerless round; see internal/arena).
+//
+// In an execution where the abort flag is never set, ElectFastAbortable
+// is observably identical to ElectFast — same shared-memory operations,
+// same step counts, same coin consumption.
+type AbortableElector interface {
+	Elector
+	ElectFastAbortable(h *Handle) (won, aborted bool)
 }
 
 func mustRegister(r shm.Register) *Register {

@@ -53,6 +53,16 @@ const (
 	ScenarioFuzz Scenario = "fuzz"
 	// ScenarioMixed runs everything at once.
 	ScenarioMixed Scenario = "mixed"
+	// ScenarioAbortStorm races seeded waves of mid-ACQUIRE cancellations
+	// (client read deadlines firing on the virtual clock) and abrupt
+	// disconnects against partitions, all while one holder keeps the
+	// locks contended so every storm wave blocks mid-election. The run
+	// asserts that an abort leaves no residue: the arena's slot
+	// population returns to its baseline within a bounded virtual delay,
+	// no waiter goroutine survives the drain, client-side cancellation
+	// latency stays within the armed deadline, and fencing tokens remain
+	// monotone across abort/reacquire cycles.
+	ScenarioAbortStorm Scenario = "abortstorm"
 )
 
 // Config parameterizes one simulated run. The zero value of every
@@ -96,9 +106,23 @@ type Report struct {
 	FuzzFrames int
 	Redials    int
 
+	Cancels int // mid-ACQUIRE client-side deadline cancellations
+	Hangups int // mid-ACQUIRE disconnects and resets
+
 	Expiries   uint64 // leases the sweeper enforced
 	Evictions  uint64 // names retired by the eviction pass
 	Violations uint64 // server-side exclusion failures (must be 0)
+	Aborts     uint64 // elector aborts observed by the arena
+	Recovered  uint64 // winnerless rounds the arena recovered
+
+	// SlotsOutstanding is the arena's live slot population once the
+	// storm quiesced (abortstorm only): Hits+Steals+Misses−Puts, which
+	// must equal one slot per live mutex plus one per live election.
+	SlotsOutstanding int64
+	// CancelLatencyMax is the worst client-observed gap, in virtual
+	// time, between a mid-ACQUIRE deadline firing and the blocked call
+	// returning (abortstorm only).
+	CancelLatencyMax time.Duration
 
 	// Errors are invariant violations; empty means the run passed.
 	Errors []string
@@ -123,7 +147,14 @@ func withDefaults(cfg Config) Config {
 		cfg.LeaseSweep = 2 * time.Millisecond
 	}
 	if cfg.MaxIdle == 0 {
-		cfg.MaxIdle = 15 * cfg.LeaseSweep
+		if cfg.Scenario == ScenarioAbortStorm {
+			// Eviction restarts a name's token sequence, which would
+			// blunt the storm's token-monotonicity-across-abort check;
+			// the storm keeps its names hot anyway.
+			cfg.MaxIdle = -1
+		} else {
+			cfg.MaxIdle = 15 * cfg.LeaseSweep
+		}
 	}
 	if cfg.Faults == (dst.Faults{}) {
 		cfg.Faults = dst.Faults{
@@ -169,6 +200,12 @@ type monitor struct {
 	elections  int
 	fuzzed     int
 	redials    int
+	cancels    int
+	hangups    int
+	cancelMax  time.Duration
+	aborts     uint64
+	recovered  uint64
+	slotsLeft  int64
 	errs       []string
 	seen       map[string]bool
 	maxTok     map[string]uint64
@@ -268,6 +305,13 @@ func Run(cfg Config) (Report, error) {
 		spawn(func() { r.lockClient(0, false) })
 		spawn(func() { r.fuzzActor(0) })
 		spawn(func() { r.fuzzActor(1) })
+	case ScenarioAbortStorm:
+		spawn(func() { r.stormHolder(0) })
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.stormClient(i) })
+		}
+		spawn(r.chaosActor)
 	default: // ScenarioMixed
 		for i := 0; i < cfg.Clients; i++ {
 			i := i
@@ -301,11 +345,19 @@ func Run(cfg Config) (Report, error) {
 		Elections:  m.elections,
 		FuzzFrames: m.fuzzed,
 		Redials:    m.redials,
+		Cancels:    m.cancels,
+		Hangups:    m.hangups,
 		Expiries:   srv.LeaseExpirations(),
 		Evictions:  srv.Registry().Evictions(),
 		Violations: srv.Violations(),
-		Errors:     append([]string(nil), m.errs...),
-		Trace:      clk.Trace(),
+		Aborts:     m.aborts,
+		Recovered:  m.recovered,
+
+		SlotsOutstanding: m.slotsLeft,
+		CancelLatencyMax: m.cancelMax,
+
+		Errors: append([]string(nil), m.errs...),
+		Trace:  clk.Trace(),
 	}, nil
 }
 
@@ -414,8 +466,66 @@ func (r *run) coordinator() {
 			cl.Close()
 		}
 	}
+	if r.cfg.Scenario == ScenarioAbortStorm {
+		r.checkSlotQuiescence()
+	}
+	// Capture the arena's abort accounting before Shutdown retires the
+	// registry (a closed registry reports no per-name stats).
+	var aborts, recovered uint64
+	for _, ls := range r.srv.Registry().Stats() {
+		aborts += ls.Aborts
+		recovered += ls.Recovered
+	}
+	r.mon.mu.Lock()
+	r.mon.aborts, r.mon.recovered = aborts, recovered
+	r.mon.mu.Unlock()
+	if r.cfg.Scenario == ScenarioAbortStorm && r.strict && aborts == 0 {
+		r.mon.errOnce("no-aborts", "abort storm produced zero elector aborts — the scenario exercised nothing")
+	}
 	if err := r.srv.Shutdown(context.Background()); err != nil {
 		r.mon.errOnce("drain", "shutdown: %v", err)
+	}
+}
+
+// slotReclaimBudget bounds, in virtual time, how long after the last
+// storm client hangs up the arena may take to return to its baseline
+// slot population. The dominant term is the server's dead-peer probe,
+// rate-limited to 50ms on a clock the lease sweeper refreshes once per
+// sweep; the rest is slack for the abort to resolve through the elector
+// and the recovered round to drain.
+const slotReclaimBudget = 150 * time.Millisecond
+
+// checkSlotQuiescence polls the arena until its live slot population
+// (Gets that haven't been Put back) returns to the steady-state
+// baseline of one slot per live mutex plus one per live election, and
+// reports a leak if the budget expires first. Reaching baseline within
+// the budget is also the scenario's server-side abort-latency bound:
+// a waiter whose abort never resolved would hold the population above
+// baseline forever.
+func (r *run) checkSlotQuiescence() {
+	reg := r.srv.Registry()
+	start := r.clk.Now()
+	for {
+		st := reg.ArenaStats()
+		outstanding := int64(st.Hits+st.Steals+st.Misses) - int64(st.Puts)
+		mutexes, elections := reg.Len()
+		base := int64(mutexes + elections)
+		if outstanding == base {
+			r.mon.mu.Lock()
+			r.mon.slotsLeft = outstanding
+			r.mon.mu.Unlock()
+			return
+		}
+		if r.clk.Since(start) > slotReclaimBudget {
+			r.mon.mu.Lock()
+			r.mon.slotsLeft = outstanding
+			r.mon.mu.Unlock()
+			r.mon.errOnce("slot-leak",
+				"arena stuck at %d live slots (baseline %d: %d mutexes + %d elections) %v after the storm quiesced",
+				outstanding, base, mutexes, elections, slotReclaimBudget)
+			return
+		}
+		r.clk.Sleep(r.cfg.LeaseSweep)
 	}
 }
 
@@ -877,6 +987,153 @@ func (r *run) chaosActor() {
 		default:
 			sc.Reset()
 		}
+	}
+}
+
+// cancelSlack is the tolerance on the client-side cancellation-latency
+// assertion. The virtual clock delivers a read deadline at exactly its
+// timestamp, so a blocked ACQUIRE must return the moment its fuse
+// burns; the slack only absorbs the scheduling step that hands the
+// deadline event back to the client actor.
+const cancelSlack = time.Millisecond
+
+// stormLongHold is how long the holder sits on a lock during its
+// occasional long grants: past the server's 50ms dead-peer probe
+// rate limit, so waiters that hung up during the hold are reaped —
+// aborted through the elector — while still blocked, not merely found
+// dead at grant time.
+const stormLongHold = 60 * time.Millisecond
+
+// stormHolder keeps the storm's locks contended so each wave's ACQUIRE
+// genuinely blocks mid-election before its cancellation lands. The
+// grants are leaseless, so the token watermark in check() makes any
+// fencing regression across the abort/reacquire churn a hard error.
+// Every few grants the holder outlasts the dead-peer probe interval
+// (stormLongHold), which is what forces the server to abort hung-up
+// waiters mid-wait rather than at the next round handover.
+func (r *run) stormHolder(i int) {
+	g := rng.New(r.cfg.Seed ^ (0xd6e8feb86659fd93 * uint64(i+1)))
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	cl := r.connect(true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	redial := func() bool {
+		cl.Close()
+		r.mon.add(&r.mon.redials, 1)
+		cl = r.connect(true)
+		return cl != nil
+	}
+	for op := 0; op < r.cfg.Ops; op++ {
+		if cl == nil {
+			return
+		}
+		name := fmt.Sprintf("lock%d", g.Intn(2))
+		tok, err := cl.Acquire(ctx, name, 0)
+		if err != nil {
+			if !redial() {
+				return
+			}
+			continue
+		}
+		r.mon.add(&r.mon.acquires, 1)
+		hold := time.Duration(int(sweep) + g.Intn(int(2*sweep)))
+		if g.Coin(0.25) {
+			hold = stormLongHold + time.Duration(g.Intn(int(2*sweep)))
+		}
+		r.clk.Sleep(hold)
+		err = cl.Release(ctx, name, tok)
+		switch {
+		case err == nil:
+			r.mon.add(&r.mon.releases, 1)
+		case errors.Is(err, tasclient.ErrFenced):
+			if r.strict {
+				r.mon.errOnce("storm-fence", "leaseless storm grant on %q was fenced: %v", name, err)
+			}
+		default:
+			if !redial() {
+				return
+			}
+		}
+	}
+}
+
+// stormClient runs one wave per op: block in ACQUIRE on a contended
+// lock, then cancel mid-flight — by an armed read deadline (a context
+// deadline's transport-level form), an orderly close, or an abrupt
+// reset, each on a seeded virtual-clock fuse — and redial for the next
+// wave. A wave that wins before its fuse burns releases (or abandons)
+// the grant, so the storm also churns abort-with-reacquire on the same
+// names the cancellations hit.
+func (r *run) stormClient(i int) {
+	g := rng.New(r.cfg.Seed ^ (0xa5a3564e1fb5e152 * uint64(i+1)))
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	for op := 0; op < r.cfg.Ops; op++ {
+		cl := r.connect(true)
+		if cl == nil {
+			return
+		}
+		name := fmt.Sprintf("lock%d", g.Intn(2))
+		fuse := time.Duration(int(sweep)/2 + g.Intn(int(3*sweep)))
+		mode := g.Intn(3)
+		var tm dst.Timer
+		switch mode {
+		case 0: // cancel: the read deadline fires under the blocked call
+			cl.nc.SetReadDeadline(r.clk.Now().Add(fuse))
+		case 1: // hangup: an orderly close under the blocked call
+			cl.arm()
+			nc := cl.nc
+			tm = r.clk.AfterFunc(fuse, func() { nc.Close() })
+		default: // reset: abrupt RST instead of a close
+			if sc, ok := cl.nc.(*dst.SimConn); ok {
+				cl.arm()
+				tm = r.clk.AfterFunc(fuse, sc.Reset)
+			} else {
+				cl.nc.SetReadDeadline(r.clk.Now().Add(fuse))
+				mode = 0
+			}
+		}
+		start := r.clk.Now()
+		tok, err := cl.cl.Acquire(ctx, name, 0)
+		elapsed := r.clk.Since(start)
+		if tm != nil {
+			tm.Stop()
+		}
+		switch {
+		case err == nil:
+			r.mon.add(&r.mon.acquires, 1)
+			r.clk.Sleep(time.Duration(g.Intn(int(sweep))))
+			// Half the wins release cleanly; the rest abandon the grant
+			// so disconnect recovery runs against the same names the
+			// aborts churn.
+			if g.Coin(0.5) {
+				if rerr := cl.Release(ctx, name, tok); rerr == nil {
+					r.mon.add(&r.mon.releases, 1)
+				}
+			}
+		case mode == 0:
+			r.mon.add(&r.mon.cancels, 1)
+			r.mon.mu.Lock()
+			if elapsed > r.mon.cancelMax {
+				r.mon.cancelMax = elapsed
+			}
+			r.mon.mu.Unlock()
+			if elapsed > fuse+cancelSlack {
+				r.mon.errOnce("cancel-latency",
+					"mid-ACQUIRE cancel returned after %v against a %v deadline", elapsed, fuse)
+			}
+		default:
+			r.mon.add(&r.mon.hangups, 1)
+		}
+		cl.Close()
+		r.clk.Sleep(time.Duration(g.Intn(int(sweep))))
 	}
 }
 

@@ -28,7 +28,7 @@ func assertPassed(t *testing.T, rep Report) {
 }
 
 func TestScenarioSmoke(t *testing.T) {
-	for _, sc := range []Scenario{ScenarioLocks, ScenarioElect, ScenarioChaos, ScenarioFuzz, ScenarioMixed} {
+	for _, sc := range []Scenario{ScenarioLocks, ScenarioElect, ScenarioChaos, ScenarioFuzz, ScenarioMixed, ScenarioAbortStorm} {
 		sc := sc
 		t.Run(string(sc), func(t *testing.T) {
 			t.Parallel()
@@ -49,6 +49,13 @@ func TestScenarioSmoke(t *testing.T) {
 				if rep.Acquires == 0 {
 					t.Fatal("service unavailable during fuzzing: probe client acquired nothing")
 				}
+			case ScenarioAbortStorm:
+				if rep.Cancels == 0 || rep.Hangups == 0 {
+					t.Fatalf("storm fired no cancellations/hangups: %+v", rep)
+				}
+				if rep.Aborts == 0 {
+					t.Fatalf("storm drove no elector aborts: %+v", rep)
+				}
 			default:
 				if rep.Acquires == 0 || rep.Releases == 0 {
 					t.Fatalf("no lock traffic: %+v", rep)
@@ -62,7 +69,7 @@ func TestScenarioSmoke(t *testing.T) {
 // whole service run replays byte-identically from its seed, across
 // -cpu settings (run with -cpu=1,4).
 func TestReplayDeterminism(t *testing.T) {
-	for _, sc := range []Scenario{ScenarioLocks, ScenarioChaos, ScenarioMixed} {
+	for _, sc := range []Scenario{ScenarioLocks, ScenarioChaos, ScenarioMixed, ScenarioAbortStorm} {
 		sc := sc
 		t.Run(string(sc), func(t *testing.T) {
 			t.Parallel()
@@ -120,6 +127,57 @@ func TestFaultyFabric(t *testing.T) {
 					DropProb:     0.02,
 					DupProb:      0.02,
 					CorruptProb:  0.02,
+					ResetProb:    0.005,
+				},
+			})
+			assertPassed(t, rep)
+		})
+	}
+}
+
+// TestAbortStorm drives the abort storm across several seeds and
+// asserts the no-residue contract directly: slot population back at
+// baseline, client-side cancellation latency within its armed deadline,
+// and the storm actually exercising every departure flavor.
+func TestAbortStorm(t *testing.T) {
+	for _, seed := range []uint64{1, 4, 17, 0xab047} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep := runOnce(t, Config{Seed: seed, Scenario: ScenarioAbortStorm, Ops: 30})
+			assertPassed(t, rep)
+			if rep.Cancels == 0 || rep.Hangups == 0 || rep.Aborts == 0 {
+				t.Fatalf("storm too quiet: %+v", rep)
+			}
+			mutexCount := int64(2) // lock0, lock1 stay live (eviction is off)
+			if rep.SlotsOutstanding != mutexCount {
+				t.Fatalf("post-storm slot population %d, want %d (one per live mutex)", rep.SlotsOutstanding, mutexCount)
+			}
+			if rep.CancelLatencyMax == 0 {
+				t.Fatal("no cancellation latency recorded")
+			}
+		})
+	}
+}
+
+// TestAbortStormFaultyFabric reruns the storm with byte-level faults on
+// top: strict expectations disarm, but the unconditional invariants
+// (exclusion, monotone tokens, slot accounting, clean drain) must hold.
+func TestAbortStormFaultyFabric(t *testing.T) {
+	for _, seed := range []uint64{7, 23} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep := runOnce(t, Config{
+				Seed:     seed,
+				Scenario: ScenarioAbortStorm,
+				Ops:      25,
+				Faults: dst.Faults{
+					DelayMin:     20 * time.Microsecond,
+					DelayMax:     800 * time.Microsecond,
+					ConnectDelay: 100 * time.Microsecond,
+					DropProb:     0.02,
+					DupProb:      0.02,
 					ResetProb:    0.005,
 				},
 			})

@@ -152,7 +152,7 @@ type Server struct {
 	sweepExited atomic.Bool
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[net.Conn]*conn // value nil until the handler registers itself
 
 	active     atomic.Int64
 	opCounts   [10]atomic.Uint64 // indexed by opcode; [0] unused
@@ -254,7 +254,7 @@ func New(cfg Config) (*Server, error) {
 		clock:     cfg.Clock,
 		sim:       sim,
 		ids:       make(chan int, cfg.MaxClients),
-		conns:     make(map[net.Conn]struct{}),
+		conns:     make(map[net.Conn]*conn),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -330,7 +330,7 @@ func (s *Server) Serve() error {
 				s.ids <- id
 				continue
 			}
-			s.conns[nc] = struct{}{}
+			s.conns[nc] = nil
 			s.wg.Add(1)
 			s.mu.Unlock()
 			s.active.Add(1)
@@ -452,6 +452,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, nc := range conns {
 		nc.SetReadDeadline(now) // wake blocked readers; batches in flight complete
 	}
+	s.abortWaiters() // abort blocked ACQUIREs through the elector, mid-election included
 	s.cfg.Logf("tasd: draining %d connections", len(conns))
 
 	var err error
@@ -516,6 +517,33 @@ func (s *Server) snapshotConns() []net.Conn {
 		return conns[i].RemoteAddr().String() < conns[j].RemoteAddr().String()
 	})
 	return conns
+}
+
+// abortWaiters aborts every connection's blocked ACQUIRE (if any)
+// through the elector: a drain must not wait out waiters that are
+// parked or mid-election, and flipping the draining flag alone is only
+// observed at their next stop poll. The abort lands at the waiter's
+// next spin point, resolves as a loss, and — unlike a stop-flag exit —
+// keeps the round's win/lose accounting exact, so a round emptied by
+// the drain is recycled immediately. Sorted by remote address for the
+// same schedule-determinism reason as snapshotConns.
+func (s *Server) abortWaiters() {
+	s.mu.Lock()
+	cs := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		if c != nil {
+			cs = append(cs, c)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool {
+		return cs[i].nc.RemoteAddr().String() < cs[j].nc.RemoteAddr().String()
+	})
+	for _, c := range cs {
+		if p := c.blocked.Load(); p != nil {
+			p.Abort()
+		}
+	}
 }
 
 // Registry exposes the backing registry (for in-process inspection and
@@ -606,6 +634,10 @@ type conn struct {
 	// lastProbe rate-limits dead-peer probes while blocked on a lock,
 	// in coarse-clock unix nanos.
 	lastProbe int64
+	// blocked publishes the proc this connection is currently parked on
+	// inside a blocked ACQUIRE (nil otherwise), so the drain sweep can
+	// abort the waiter through the elector from outside its goroutine.
+	blocked atomic.Pointer[randtas.MutexProc]
 }
 
 type electResult struct {
@@ -716,6 +748,11 @@ func (c *conn) dead() bool {
 // (MutexProc confinement) and recycles the process slot.
 func (s *Server) handle(nc net.Conn, id int) {
 	c := &conn{s: s, id: id, version: 1, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), locks: map[string]*connLock{}}
+	s.mu.Lock()
+	if _, ok := s.conns[nc]; ok {
+		s.conns[nc] = c // let the drain sweep reach c.blocked
+	}
+	s.mu.Unlock()
 	defer func() {
 		// Recovery in name order: map iteration order would leak Go's
 		// map seed into the simulated schedule.
@@ -854,21 +891,31 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 			// the per-lock stats). The stop predicate runs only while
 			// waiting for the holder to hand over; on the first poll it
 			// flushes the batch's earlier responses so pipelined
-			// predecessors aren't delayed, and it keeps the waiter
-			// abortable: by a drain (a waiter is otherwise un-wakeable —
-			// worst case clients deadlocked across two locks would pin
-			// Shutdown forever) and by its own client vanishing (a dead
-			// waiter would otherwise occupy a process slot until the lock
-			// frees).
+			// predecessors aren't delayed. Give-up conditions — the drain
+			// and the waiter's own client vanishing — are routed through
+			// the elector's abort protocol rather than returned from the
+			// predicate: the abort resolves the waiter as a loss with
+			// exact win/lose accounting (a round emptied by a disconnect
+			// storm recycles immediately) and also lands mid-election,
+			// where the stop flag is never consulted. The drain sweep in
+			// Shutdown aborts parked waiters from outside the same way.
 			var flushErr error
+			var peerDead bool
 			flushed := false
+			c.blocked.Store(cl.proc)
 			tok, won := cl.proc.LockWhile(func() bool {
 				if !flushed {
 					flushed = true
 					flushErr = c.flush()
 				}
-				if flushErr != nil || s.draining.Load() || c.dead() {
+				if flushErr != nil {
 					return true
+				}
+				if s.draining.Load() {
+					cl.proc.Abort()
+				} else if c.dead() {
+					peerDead = true
+					cl.proc.Abort()
 				}
 				if s.sim {
 					// Park the waiter in virtual time; see simAcquirePoll.
@@ -876,19 +923,23 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 				}
 				return false
 			})
+			c.blocked.Store(nil)
 			if won {
 				c.grant(cl, req, tok)
 				return true
 			}
-			if flushErr == nil && !s.draining.Load() && cl.entry.m.Retired() {
-				// The name was evicted mid-wait. The client asked for the
-				// name, not the incarnation — retry on its successor.
-				continue
+			if flushErr != nil || peerDead {
+				return false
 			}
-			if flushErr == nil && s.draining.Load() {
+			if s.draining.Load() {
 				c.replyErr(req.ID, "ACQUIRE %q: server draining", req.Name)
+				return false
 			}
-			return false
+			// The name was evicted mid-wait (retry on the successor
+			// incarnation — the client asked for the name, not the
+			// incarnation), or a stale abort from an earlier episode cut
+			// the wait short (LockWhile consumed it; just re-enter).
+			continue
 		}
 
 	case wire.OpTryAcquire:
@@ -1120,9 +1171,13 @@ func (s *Server) stats() wire.Stats {
 			Contended:   ls.Contended,
 			ProbeLosses: ls.ProbeLosses,
 			Expirations: ls.Expirations,
+			Aborts:      ls.Aborts,
+			Recovered:   ls.Recovered,
 			HolderToken: ls.HolderToken,
 			Evictions:   ls.Evictions,
 		})
+		st.Aborts += ls.Aborts
+		st.Recovered += ls.Recovered
 	}
 	for _, es := range s.reg.ElectionStats() {
 		st.Elections = append(st.Elections, wire.ElectionStats{

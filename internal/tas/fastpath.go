@@ -47,7 +47,10 @@ type FastPath struct {
 	innerFast concurrent.Elector // inner's fast path, when it has one
 }
 
-var _ LeaderElector = (*FastPath)(nil)
+var (
+	_ LeaderElector               = (*FastPath)(nil)
+	_ concurrent.AbortableElector = (*FastPath)(nil)
+)
 
 // NewFastPath allocates the doorway (one splitter + one two-process
 // final, four registers) on s in front of inner. Inner must be built on
@@ -87,4 +90,43 @@ func (f *FastPath) ElectFast(h *concurrent.Handle) bool {
 		return f.final.ElectFast(h, 1)
 	}
 	return false
+}
+
+// ElectFastAbortable implements concurrent.AbortableElector. The abort
+// flag is polled at the doorway's decision points and inside the final's
+// spin loop (the only unbounded wait in the composition):
+//
+//   - Abort before the splitter: leave without entering; zero steps.
+//   - Stop caller: the final (slot 0) runs abortably.
+//   - Abort after a non-Stop splitter outcome: skip the inner election
+//     entirely. Elections tolerate any subset of their processes never
+//     showing up, so a skipped entry just means fewer inner contenders.
+//   - Inner participants run the inner election to completion — its
+//     expected step count is bounded, so it is not a park point — and an
+//     inner winner plays the final (slot 1) abortably.
+//
+// An aborted Stop caller or aborted inner winner departs the final with
+// its flag down, so the opposite slot (if occupied) still elects; if no
+// other contender exists the round ends winnerless, which the (false,
+// true) return makes the caller account for.
+func (f *FastPath) ElectFastAbortable(h *concurrent.Handle) (won, aborted bool) {
+	if h.Aborting() {
+		return false, true
+	}
+	if f.sp.SplitFast(h) == splitter.Stop {
+		return f.final.ElectFastAbortable(h, 0)
+	}
+	if h.Aborting() {
+		return false, true
+	}
+	var innerWon bool
+	if f.innerFast != nil {
+		innerWon = f.innerFast.ElectFast(h)
+	} else {
+		innerWon = f.inner.Elect(h)
+	}
+	if innerWon {
+		return f.final.ElectFastAbortable(h, 1)
+	}
+	return false, false
 }

@@ -44,8 +44,9 @@ type TAS struct {
 	// Cached at construction for the devirtualized TASFast/ReadFast:
 	// the concrete done register (concurrent backend only) and the
 	// elector's fast path when it offers one.
-	doneC  *concurrent.Register
-	leFast concurrent.Elector
+	doneC   *concurrent.Register
+	leFast  concurrent.Elector
+	leAbort concurrent.AbortableElector
 }
 
 // New builds a TAS object from le, allocating its done register on s.
@@ -53,6 +54,7 @@ func New(s shm.Space, le LeaderElector) *TAS {
 	t := &TAS{le: le, done: s.NewRegister(0)}
 	t.doneC, _ = t.done.(*concurrent.Register)
 	t.leFast, _ = le.(concurrent.Elector)
+	t.leAbort, _ = le.(concurrent.AbortableElector)
 	return t
 }
 
@@ -92,6 +94,46 @@ func (t *TAS) TASFast(h *concurrent.Handle) int {
 	}
 	h.WriteReg(t.doneC, 1)
 	return 1
+}
+
+// Abortable reports whether TASFastAbortable can actually abort: the
+// object is on the concurrent backend and its elector implements the
+// abortable fast-path protocol.
+func (t *TAS) Abortable() bool { return t.doneC != nil && t.leAbort != nil }
+
+// TASFastAbortable is TASFast with an abort protocol. It returns
+// (v, aborted); aborted is true iff the call resolved because of the
+// handle's abort flag, in which case v is 1 (an abort is a loss).
+//
+// Crucially, an aborter does NOT write the done register. A genuine
+// loser's done-write is justified by a winner that exists (or is about
+// to): bit == 1 always implies a winner in the linearization argument.
+// An aborter's loss implies nothing — if every participant aborts, the
+// election ends winnerless and writing done would brand a round as
+// spent when nobody won it. Leaving done untouched keeps the round
+// winnable by later participants; a round that drains with only
+// aborters is detected and recycled by the arena's refcount (see
+// internal/arena). Without an abortable elector underneath, the call
+// falls back to running TASFast to completion (aborted == false).
+func (t *TAS) TASFastAbortable(h *concurrent.Handle) (v int, aborted bool) {
+	if t.doneC == nil || t.leAbort == nil {
+		return t.TASFast(h), false
+	}
+	if h.Aborting() {
+		return 1, true
+	}
+	if h.ReadReg(t.doneC) == 1 {
+		return 1, false
+	}
+	won, ab := t.leAbort.ElectFastAbortable(h)
+	if won {
+		return 0, false
+	}
+	if ab {
+		return 1, true
+	}
+	h.WriteReg(t.doneC, 1)
+	return 1, false
 }
 
 // Read returns the current value of the bit without setting it (one step).

@@ -112,6 +112,58 @@ func (l *LE) ElectFast(h *concurrent.Handle, slot int) bool {
 	}
 }
 
+// ElectFastAbortable is ElectFast with an abort protocol. It polls
+// h.Aborting() at every spin point and, when an abort lands, resolves
+// the call to a loss after announcing departure:
+//
+//   - An abort observed before the first raise costs zero steps — the
+//     caller never entered the protocol and the other slot runs solo.
+//   - An abort observed inside the retry loop lowers the caller's flag
+//     (one write, only if it is currently up) and leaves. After that
+//     final down, the other process can only read down here, so it can
+//     no longer lose to us — it either wins or has already decided.
+//
+// Departure only ever writes down, so it cannot mint a second winner:
+// the at-most-one-winner proof in the package comment stands unchanged.
+// What departure does give up is the guarantee that a loser implies a
+// winner — if the other process's deciding read caught our flag up just
+// before we lowered it, it loses too and the object ends winnerless.
+// The (false, true) return tells the caller it is in that weaker
+// regime. In abort-free executions the call is step- and coin-identical
+// to ElectFast.
+func (l *LE) ElectFastAbortable(h *concurrent.Handle, slot int) (won, aborted bool) {
+	mine, other := l.cflags[slot], l.cflags[1-slot]
+	if mine == nil {
+		return l.Elect(h, slot), false
+	}
+	if h.Aborting() {
+		return false, true
+	}
+	last := up
+	h.WriteReg(mine, up)
+	for {
+		v := h.ReadReg(other)
+		switch {
+		case last == up && v == down:
+			return true, false
+		case last == down && v == up:
+			return false, false
+		}
+		if h.Aborting() {
+			if last == up {
+				h.WriteReg(mine, down)
+			}
+			return false, true
+		}
+		if h.Coin(0.5) {
+			last = up
+		} else {
+			last = down
+		}
+		h.WriteReg(mine, last)
+	}
+}
+
 // Role identifies a participant slot of the three-process leader election.
 // The three roles match how RatRace wires tree nodes: the process that
 // stopped on the node's splitter (Here) and the winners ascending from the

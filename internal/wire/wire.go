@@ -440,6 +440,12 @@ type Stats struct {
 	Violations uint64 `json:"violations"`
 	// LeaseExpirations counts leases the server expired (holders fenced).
 	LeaseExpirations uint64 `json:"lease_expirations"`
+	// Aborts sums, across all locks, acquisitions resolved by the abort
+	// protocol (drains and dead peers cancelling blocked waiters).
+	Aborts uint64 `json:"aborts,omitempty"`
+	// Recovered sums, across all locks, winnerless rounds (every
+	// participant aborted) recycled by the arena's abort recovery.
+	Recovered uint64 `json:"recovered,omitempty"`
 	// Evictions counts named locks retired by the registry's idle
 	// eviction.
 	Evictions uint64 `json:"evictions,omitempty"`
@@ -466,6 +472,13 @@ type LockStats struct {
 	ProbeLosses uint64 `json:"probe_losses"`
 	// Expirations counts lease expiries enforced on this lock.
 	Expirations uint64 `json:"expirations,omitempty"`
+	// Aborts counts acquisitions of this lock resolved by the abort
+	// protocol: the waiter was cancelled (drain, dead peer, context)
+	// and its election resolved to a loss.
+	Aborts uint64 `json:"aborts,omitempty"`
+	// Recovered counts winnerless rounds of this lock recycled by abort
+	// recovery.
+	Recovered uint64 `json:"recovered,omitempty"`
 	// HolderToken is the current holder's fencing token (0 when free) —
 	// what a downstream resource fences stale writers against.
 	HolderToken uint64 `json:"holder_token,omitempty"`

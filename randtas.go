@@ -178,6 +178,8 @@ var (
 	// ErrBadToken reports an Unlock whose token does not match the held
 	// round — a stale token from an earlier acquisition.
 	ErrBadToken = arena.ErrBadToken
+	// ErrAborted reports a Lock(nil) cut short by MutexProc.Abort.
+	ErrAborted = arena.ErrAborted
 	// ErrRetired reports an operation on a mutex that was evicted from
 	// its registry; look the name up again for a fresh instance.
 	ErrRetired = arena.ErrRetired
@@ -751,11 +753,22 @@ type MutexProc struct {
 }
 
 // Lock acquires the mutex, blocking until this proc wins a TAS round or
-// ctx is done, and returns the round's fencing Token. The context is
-// polled only while waiting for the holder to hand over, never on the
-// uncontended path; a nil ctx blocks indefinitely. The error is
-// ctx.Err() on cancellation or ErrRetired if the lock was evicted.
+// ctx is done, and returns the round's fencing Token. Cancellation is
+// abortive: ctx cancelation aborts the proc mid-election (not merely
+// between rounds) and leaves no residue — a win that races the cancel
+// is released before returning. A nil ctx blocks until acquisition,
+// eviction (ErrRetired) or an external Abort (ErrAborted); with a
+// cancellable ctx the error is ctx.Err() or ErrRetired.
 func (p *MutexProc) Lock(ctx context.Context) (Token, error) { return p.p.Lock(ctx) }
+
+// Abort asks this proc's in-flight acquisition to give up; it resolves
+// as a loss at the proc's next election spin point or park, bounded by
+// the abort protocol's cancellation latency. Unlike every other
+// MutexProc method, Abort is safe to call from any goroutine — it is
+// how an external canceller (a drain loop, a supervisor) reaches a
+// waiter blocked inside LockWhile. One Abort cancels at most one
+// acquisition; aborting a proc that holds the lock does not release it.
+func (p *MutexProc) Abort() { p.p.Abort() }
 
 // LockWhile acquires like Lock but keeps waiting only while stop
 // reports false — the building block for wait conditions a context

@@ -46,9 +46,11 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dst"
+	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -132,7 +134,14 @@ type Client struct {
 	version uint32
 	broken  error
 	clock   dst.Clock
+	jitter  rng.SplitMix64 // KeepAlive retry jitter; see SetBackoffSeed
 }
+
+// clientSeq decorrelates the default KeepAlive jitter streams of clients
+// created in one process. Under a deterministic simulation the dial
+// order is itself deterministic, so the default stays replayable; tests
+// and simulations that want full control call SetBackoffSeed.
+var clientSeq atomic.Uint64
 
 // Dial connects with no timeout; see DialContext.
 func Dial(addr string) (*Client, error) {
@@ -205,7 +214,7 @@ func dialRaw(ctx context.Context, addr string) (*Client, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // request frames are tiny; don't wait to coalesce
 	}
-	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real}, nil
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real, jitter: rng.New(clientSeq.Add(1))}, nil
 }
 
 // NewClientConn speaks the tasd protocol over an existing connection —
@@ -214,7 +223,7 @@ func dialRaw(ctx context.Context, addr string) (*Client, error) {
 // the transport cannot be redialed here, so a server that rejects HELLO
 // surfaces as an error.
 func NewClientConn(ctx context.Context, nc net.Conn) (*Client, error) {
-	c := &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real}
+	c := &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), version: wire.Version, clock: dst.Real, jitter: rng.New(clientSeq.Add(1))}
 	res, err := c.do(ctx, []Op{{Code: wire.OpHello}})
 	if err != nil {
 		nc.Close()
@@ -245,6 +254,12 @@ func (c *Client) SetClock(clk dst.Clock) {
 	}
 	c.clock = clk
 }
+
+// SetBackoffSeed reseeds the jitter stream KeepAlive's retry backoff
+// draws from. The default seed is unique per client within the process;
+// a deterministic simulation injects its own seed here (alongside
+// SetClock) so retry timing replays byte-identically.
+func (c *Client) SetBackoffSeed(seed uint64) { c.jitter = rng.New(seed) }
 
 // Version reports the negotiated protocol version.
 func (c *Client) Version() int { return int(c.version) }
@@ -459,13 +474,24 @@ func (c *Client) Extend(ctx context.Context, name string, tok Token, ttl time.Du
 }
 
 // KeepAlive renews the lease on a held lock every ttl/3 until ctx is
-// done (returning nil) or a renewal fails (returning the error —
-// ErrFenced once the grant is lost). It blocks the calling goroutine
-// and owns the client's stream while it runs, so run it on a dedicated
-// Client; Extend is token-addressed, so a separate connection renews
-// another connection's grant just fine. The ttl/3 cadence leaves two
-// missed heartbeats plus the server's sweep granularity of slack before
-// the lease can expire.
+// done (returning nil) or the lease is genuinely lost (returning the
+// error — ErrFenced once the grant is superseded). It blocks the
+// calling goroutine and owns the client's stream while it runs, so run
+// it on a dedicated Client; Extend is token-addressed, so a separate
+// connection renews another connection's grant just fine. The ttl/3
+// cadence leaves two missed heartbeats plus the server's sweep
+// granularity of slack before the lease can expire.
+//
+// A transient renewal failure (a server error response that neither
+// fences the token nor breaks the stream) does not kill the heartbeat:
+// KeepAlive retries with exponential backoff plus jitter — paced by the
+// client's clock and drawn from its seeded jitter stream, so a
+// simulation drives it deterministically — for as long as the lease
+// could still be alive (the time since the last successful renewal is
+// under ttl). Only then is the lease declared lost and the last error
+// returned. A broken stream (ErrBroken, transport failure) is terminal
+// immediately: this connection cannot carry another renewal, so the
+// caller must redial and re-extend before the lease runs out.
 //
 // Cancellation is watched with the wall clock; a simulated client
 // should pass context.Background() and bound the heartbeat's life by
@@ -479,15 +505,46 @@ func (c *Client) KeepAlive(ctx context.Context, name string, tok Token, ttl time
 		return fmt.Errorf("tasclient: KeepAlive requires a fencing token and a positive TTL")
 	}
 	interval := ttl / 3
+	lastOK := c.clock.Now()
+	delay := interval
+	retries := 0
 	for {
-		if err := c.sleep(ctx, interval); err != nil {
+		if err := c.sleep(ctx, delay); err != nil {
 			return nil
 		}
-		if err := c.Extend(ctx, name, tok, ttl); err != nil {
-			if ctx.Err() != nil {
-				return nil // cancelled mid-renewal
-			}
+		err := c.Extend(ctx, name, tok, ttl)
+		if err == nil {
+			lastOK = c.clock.Now()
+			delay = interval
+			retries = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil // cancelled mid-renewal
+		}
+		if errors.Is(err, ErrFenced) || c.broken != nil {
+			// Fenced: the grant is gone for sure. Broken: the stream is
+			// poisoned, no retry can travel over it.
 			return err
+		}
+		// Transient: back off exponentially from interval/8, capped at
+		// interval, with uniform jitter in [delay/2, delay) so a fleet
+		// of heartbeats recovering from one hiccup doesn't re-dogpile
+		// the server. Give up once the lease cannot have survived.
+		delay = interval / 8
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+		for i := 0; i < retries && delay < interval; i++ {
+			delay *= 2
+		}
+		if delay > interval {
+			delay = interval
+		}
+		retries++
+		delay = delay/2 + time.Duration(c.jitter.Intn(int(delay/2)+1))
+		if c.clock.Since(lastOK)+delay >= ttl {
+			return err // the lease is lost before another retry could land
 		}
 	}
 }
