@@ -31,6 +31,7 @@ var dstScenarios = []dstrun.Scenario{
 	dstrun.ScenarioElect,
 	dstrun.ScenarioFuzz,
 	dstrun.ScenarioAbortStorm,
+	dstrun.ScenarioOverload,
 }
 
 // dstFaults is the byte-level fault mix applied to every fourth seed,

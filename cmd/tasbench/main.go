@@ -11,8 +11,9 @@
 //	         [-shards S] [-prealloc P] [-work W]
 //	         [-out BENCH_PR2.json] [-preref algo=ns,...]
 //	tasbench -mode=simcompare [-simtrials N] [-simout BENCH_PR3.json] [-simpreref NS]
-//	tasbench -mode=net [-clients C] [-pipeline D] [-locks L] [-duration D]
-//	         [-addr host:port] [-netout BENCH_PR7.json] [-netfloor OPS]
+//	tasbench -mode=net [-scenario pairs|churn|storm|disconnect|flood]
+//	         [-clients C] [-pipeline D] [-locks L] [-duration D] [-wait D]
+//	         [-addr host:port] [-netout BENCH_PR8.json] [-netfloor OPS]
 //	tasbench -mode=dst [-dstseeds N] [-seed S] [-dstscenario all|mixed|...]
 //	         [-dstops N] [-dstv]
 //
@@ -75,18 +76,19 @@ func main() {
 		clients  = flag.Int("clients", 8, "net: concurrent client connections")
 		pipeline = flag.Int("pipeline", 16, "net: ACQUIRE/RELEASE pairs per pipelined batch")
 		nlocks   = flag.Int("locks", 4, "net: distinct named locks")
-		scenario = flag.String("scenario", "pairs", "net: 'pairs' (leased acquire/release), 'churn' (abandoned holds recovered by lease expiry), 'storm' (stale-token fencing storm) or 'disconnect' (clients hang up mid-ACQUIRE; asserts abort + slot reclaim)")
+		scenario = flag.String("scenario", "pairs", "net: 'pairs' (leased acquire/release), 'churn' (abandoned holds recovered by lease expiry), 'storm' (stale-token fencing storm), 'disconnect' (clients hang up mid-ACQUIRE; asserts abort + slot reclaim) or 'flood' (open-loop overload against a small admission envelope; asserts shedding + goodput + bounds)")
 		ttl      = flag.Duration("ttl", 0, "net/hold: lease TTL attached to acquires (0 = no lease)")
 		abandon  = flag.Int("abandon", 8, "net churn: forget the release every Nth cycle")
+		netWait  = flag.Duration("wait", 0, "net flood: per-ACQUIRE server-side wait budget (0 = 5ms default)")
 		netAddr  = flag.String("addr", "", "net/hold: target a running tasd (net: empty = in-process loopback server)")
-		netOut   = flag.String("netout", "BENCH_PR7.json", "net: output JSON path")
+		netOut   = flag.String("netout", "BENCH_PR8.json", "net: output JSON path")
 		netFloor = flag.Float64("netfloor", 0, "net: fail below this many ops/sec (0 = no gate)")
 
 		holdLock = flag.String("holdlock", "smoke/hold", "hold: lock name to acquire")
 		holdFor  = flag.Duration("holdfor", 0, "hold: how long to sit on the lock before releasing")
 
 		dstSeeds    = flag.Int("dstseeds", 64, "dst: corpus size (seeds base, base+1, ...)")
-		dstScenario = flag.String("dstscenario", "all", "dst: scenario ('mixed', 'locks', 'chaos', 'elect', 'fuzz', 'abortstorm') or 'all' to rotate")
+		dstScenario = flag.String("dstscenario", "all", "dst: scenario ('mixed', 'locks', 'chaos', 'elect', 'fuzz', 'abortstorm', 'overload') or 'all' to rotate")
 		dstOps      = flag.Int("dstops", 0, "dst: operations per client (0 = scenario default)")
 		dstVerbose  = flag.Bool("dstv", false, "dst: print one line per seed")
 	)
@@ -119,6 +121,7 @@ func main() {
 			duration: *duration,
 			ttl:      *ttl,
 			abandon:  *abandon,
+			wait:     *netWait,
 			addr:     *netAddr,
 			algos:    *algos,
 			seed:     *seed,

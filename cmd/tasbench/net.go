@@ -25,6 +25,15 @@
 //	       abandoned waiter through the elector and the arena's slot
 //	       population returns to one slot per lock within budget.
 //
+//	flood  open-loop overload (protocol v3): the in-process server gets
+//	       a deliberately small admission envelope (-max-waiters 2 per
+//	       lock) and every client hammers AcquireWithin(-wait) with no
+//	       backoff, taking BUSY for an answer instead of slowing down.
+//	       Reports offered load vs goodput, shed rate, and admitted-op
+//	       p99; fails if the server sheds nothing, grants nothing,
+//	       breaches its own queue bound, violates exclusion, or leaks
+//	       arena slots.
+//
 // Reported: total ops/sec, batch round-trip ("wait") p50/p99, lease
 // expiries, fenced releases, and the server's own counters. Mutual
 // exclusion is verified server-side — every granted acquisition checks
@@ -33,10 +42,11 @@
 // (when we own the server, pairs scenario) if the per-lock round counts
 // don't account for every pair issued.
 //
-// The JSON report (default BENCH_PR5.json) extends the repository's
+// The JSON report (default BENCH_PR8.json) extends the repository's
 // benchmark trajectory: PR 2 measured the in-process lock fast path,
 // PR 3 the simulator engine, PR 4 the first network-facing layer, PR 5
-// the fenced/leased redesign of that layer.
+// the fenced/leased redesign of that layer, PR 8 the overload surface
+// (flood scenario: offered vs goodput, shed rate, admission bounds).
 //
 // A fourth mode, -mode=hold, is a tiny client for smoke tests: acquire
 // one lock with a lease, hold it for -holdfor, then release and report
@@ -45,9 +55,10 @@
 //
 // Usage:
 //
-//	tasbench -mode=net [-scenario pairs|churn|storm|disconnect] [-clients C]
-//	         [-pipeline D] [-locks L] [-duration D] [-ttl TTL]
-//	         [-abandon N] [-addr host:port] [-netout BENCH_PR7.json]
+//	tasbench -mode=net [-scenario pairs|churn|storm|disconnect|flood]
+//	         [-clients C] [-pipeline D] [-locks L] [-duration D] [-ttl TTL]
+//	         [-abandon N] [-wait D] [-addr host:port]
+//	         [-netout BENCH_PR8.json]
 //	         [-netfloor OPS] [-algos combined,...] [-seed S]
 //	tasbench -mode=hold [-addr host:port] [-holdlock NAME] [-ttl TTL]
 //	         [-holdfor D]
@@ -70,13 +81,14 @@ import (
 )
 
 type netConfig struct {
-	scenario string // pairs, churn, storm
+	scenario string // pairs, churn, storm, disconnect, flood
 	clients  int
 	pipeline int
 	locks    int
 	duration time.Duration
 	ttl      time.Duration // lease TTL on acquires (0 = none)
 	abandon  int           // churn: forget every Nth release
+	wait     time.Duration // flood: per-ACQUIRE server-side wait budget
 	addr     string        // "" = in-process loopback server
 	algos    string        // first entry picks the server algorithm
 	seed     int64
@@ -124,6 +136,23 @@ type netReport struct {
 	// which must come back to one slot per named lock.
 	SlotsOutstanding int64 `json:"slots_outstanding"`
 
+	// Flood scenario (protocol v3 overload surface). Offered counts
+	// every ACQUIRE the open loop issued; goodput the grants; shed_rate
+	// is sheds/offered. wait_p99_us above covers admitted ops only —
+	// shed answers are not latency.
+	OfferedAcquires     int     `json:"offered_acquires,omitempty"`
+	Goodput             int     `json:"goodput_acquires,omitempty"`
+	GoodputPerSec       float64 `json:"goodput_per_sec,omitempty"`
+	ShedAcquires        int     `json:"shed_acquires,omitempty"`
+	ShedRate            float64 `json:"shed_rate,omitempty"`
+	WaitBudget          string  `json:"wait_budget,omitempty"`
+	ServerShed          uint64  `json:"server_shed,omitempty"`
+	ServerDeadlineExp   uint64  `json:"server_deadline_expired,omitempty"`
+	ServerSlowEvictions uint64  `json:"server_slow_client_evictions,omitempty"`
+	QueueDepthHighWater int64   `json:"queue_depth_high_water,omitempty"`
+	MaxWaiters          int     `json:"max_waiters,omitempty"`
+	MaxInflight         int     `json:"max_inflight,omitempty"`
+
 	FloorOpsPerSec float64 `json:"floor_ops_per_sec,omitempty"`
 }
 
@@ -132,6 +161,8 @@ type netWorker struct {
 	fenced      int
 	abandoned   int
 	disconnects int
+	granted     int // flood: ACQUIREs the server admitted and granted
+	shed        int // flood: ACQUIREs answered BUSY
 	rtts        []time.Duration
 	err         error
 }
@@ -142,15 +173,20 @@ func runNet(cfg netConfig) error {
 			cfg.clients, cfg.pipeline, cfg.locks)
 	}
 	switch cfg.scenario {
-	case "pairs", "churn", "storm", "disconnect":
+	case "pairs", "churn", "storm", "disconnect", "flood":
 	default:
-		return fmt.Errorf("net: unknown -scenario %q (want pairs, churn, storm or disconnect)", cfg.scenario)
+		return fmt.Errorf("net: unknown -scenario %q (want pairs, churn, storm, disconnect or flood)", cfg.scenario)
 	}
-	if cfg.scenario != "pairs" && cfg.scenario != "disconnect" && cfg.ttl <= 0 {
-		return fmt.Errorf("net: -scenario=%s needs a positive -ttl", cfg.scenario)
+	if cfg.scenario == "churn" || cfg.scenario == "storm" {
+		if cfg.ttl <= 0 {
+			return fmt.Errorf("net: -scenario=%s needs a positive -ttl", cfg.scenario)
+		}
 	}
 	if cfg.abandon < 2 {
 		cfg.abandon = 8
+	}
+	if cfg.scenario == "flood" && cfg.wait <= 0 {
+		cfg.wait = 5 * time.Millisecond
 	}
 	algos, err := throughputAlgos(cfg.algos)
 	if err != nil {
@@ -168,12 +204,23 @@ func runNet(cfg netConfig) error {
 		if cfg.scenario == "disconnect" {
 			maxClients = 2*cfg.clients + 4
 		}
-		srv, err = server.New(server.Config{
+		scfg := server.Config{
 			Addr:       "127.0.0.1:0",
 			MaxClients: maxClients,
 			Algorithm:  algo,
 			Seed:       cfg.seed,
-		})
+		}
+		if cfg.scenario == "flood" {
+			// A deliberately small admission envelope so the open loop
+			// saturates it: two admitted acquisitions per lock, and a
+			// global budget well under clients × locks.
+			scfg.MaxWaiters = 2
+			scfg.MaxInflight = (3 * cfg.locks) / 2
+			if scfg.MaxInflight < 4 {
+				scfg.MaxInflight = 4
+			}
+		}
+		srv, err = server.New(scfg)
 		if err != nil {
 			return err
 		}
@@ -219,6 +266,8 @@ func runNet(cfg netConfig) error {
 				res.runStorm(c, cfg, w, deadline)
 			case "disconnect":
 				res.runDisconnect(c, cfg, w, deadline, addr)
+			case "flood":
+				res.runFlood(c, cfg, w, deadline)
 			}
 		}(w)
 	}
@@ -227,7 +276,7 @@ func runNet(cfg netConfig) error {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	pairs, fenced, abandoned, disconnects := 0, 0, 0, 0
+	pairs, fenced, abandoned, disconnects, granted, shed := 0, 0, 0, 0, 0, 0
 	var rtts []time.Duration
 	for w := range workers {
 		if workers[w].err != nil {
@@ -237,6 +286,8 @@ func runNet(cfg netConfig) error {
 		fenced += workers[w].fenced
 		abandoned += workers[w].abandoned
 		disconnects += workers[w].disconnects
+		granted += workers[w].granted
+		shed += workers[w].shed
 		rtts = append(rtts, workers[w].rtts...)
 	}
 	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
@@ -249,7 +300,10 @@ func runNet(cfg netConfig) error {
 	// waiter aborted through the elector and its round recycled — or
 	// fail loudly if that doesn't happen within the budget (dead-peer
 	// probes are rate-limited to 50ms, so a few hundred ms is generous).
-	if cfg.scenario == "disconnect" {
+	// The flood's shed-never-holds-a-slot contract is checked the same
+	// way: after the open loop stops offering, the arena must settle back
+	// to baseline even though most ACQUIREs were refused at admission.
+	if cfg.scenario == "disconnect" || cfg.scenario == "flood" {
 		if err := awaitSlotReclaim(addr, 3*time.Second); err != nil {
 			return err
 		}
@@ -298,18 +352,31 @@ func runNet(cfg netConfig) error {
 		if st.Aborts == 0 {
 			return fmt.Errorf("net: disconnect storm drove no elector aborts — dead waiters were never reaped mid-wait")
 		}
+	case "flood":
+		if shed == 0 || st.Shed == 0 {
+			return fmt.Errorf("net: flood scenario never tripped admission control (client sheds %d, server sheds %d) — raise -clients or shrink -locks", shed, st.Shed)
+		}
+		if granted == 0 {
+			return fmt.Errorf("net: flood scenario had zero goodput — the server shed everything")
+		}
+		if st.MaxWaiters > 0 && st.QueueDepthHighWater > int64(st.MaxWaiters) {
+			return fmt.Errorf("net: queue depth high-water %d BREACHED the -max-waiters bound %d", st.QueueDepthHighWater, st.MaxWaiters)
+		}
+		if st.MaxInflight > 0 && st.InflightHighWater > int64(st.MaxInflight) {
+			return fmt.Errorf("net: in-flight high-water %d BREACHED the -max-inflight bound %d", st.InflightHighWater, st.MaxInflight)
+		}
 	}
 	outstanding := int64(st.Arena.Hits+st.Arena.Steals+st.Arena.Misses) - int64(st.Arena.Puts)
 
 	report := netReport{
-		Schema:     "randtas-bench-net/v3",
+		Schema:     "randtas-bench-net/v4",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note: "loopback load on tasd protocol v2: ops = ACQUIRE + RELEASE count; wait = pipelined batch round-trip; " +
-			"exclusion_verified = token-keyed server-side owner check clean; leases attached per the scenario",
+		Note: "loopback load on tasd protocol v3: ops = ACQUIRE + RELEASE count; wait = round-trip of admitted ops; " +
+			"exclusion_verified = token-keyed server-side owner check clean; leases and wait budgets per the scenario",
 		Algorithm: algo.String(),
 		Scenario:  cfg.scenario,
 		Clients:   cfg.clients, Pipeline: cfg.pipeline, Locks: cfg.locks,
@@ -335,9 +402,26 @@ func runNet(cfg netConfig) error {
 		SlotsOutstanding:  outstanding,
 		FloorOpsPerSec:    cfg.floor,
 	}
+	if cfg.scenario == "flood" {
+		offered := granted + shed
+		report.OfferedAcquires = offered
+		report.Goodput = granted
+		report.GoodputPerSec = float64(granted) / elapsed.Seconds()
+		report.ShedAcquires = shed
+		if offered > 0 {
+			report.ShedRate = float64(shed) / float64(offered)
+		}
+		report.WaitBudget = cfg.wait.String()
+		report.ServerShed = st.Shed
+		report.ServerDeadlineExp = st.DeadlineExpired
+		report.ServerSlowEvictions = st.SlowClientEvictions
+		report.QueueDepthHighWater = st.QueueDepthHighWater
+		report.MaxWaiters = st.MaxWaiters
+		report.MaxInflight = st.MaxInflight
+	}
 
 	tbl := harness.Table{
-		Title:   "tasd loopback: sustained lock traffic over TCP (protocol v2)",
+		Title:   "tasd loopback: sustained lock traffic over TCP (protocol v3)",
 		Headers: []string{"algorithm", "scenario", "ops", "ops/sec", "wait p50", "wait p99", "rounds", "expiries", "fenced", "aborts", "slots out", "violations"},
 		Notes: []string{
 			"ops counts ACQUIRE and RELEASE individually; wait = batch round-trip over the wire.",
@@ -350,6 +434,16 @@ func runNet(cfg netConfig) error {
 		percentile(rtts, 0.99).Round(time.Microsecond).String(),
 		rounds, st.LeaseExpirations, fenced, st.Aborts, outstanding, st.Violations)
 	fmt.Println(tbl.String())
+	if cfg.scenario == "flood" {
+		offered := granted + shed
+		fmt.Printf("flood: offered %d ACQUIREs (%.0f/sec), goodput %d (%.0f/sec), shed %d (%.1f%% — client) / %d (server), "+
+			"deadline-expired %d, queue high-water %d/%d, in-flight high-water %d/%d, wait budget %v\n\n",
+			offered, float64(offered)/elapsed.Seconds(),
+			granted, float64(granted)/elapsed.Seconds(),
+			shed, 100*report.ShedRate, st.Shed,
+			st.DeadlineExpired, st.QueueDepthHighWater, st.MaxWaiters,
+			st.InflightHighWater, st.MaxInflight, cfg.wait)
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -549,6 +643,42 @@ func (res *netWorker) runDisconnect(c *tasclient.Client, cfg netConfig, w int, d
 	}
 	if c != nil {
 		c.Close()
+	}
+}
+
+// runFlood is the open-loop overload drill: every worker offers
+// AcquireWithin(cfg.wait) as fast as the wire turns around, takes BUSY
+// for an answer, and never backs off — offered load is whatever the
+// connection can carry, not what the server can serve. Grants are
+// released promptly (goodput), sheds go straight back to offering. Only
+// admitted operations contribute RTT samples; a shed is an answer, not
+// a latency. runNet verifies afterwards that the server both shed and
+// granted, honored its own admission bounds, and reclaimed every slot.
+func (res *netWorker) runFlood(c *tasclient.Client, cfg netConfig, w int, deadline time.Time) {
+	bg := context.Background()
+	cycle := 0
+	for time.Now().Before(deadline) {
+		name := fmt.Sprintf("lock-%d", (w+cycle)%cfg.locks)
+		cycle++
+		t0 := time.Now()
+		tok, err := c.AcquireWithin(bg, name, cfg.ttl, cfg.wait)
+		switch {
+		case err == nil:
+			res.granted++
+			if len(res.rtts) < sampleCap {
+				res.rtts = append(res.rtts, time.Since(t0))
+			}
+			if rerr := c.Release(bg, name, tok); rerr != nil {
+				res.err = fmt.Errorf("flood release %s: %v", name, rerr)
+				return
+			}
+			res.pairs++
+		case errors.Is(err, tasclient.ErrBusy):
+			res.shed++ // the degradation contract: a clean refusal, connection intact
+		default:
+			res.err = fmt.Errorf("flood acquire %s: %v", name, err)
+			return
+		}
 	}
 }
 

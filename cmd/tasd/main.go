@@ -12,13 +12,19 @@
 //	tasd [-addr 127.0.0.1:7420] [-max-clients 64] [-algo combined]
 //	     [-shards S] [-prealloc P] [-seed S] [-lease-sweep 5ms]
 //	     [-max-idle 0] [-evict-interval 0]
+//	     [-max-inflight 0] [-max-waiters 0] [-write-timeout 0]
 //	     [-drain-timeout 10s] [-quiet]
 //
 // Every connected client owns one process slot of the arena, so the
 // paper's per-process wait-freedom guarantees carry over per client. A
 // client that hangs while holding a leased lock is expired within
 // TTL + lease-sweep: waiters proceed on a force-installed round and the
-// zombie's release answers FENCED. SIGTERM or SIGINT starts a graceful
+// zombie's release answers FENCED. Under overload (protocol v3) the
+// daemon degrades gracefully instead of queueing without bound:
+// -max-inflight caps blocked ACQUIREs server-wide and -max-waiters caps
+// them per lock — excess requests are shed with a BUSY answer carrying
+// a retry-after hint — while -write-timeout evicts clients that stop
+// draining their responses. SIGTERM or SIGINT starts a graceful
 // drain: the listener closes, in-flight request batches finish, held
 // locks of departing clients are recovered, and the process exits 0 —
 // or exits 1 if the drain timeout forces connections closed.
@@ -48,6 +54,9 @@ func main() {
 		leaseSweep   = flag.Duration("lease-sweep", 5*time.Millisecond, "lease sweeper interval — a lease is enforced within TTL + this")
 		maxIdle      = flag.Duration("max-idle", 0, "evict named locks idle this long (0 = never evict)")
 		evictTick    = flag.Duration("evict-interval", 0, "eviction pass cadence (0 = every max-idle)")
+		maxInflight  = flag.Int("max-inflight", 0, "shed blocked ACQUIREs beyond this many server-wide (0 = unbounded)")
+		maxWaiters   = flag.Int("max-waiters", 0, "shed blocked ACQUIREs beyond this many per lock (0 = unbounded)")
+		writeTimeout = flag.Duration("write-timeout", 0, "evict a client whose response writes stall this long (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -71,6 +80,9 @@ func main() {
 		LeaseSweep:    *leaseSweep,
 		MaxIdle:       *maxIdle,
 		EvictInterval: *evictTick,
+		MaxInflight:   *maxInflight,
+		MaxWaiters:    *maxWaiters,
+		WriteTimeout:  *writeTimeout,
 		Logf:          logf,
 	})
 	if err != nil {

@@ -379,3 +379,85 @@ func TestFabricReplayDeterminism(t *testing.T) {
 		t.Fatal("different seeds produced identical traces; fault stream looks unseeded")
 	}
 }
+
+// TestFabricBoundedPipeBackpressure: LimitInbound turns the receiving
+// direction into a finite pipe. A writer fills it without blocking,
+// parks on the next write, resumes when the reader drains, and — once
+// the reader stops draining for good — fails its write at the write
+// deadline with a net.Error timeout, in virtual time.
+func TestFabricBoundedPipeBackpressure(t *testing.T) {
+	clk := NewSimClock()
+	f := NewFabric(clk, 11)
+	ln, err := f.Listen("tasd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		firstN    int
+		firstErr  error
+		secondDur time.Duration
+		secondErr error
+		thirdDur  time.Duration
+		thirdErr  error
+	)
+	// Server: write 8B (fills the pipe), then 6B (parks until the
+	// client drains), then 6B against a client that never reads again,
+	// under a 5ms write deadline.
+	clk.Go(func() {
+		sc, err := ln.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		firstN, firstErr = sc.Write(bytes.Repeat([]byte{'a'}, 8))
+		t0 := clk.Now()
+		_, secondErr = sc.Write(bytes.Repeat([]byte{'b'}, 6))
+		secondDur = clk.Since(t0)
+		sc.SetWriteDeadline(clk.Now().Add(5 * time.Millisecond))
+		t0 = clk.Now()
+		_, thirdErr = sc.Write(bytes.Repeat([]byte{'c'}, 6))
+		thirdDur = clk.Since(t0)
+		sc.Close()
+	})
+	clk.Go(func() {
+		nc, err := f.Dial("tasd")
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		sim := nc.(*SimConn)
+		sim.LimitInbound(8)
+		// Drain 4 bytes at +10ms, then go silent forever.
+		clk.Sleep(10 * time.Millisecond)
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(nc, buf); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		clk.Sleep(30 * time.Millisecond)
+		nc.Close()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	if firstN != 8 || firstErr != nil {
+		t.Fatalf("fill write = (%d, %v), want (8, nil)", firstN, firstErr)
+	}
+	if secondErr != nil {
+		t.Fatalf("drained write failed: %v", secondErr)
+	}
+	if secondDur < 9*time.Millisecond {
+		t.Fatalf("second write returned after %v; it should have parked until the +10ms drain", secondDur)
+	}
+	var nerr net.Error
+	if !errors.As(thirdErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("write against a dead reader = %v, want a net.Error timeout", thirdErr)
+	}
+	if !errors.Is(thirdErr, os.ErrDeadlineExceeded) {
+		t.Fatalf("write timeout %v does not match os.ErrDeadlineExceeded", thirdErr)
+	}
+	if thirdDur != 5*time.Millisecond {
+		t.Fatalf("write deadline fired after %v, want exactly 5ms of virtual time", thirdDur)
+	}
+}

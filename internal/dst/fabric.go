@@ -170,19 +170,30 @@ func (l *SimListener) Close() error {
 func (l *SimListener) Addr() net.Addr { return fabricAddr(l.name) }
 
 // stream is one direction of a connection: bytes delivered but not yet
-// read, plus the parked reader waiting on them.
+// read, plus the parked reader waiting on them. When limit is set the
+// direction also models a finite pipe: pending counts bytes written but
+// not yet delivered, and the peer's Write parks (its waiter in writer)
+// while pending+len(buf) would exceed the limit — the virtual analogue
+// of full TCP send/receive buffers.
 type stream struct {
 	buf       []byte
 	eof       bool  // peer closed cleanly; surfaces after buffered data
 	err       error // sticky fault (connection reset); surfaces immediately
 	lastAt    int64 // delivery-order watermark (no reordering within a direction)
 	reader    *waiter
-	rdeadline int64 // absolute virtual nanos; 0 means none
+	rdeadline int64   // absolute virtual nanos; 0 means none
+	limit     int     // max unread bytes in flight; 0 means unbounded
+	pending   int     // bytes scheduled for delivery, not yet in buf
+	writer    *waiter // peer's Write parked on a full pipe
 }
 
-// SimConn implements net.Conn over the fabric. Writes never block: they
-// draw faults, then schedule delivery events. Reads park the calling
-// actor until data, EOF, a reset, or the read deadline arrives.
+// SimConn implements net.Conn over the fabric. Writes draw faults, then
+// schedule delivery events; they only block when the peer bounded its
+// inbound pipe with LimitInbound and the unread backlog fills it — then
+// the writer parks until the reader drains, the connection dies, or the
+// write deadline expires, exactly the backpressure a slow real-network
+// reader exerts. Reads park the calling actor until data, EOF, a reset,
+// or the read deadline arrives.
 type SimConn struct {
 	f      *Fabric
 	local  fabricAddr
@@ -195,6 +206,22 @@ type SimConn struct {
 	// heal time. The two directions partition independently
 	// (half-open partitions).
 	blockedUntil int64
+	// wdeadline is the absolute virtual write deadline; 0 means none.
+	wdeadline int64
+}
+
+// LimitInbound bounds the unread bytes (delivered plus in flight) the
+// peer may have outstanding toward this connection. A peer Write that
+// would overflow the bound parks until this side reads. n ≤ 0 removes
+// the bound. Models a slow reader's full receive window.
+func (sc *SimConn) LimitInbound(n int) {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	sc.in.limit = n
 }
 
 // Read implements net.Conn.
@@ -213,6 +240,12 @@ func (sc *SimConn) Read(b []byte) (int, error) {
 		if len(st.buf) > 0 {
 			n := copy(b, st.buf)
 			st.buf = st.buf[n:]
+			// Draining may reopen a bounded pipe: wake the parked
+			// writer through its own event (one event, one actor).
+			if w := st.writer; w != nil {
+				st.writer = nil
+				c.scheduleLocked(0, "wwake "+string(sc.local), w, false, nil, nil)
+			}
 			return n, nil
 		}
 		if st.eof {
@@ -241,19 +274,44 @@ func (sc *SimConn) Read(b []byte) (int, error) {
 }
 
 // Write implements net.Conn. The message is subjected to the fault
-// model and scheduled for delivery; the call itself never blocks.
+// model and scheduled for delivery. The call blocks only against a
+// bounded full pipe (see LimitInbound), honoring the write deadline.
 func (sc *SimConn) Write(b []byte) (int, error) {
 	c := sc.f.clk
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if sc.closed {
-		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: net.ErrClosed}
-	}
-	if sc.in.err != nil {
-		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: sc.in.err}
-	}
-	if sc.peer.closed {
-		return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: errConnReset}
+	for {
+		if sc.closed {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: net.ErrClosed}
+		}
+		if sc.in.err != nil {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: sc.in.err}
+		}
+		if sc.peer.closed {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: errConnReset}
+		}
+		dst := sc.peer.in
+		if dst.limit <= 0 || dst.pending+len(dst.buf) < dst.limit {
+			break
+		}
+		if sc.wdeadline > 0 && sc.wdeadline <= c.nowNano.Load() {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: errTimeout}
+		}
+		w := &waiter{ch: make(chan struct{}), label: fmt.Sprintf("write %s->%s", sc.local, sc.remote)}
+		if sc.wdeadline > 0 {
+			w.deadline = c.scheduleAtLocked(sc.wdeadline, fmt.Sprintf("wto %s", sc.local), w, true, nil)
+		}
+		dst.writer = w
+		c.parkLocked(w)
+		if dst.writer == w {
+			dst.writer = nil
+		}
+		if w.deadlock {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: ErrSimDeadlock}
+		}
+		if w.timedOut {
+			return 0, &net.OpError{Op: "write", Net: "dst", Addr: sc.local, Err: errTimeout}
+		}
 	}
 	fl := sc.f.faults
 	if fl.ResetProb > 0 && sc.f.rng.Coin(fl.ResetProb) {
@@ -299,9 +357,11 @@ func (sc *SimConn) drawDelayLocked(fl Faults) time.Duration {
 
 func (sc *SimConn) deliverLocked(at int64, data []byte) {
 	c := sc.f.clk
+	st := sc.peer.in
+	st.pending += len(data)
 	label := fmt.Sprintf("dlv %s->%s %dB", sc.local, sc.remote, len(data))
 	c.scheduleAtLocked(at, label, nil, false, func() {
-		st := sc.peer.in
+		st.pending -= len(data)
 		if sc.peer.closed || st.err != nil {
 			return
 		}
@@ -326,6 +386,10 @@ func (sc *SimConn) resetLocked() {
 		if w := st.reader; w != nil {
 			st.reader = nil
 			c.scheduleLocked(0, "rstwake "+string(side.local), w, false, nil, nil)
+		}
+		if w := st.writer; w != nil {
+			st.writer = nil
+			c.scheduleLocked(0, "rstwakew "+string(side.local), w, false, nil, nil)
 		}
 	}
 }
@@ -379,6 +443,17 @@ func (sc *SimConn) Close() error {
 		c.wakeLocked(sc.in.reader, false, false)
 		sc.in.reader = nil
 	}, nil)
+	// Wake any writer parked against either direction's bounded pipe:
+	// the closer's own blocked Write fails with ErrClosed, the peer's
+	// with a reset. One immediate event per actor.
+	if w := sc.peer.in.writer; w != nil {
+		sc.peer.in.writer = nil
+		c.scheduleLocked(0, "closewake "+string(sc.local), w, false, nil, nil)
+	}
+	if w := sc.in.writer; w != nil {
+		sc.in.writer = nil
+		c.scheduleLocked(0, "closewake "+string(sc.remote), w, false, nil, nil)
+	}
 	at := c.nowNano.Load()
 	if at < sc.peer.in.lastAt {
 		at = sc.peer.in.lastAt
@@ -430,9 +505,37 @@ func (sc *SimConn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline implements net.Conn. Fabric writes never block, so
-// the deadline is accepted and ignored.
-func (sc *SimConn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn. It matters only to writes
+// blocked against a bounded pipe (LimitInbound on the peer); unbounded
+// writes never park, so the deadline never fires for them.
+func (sc *SimConn) SetWriteDeadline(t time.Time) error {
+	c := sc.f.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.IsZero() {
+		sc.wdeadline = 0
+	} else {
+		dl := t.UnixNano()
+		if t.Before(simEpoch) {
+			dl = c.nowNano.Load()
+		}
+		sc.wdeadline = dl
+	}
+	// Only this side writes into peer.in, so a waiter there is ours.
+	if w := sc.peer.in.writer; w != nil {
+		if w.deadline != nil {
+			w.deadline.cancelled = true
+			w.deadline = nil
+		}
+		if sc.wdeadline > 0 {
+			w.deadline = c.scheduleAtLocked(sc.wdeadline, fmt.Sprintf("wto %s", sc.local), w, true, nil)
+		}
+	}
+	return nil
+}
 
 // SetDeadline implements net.Conn.
-func (sc *SimConn) SetDeadline(t time.Time) error { return sc.SetReadDeadline(t) }
+func (sc *SimConn) SetDeadline(t time.Time) error {
+	sc.SetReadDeadline(t)
+	return sc.SetWriteDeadline(t)
+}

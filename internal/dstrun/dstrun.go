@@ -33,6 +33,7 @@ import (
 	"repro/internal/dst"
 	"repro/internal/rng"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/tasclient"
 )
 
@@ -63,6 +64,31 @@ const (
 	// latency stays within the armed deadline, and fencing tokens remain
 	// monotone across abort/reacquire cycles.
 	ScenarioAbortStorm Scenario = "abortstorm"
+	// ScenarioOverload floods a deliberately small admission envelope
+	// (per-lock wait-queue bound, global in-flight budget, write
+	// timeout): open-loop clients with propagated deadlines, a holder
+	// keeping the locks contended, a slow reader that stops draining its
+	// responses over a capped fabric pipe, and the chaos actor cutting
+	// partitions through the storm. The run asserts that degradation is
+	// graceful: admitted queue depths never exceed the configured
+	// bounds, shed requests never hold an admission slot once answered
+	// (the in-flight gauge returns to zero and the arena to its slot
+	// baseline), every propagated deadline is enforced within the
+	// coarse-clock bound, the non-draining client is evicted and its
+	// lock recovered, and goodput stays nonzero through it all.
+	ScenarioOverload Scenario = "overload"
+)
+
+// The overload scenario's deliberately tight server envelope: small
+// enough that the default traffic saturates it, big enough that grants
+// still flow.
+const (
+	overloadMaxWaiters   = 2
+	overloadMaxInflight  = 6
+	overloadWriteTimeout = 25 * time.Millisecond
+	// overloadInboundLimit caps the slow reader's fabric pipe so the
+	// server's response writes park instead of buffering unboundedly.
+	overloadInboundLimit = 1024
 )
 
 // Config parameterizes one simulated run. The zero value of every
@@ -116,13 +142,24 @@ type Report struct {
 	Recovered  uint64 // winnerless rounds the arena recovered
 
 	// SlotsOutstanding is the arena's live slot population once the
-	// storm quiesced (abortstorm only): Hits+Steals+Misses−Puts, which
-	// must equal one slot per live mutex plus one per live election.
+	// storm quiesced (abortstorm and overload): Hits+Steals+Misses−Puts,
+	// which must equal one slot per live mutex plus one per live
+	// election.
 	SlotsOutstanding int64
 	// CancelLatencyMax is the worst client-observed gap, in virtual
 	// time, between a mid-ACQUIRE deadline firing and the blocked call
 	// returning (abortstorm only).
 	CancelLatencyMax time.Duration
+
+	// Overload counters (overload scenario): ACQUIREs the admission
+	// controller refused, waits the server cut short at their propagated
+	// deadline, non-draining clients evicted, the deepest per-lock wait
+	// queue ever admitted, and grants that landed within their budget.
+	Shed                uint64
+	DeadlineExpired     uint64
+	SlowClientEvictions uint64
+	QueueDepthHighWater int64
+	Goodput             int
 
 	// Errors are invariant violations; empty means the run passed.
 	Errors []string
@@ -147,7 +184,7 @@ func withDefaults(cfg Config) Config {
 		cfg.LeaseSweep = 2 * time.Millisecond
 	}
 	if cfg.MaxIdle == 0 {
-		if cfg.Scenario == ScenarioAbortStorm {
+		if cfg.Scenario == ScenarioAbortStorm || cfg.Scenario == ScenarioOverload {
 			// Eviction restarts a name's token sequence, which would
 			// blunt the storm's token-monotonicity-across-abort check;
 			// the storm keeps its names hot anyway.
@@ -202,6 +239,7 @@ type monitor struct {
 	redials    int
 	cancels    int
 	hangups    int
+	goodput    int
 	cancelMax  time.Duration
 	aborts     uint64
 	recovered  uint64
@@ -259,14 +297,20 @@ func Run(cfg Config) (Report, error) {
 	if maxIdle < 0 {
 		maxIdle = 0
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		MaxClients: 2*cfg.Clients + 8,
 		Seed:       int64(cfg.Seed + 0x5eed),
 		LeaseSweep: cfg.LeaseSweep,
 		MaxIdle:    maxIdle,
 		Clock:      clk,
 		Listener:   ln,
-	})
+	}
+	if cfg.Scenario == ScenarioOverload {
+		scfg.MaxWaiters = overloadMaxWaiters
+		scfg.MaxInflight = overloadMaxInflight
+		scfg.WriteTimeout = overloadWriteTimeout
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -312,6 +356,14 @@ func Run(cfg Config) (Report, error) {
 			spawn(func() { r.stormClient(i) })
 		}
 		spawn(r.chaosActor)
+	case ScenarioOverload:
+		spawn(func() { r.overloadHolder(0) })
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			spawn(func() { r.overloadFlood(i) })
+		}
+		spawn(r.overloadSlowReader)
+		spawn(r.chaosActor)
 	default: // ScenarioMixed
 		for i := 0; i < cfg.Clients; i++ {
 			i := i
@@ -328,6 +380,7 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	hash, events := clk.TraceHash()
+	ov := srv.Overload()
 	m := &r.mon
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -356,6 +409,12 @@ func Run(cfg Config) (Report, error) {
 		SlotsOutstanding: m.slotsLeft,
 		CancelLatencyMax: m.cancelMax,
 
+		Shed:                ov.Shed,
+		DeadlineExpired:     ov.DeadlineExpired,
+		SlowClientEvictions: ov.SlowClientEvictions,
+		QueueDepthHighWater: ov.QueueDepthHighWater,
+		Goodput:             m.goodput,
+
 		Errors: append([]string(nil), m.errs...),
 		Trace:  clk.Trace(),
 	}, nil
@@ -366,6 +425,20 @@ func Run(cfg Config) (Report, error) {
 func (r *run) check(time.Duration) {
 	if v := r.srv.Violations(); v > 0 {
 		r.mon.errOnce("exclusion", "server exclusion check failed %d time(s)", v)
+	}
+	if r.cfg.Scenario == ScenarioOverload {
+		// The admission bounds are hard: the high-water marks record
+		// admitted occupancy, so a single step past either bound is a
+		// shed that was wrongly let through.
+		o := r.srv.Overload()
+		if o.QueueDepthHighWater > overloadMaxWaiters {
+			r.mon.errOnce("queue-bound", "per-lock wait queue reached %d (bound %d)",
+				o.QueueDepthHighWater, overloadMaxWaiters)
+		}
+		if o.InflightHighWater > overloadMaxInflight {
+			r.mon.errOnce("inflight-bound", "global in-flight reached %d (bound %d)",
+				o.InflightHighWater, overloadMaxInflight)
+		}
 	}
 	nowNano := r.clk.Now().UnixNano()
 	bound := int64(2 * r.cfg.LeaseSweep)
@@ -466,8 +539,29 @@ func (r *run) coordinator() {
 			cl.Close()
 		}
 	}
-	if r.cfg.Scenario == ScenarioAbortStorm {
+	if r.cfg.Scenario == ScenarioAbortStorm || r.cfg.Scenario == ScenarioOverload {
 		r.checkSlotQuiescence()
+	}
+	if r.cfg.Scenario == ScenarioOverload {
+		o := r.srv.Overload()
+		if o.InflightNow != 0 {
+			r.mon.errOnce("inflight-rest",
+				"%d ACQUIREs still hold admission slots after the flood quiesced", o.InflightNow)
+		}
+		if r.strict {
+			if o.Shed == 0 && o.DeadlineExpired == 0 {
+				r.mon.errOnce("no-shed", "overload run refused nothing — admission control never engaged")
+			}
+			if o.SlowClientEvictions == 0 {
+				r.mon.errOnce("no-slow-evict", "the non-draining client was never evicted")
+			}
+			r.mon.mu.Lock()
+			goodput := r.mon.goodput
+			r.mon.mu.Unlock()
+			if goodput == 0 {
+				r.mon.errOnce("no-goodput", "zero grants under overload — the server shed everything")
+			}
+		}
 	}
 	// Capture the arena's abort accounting before Shutdown retires the
 	// registry (a closed registry reports no per-name stats).
@@ -557,6 +651,11 @@ func (s *simClient) Close() error { return s.cl.Close() }
 func (s *simClient) Acquire(ctx context.Context, name string, ttl time.Duration) (tasclient.Token, error) {
 	s.arm()
 	return s.cl.Acquire(ctx, name, ttl)
+}
+
+func (s *simClient) AcquireWithin(ctx context.Context, name string, ttl, wait time.Duration) (tasclient.Token, error) {
+	s.arm()
+	return s.cl.AcquireWithin(ctx, name, ttl, wait)
 }
 
 func (s *simClient) TryAcquire(ctx context.Context, name string, ttl time.Duration) (tasclient.Token, bool, error) {
@@ -1134,6 +1233,211 @@ func (r *run) stormClient(i int) {
 		}
 		cl.Close()
 		r.clk.Sleep(time.Duration(g.Intn(int(sweep))))
+	}
+}
+
+// overloadDeadlineBound is the slack, in lease-sweep units, allowed on
+// top of a propagated wait budget before the answer must be back: two
+// sweeps for the server's coarse wait-loop clock, up to two partition
+// windows of 2×sweep each from the chaos actor, and the rest for fabric
+// delays and round handover.
+const overloadDeadlineBound = 12
+
+// overloadHolder keeps the flood's locks contended so admission control
+// has queues to bound: blocking leaseless grants with no wait budget,
+// held for a few sweeps each. The holder competes under the same
+// admission control as the flood, so its own ACQUIREs can come back
+// BUSY — it just backs off and tries again.
+func (r *run) overloadHolder(i int) {
+	g := rng.New(r.cfg.Seed ^ (0xd6e8feb86659fd93 * uint64(i+1)))
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	cl := r.connect(true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	redial := func() bool {
+		cl.Close()
+		r.mon.add(&r.mon.redials, 1)
+		cl = r.connect(true)
+		return cl != nil
+	}
+	for op := 0; op < r.cfg.Ops; op++ {
+		if cl == nil {
+			return
+		}
+		name := fmt.Sprintf("load%d", g.Intn(2))
+		tok, err := cl.Acquire(ctx, name, 0)
+		switch {
+		case err == nil:
+		case errors.Is(err, tasclient.ErrBusy):
+			r.mon.add(&r.mon.busy, 1)
+			r.clk.Sleep(sweep)
+			continue
+		default:
+			if !redial() {
+				return
+			}
+			continue
+		}
+		r.mon.add(&r.mon.acquires, 1)
+		r.clk.Sleep(time.Duration(int(sweep) + g.Intn(int(2*sweep))))
+		err = cl.Release(ctx, name, tok)
+		switch {
+		case err == nil:
+			r.mon.add(&r.mon.releases, 1)
+		case errors.Is(err, tasclient.ErrFenced):
+			if r.strict {
+				r.mon.errOnce("overload-fence", "leaseless holder grant on %q was fenced: %v", name, err)
+			}
+		default:
+			if !redial() {
+				return
+			}
+		}
+	}
+}
+
+// overloadFlood is the open-loop load generator: every wave asks for a
+// grant within a small explicit budget and takes whatever answer comes
+// — a grant (goodput), a BUSY (shed or server-enforced deadline expiry,
+// which must arrive within the budget plus overloadDeadlineBound
+// sweeps), or a broken connection (redial). No backoff between waves
+// beyond a sub-sweep breather: the point is to keep the admission
+// envelope saturated.
+func (r *run) overloadFlood(i int) {
+	g := rng.New(r.cfg.Seed ^ (0xbf58476d1ce4e5b9 * uint64(i+3)))
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	cl := r.connect(true)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	redial := func() bool {
+		cl.Close()
+		r.mon.add(&r.mon.redials, 1)
+		cl = r.connect(true)
+		return cl != nil
+	}
+	for op := 0; op < r.cfg.Ops; op++ {
+		if cl == nil {
+			return
+		}
+		name := fmt.Sprintf("load%d", g.Intn(2))
+		wait := time.Duration(int(sweep) + g.Intn(int(3*sweep)))
+		bound := wait + overloadDeadlineBound*sweep
+		start := r.clk.Now()
+		tok, err := cl.AcquireWithin(ctx, name, 0, wait)
+		elapsed := r.clk.Since(start)
+		switch {
+		case err == nil:
+			r.mon.add(&r.mon.goodput, 1)
+			r.mon.add(&r.mon.acquires, 1)
+			if r.strict && elapsed > bound {
+				r.mon.errOnce("deadline-bound", "grant landed %v into a %v budget (bound %v)", elapsed, wait, bound)
+			}
+			r.clk.Sleep(time.Duration(g.Intn(int(sweep))))
+			rerr := cl.Release(ctx, name, tok)
+			switch {
+			case rerr == nil:
+				r.mon.add(&r.mon.releases, 1)
+			case errors.Is(rerr, tasclient.ErrFenced):
+				if r.strict {
+					r.mon.errOnce("overload-fence", "leaseless flood grant on %q was fenced: %v", name, rerr)
+				}
+			default:
+				if !redial() {
+					return
+				}
+			}
+		case errors.Is(err, tasclient.ErrBusy):
+			r.mon.add(&r.mon.busy, 1)
+			if r.strict && elapsed > bound {
+				r.mon.errOnce("deadline-bound", "BUSY answered %v into a %v budget (bound %v)", elapsed, wait, bound)
+			}
+			r.clk.Sleep(time.Duration(g.Intn(int(sweep))))
+		default:
+			if !redial() {
+				return
+			}
+		}
+	}
+}
+
+// overloadSlowReader models the client that stops draining: it takes a
+// lock, caps its inbound fabric pipe, pipelines a pile of STATS
+// requests and never reads an answer. The server's response writes park
+// against the full pipe until the write timeout fires and the client is
+// evicted — which must both bump the eviction counter and recover the
+// held lock for the fresh, well-behaved client that asks next.
+func (r *run) overloadSlowReader() {
+	ctx := context.Background()
+	sweep := r.cfg.LeaseSweep
+	nc, err := r.fab.Dial("tasd")
+	if err != nil {
+		return
+	}
+	sc, _ := nc.(*dst.SimConn)
+	nc.SetReadDeadline(r.clk.Now().Add(opBudget))
+	cl, err := tasclient.NewClientConn(ctx, nc)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	cl.SetClock(r.clk)
+	if _, err := cl.Acquire(ctx, "lslow0", 0); err != nil {
+		cl.Close()
+		return
+	}
+	r.mon.add(&r.mon.acquires, 1)
+	if sc != nil {
+		sc.LimitInbound(overloadInboundLimit)
+	}
+	// Several spaced request bursts, never reading an answer: the first
+	// burst's responses fill the capped pipe, and the flush for a later
+	// burst parks against it until the server's write timeout evicts us.
+	// (A write into an empty pipe always completes — the pipe bounds
+	// unread backlog, it doesn't refuse it — so one burst alone would
+	// never stall a flush.)
+	req := wire.Request{Op: wire.OpStats, ID: 1 << 20}
+	nc.SetWriteDeadline(r.clk.Now().Add(opBudget))
+	for burst := 0; burst < 4; burst++ {
+		var buf []byte
+		for k := 0; k < 16; k++ {
+			buf, _ = wire.AppendRequest(buf, req)
+			req.ID++
+		}
+		if _, err := nc.Write(buf); err != nil {
+			break // already evicted — mission accomplished
+		}
+		r.clk.Sleep(2 * sweep)
+	}
+	// Sit on the grant, deaf, well past the server's write-timeout fuse.
+	r.clk.Sleep(overloadWriteTimeout + 10*sweep)
+	cl.Close()
+	if fresh := r.connect(false); fresh != nil {
+		tok, err := fresh.Acquire(ctx, "lslow0", 0)
+		if err != nil {
+			if r.strict {
+				r.mon.errOnce("slow-recover", "lock held by the evicted slow client was not recovered: %v", err)
+			}
+		} else {
+			r.mon.add(&r.mon.acquires, 1)
+			if fresh.Release(ctx, "lslow0", tok) == nil {
+				r.mon.add(&r.mon.releases, 1)
+			}
+		}
+		fresh.Close()
 	}
 }
 

@@ -28,7 +28,7 @@ func assertPassed(t *testing.T, rep Report) {
 }
 
 func TestScenarioSmoke(t *testing.T) {
-	for _, sc := range []Scenario{ScenarioLocks, ScenarioElect, ScenarioChaos, ScenarioFuzz, ScenarioMixed, ScenarioAbortStorm} {
+	for _, sc := range []Scenario{ScenarioLocks, ScenarioElect, ScenarioChaos, ScenarioFuzz, ScenarioMixed, ScenarioAbortStorm, ScenarioOverload} {
 		sc := sc
 		t.Run(string(sc), func(t *testing.T) {
 			t.Parallel()
@@ -56,6 +56,10 @@ func TestScenarioSmoke(t *testing.T) {
 				if rep.Aborts == 0 {
 					t.Fatalf("storm drove no elector aborts: %+v", rep)
 				}
+			case ScenarioOverload:
+				if rep.Shed == 0 || rep.Goodput == 0 {
+					t.Fatalf("overload scenario neither shed nor granted: %+v", rep)
+				}
 			default:
 				if rep.Acquires == 0 || rep.Releases == 0 {
 					t.Fatalf("no lock traffic: %+v", rep)
@@ -69,7 +73,7 @@ func TestScenarioSmoke(t *testing.T) {
 // whole service run replays byte-identically from its seed, across
 // -cpu settings (run with -cpu=1,4).
 func TestReplayDeterminism(t *testing.T) {
-	for _, sc := range []Scenario{ScenarioLocks, ScenarioChaos, ScenarioMixed, ScenarioAbortStorm} {
+	for _, sc := range []Scenario{ScenarioLocks, ScenarioChaos, ScenarioMixed, ScenarioAbortStorm, ScenarioOverload} {
 		sc := sc
 		t.Run(string(sc), func(t *testing.T) {
 			t.Parallel()
@@ -171,6 +175,70 @@ func TestAbortStormFaultyFabric(t *testing.T) {
 			rep := runOnce(t, Config{
 				Seed:     seed,
 				Scenario: ScenarioAbortStorm,
+				Ops:      25,
+				Faults: dst.Faults{
+					DelayMin:     20 * time.Microsecond,
+					DelayMax:     800 * time.Microsecond,
+					ConnectDelay: 100 * time.Microsecond,
+					DropProb:     0.02,
+					DupProb:      0.02,
+					ResetProb:    0.005,
+				},
+			})
+			assertPassed(t, rep)
+		})
+	}
+}
+
+// TestOverload drives the overload scenario across several seeds and
+// asserts graceful degradation directly: the admission bounds held (a
+// breach lands in Errors via the continuous check), the server both
+// shed and granted, propagated deadlines were enforced server-side, the
+// non-draining client was evicted, and the arena's slot population
+// returned to baseline — shed requests never keep a slot.
+func TestOverload(t *testing.T) {
+	for _, seed := range []uint64{1, 4, 17, 0x10ad} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep := runOnce(t, Config{Seed: seed, Scenario: ScenarioOverload})
+			assertPassed(t, rep)
+			if rep.Shed == 0 {
+				t.Fatalf("admission control never engaged: %+v", rep)
+			}
+			if rep.DeadlineExpired == 0 {
+				t.Fatalf("no propagated deadline was enforced server-side: %+v", rep)
+			}
+			if rep.SlowClientEvictions == 0 {
+				t.Fatalf("the non-draining client survived: %+v", rep)
+			}
+			if rep.Goodput == 0 {
+				t.Fatalf("zero goodput under overload: %+v", rep)
+			}
+			if rep.QueueDepthHighWater != overloadMaxWaiters {
+				t.Fatalf("queue high-water %d, want the scenario to saturate its bound %d",
+					rep.QueueDepthHighWater, overloadMaxWaiters)
+			}
+			// lock names load0, load1, lslow0 stay live (eviction off).
+			if rep.SlotsOutstanding != 3 {
+				t.Fatalf("post-flood slot population %d, want 3 (one per live mutex)", rep.SlotsOutstanding)
+			}
+		})
+	}
+}
+
+// TestOverloadFaultyFabric reruns the flood with byte-level faults on
+// top: strict expectations disarm, but the unconditional invariants —
+// exclusion, admission bounds, slot accounting, in-flight quiescence,
+// clean drain — must hold.
+func TestOverloadFaultyFabric(t *testing.T) {
+	for _, seed := range []uint64{7, 23} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep := runOnce(t, Config{
+				Seed:     seed,
+				Scenario: ScenarioOverload,
 				Ops:      25,
 				Faults: dst.Faults{
 					DelayMin:     20 * time.Microsecond,

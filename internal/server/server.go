@@ -37,6 +37,20 @@
 // election payloads, v1 connections receive the exact PR 4 byte shapes.
 // Old clients simply never send HELLO and keep working.
 //
+// # Overload (protocol v3)
+//
+// Under offered load beyond capacity the server sheds and bounds rather
+// than queueing without limit. Admission control (Config.MaxWaiters,
+// Config.MaxInflight) refuses excess ACQUIREs with StatusBusy plus a
+// retry-after suggestion before they ever take an arena round. A v3
+// ACQUIRE may carry the client's remaining deadline (waitMs); when it
+// expires mid-wait the server aborts the waiter through the elector
+// (MutexProc.Abort — the PR 7 machinery) so the slot recycles instead
+// of electing for a caller that already gave up. Writes run under
+// Config.WriteTimeout: a peer that stops draining responses is evicted
+// through the normal disconnect-recovery path. v1/v2 connections never
+// see the new shapes — sheds answer them with a plain error frame.
+//
 // # Batching
 //
 // Each connection is served by one goroutine. The request loop blocks
@@ -105,6 +119,23 @@ type Config struct {
 	// (deadlines are computed against a sweeper-maintained coarse clock
 	// so the grant path never reads the wall clock).
 	LeaseSweep time.Duration
+	// MaxWaiters, when positive, bounds each named lock's wait queue:
+	// an ACQUIRE that would be the (MaxWaiters+1)-th concurrently
+	// admitted acquisition of one lock is shed with BUSY instead of
+	// queued. The count includes the acquisition that will win the
+	// current round — it is queue occupancy, not "waiters behind the
+	// holder". 0 means unbounded (the pre-v3 behavior).
+	MaxWaiters int
+	// MaxInflight, when positive, is the global admission budget: the
+	// total concurrently admitted ACQUIREs across all locks. Excess is
+	// shed with BUSY. 0 means unbounded.
+	MaxInflight int
+	// WriteTimeout, when positive, bounds each response-batch write. A
+	// connection whose peer stops draining responses long enough for a
+	// flush to exceed it is evicted (slow-client policy); its held
+	// locks and process slot are recovered by the normal
+	// disconnect-recovery path. 0 means writes may block indefinitely.
+	WriteTimeout time.Duration
 	// MaxIdle, when positive, enables server-driven eviction: named
 	// locks whose counters have been quiet for at least this long are
 	// retired on the eviction timer, their final slots returned to the
@@ -158,6 +189,18 @@ type Server struct {
 	opCounts   [10]atomic.Uint64 // indexed by opcode; [0] unused
 	violations atomic.Uint64
 	expiries   atomic.Uint64 // leases enforced by the sweeper
+
+	// Overload accounting (see Config.MaxWaiters / MaxInflight /
+	// WriteTimeout). inflight is the live global admission gauge; the
+	// high-water marks are recorded on admission only, so they are ≤
+	// the configured bounds by construction — what the dst overload
+	// invariants assert.
+	inflight        atomic.Int64
+	shed            atomic.Uint64
+	deadlineExpired atomic.Uint64
+	slowEvictions   atomic.Uint64
+	queueHW         atomic.Int64
+	inflightHW      atomic.Int64
 	// coarseNow is the sweeper-maintained wall clock (unix nanos),
 	// refreshed every LeaseSweep. Lease deadlines are computed against
 	// it instead of time.Now(): reading the real clock costs a syscall
@@ -179,7 +222,11 @@ type lockEntry struct {
 	m     *randtas.Mutex
 	owner atomic.Uint64 // holder's fencing token; 0 when free
 	lease atomic.Int64  // lease deadline, unix nanos; 0 = no lease
-	procs []*randtas.MutexProc
+	// waiters is the admitted queue occupancy (only maintained when
+	// Config.MaxWaiters > 0): every concurrently admitted ACQUIRE of
+	// this lock, the round's eventual winner included.
+	waiters atomic.Int64
+	procs   []*randtas.MutexProc
 }
 
 // proc returns the retained MutexProc for slot id, creating it on first
@@ -571,6 +618,102 @@ func (s *Server) VisitLocks(f func(name string, owner uint64, leaseDeadline int6
 // CoarseNow reports the sweeper-maintained coarse clock in unix nanos.
 func (s *Server) CoarseNow() int64 { return s.coarseNow.Load() }
 
+// OverloadStats is a snapshot of the admission-control and backpressure
+// counters, for tests and the dst overload invariants.
+type OverloadStats struct {
+	// Shed counts ACQUIREs refused by admission control; DeadlineExpired
+	// those aborted because the client's propagated waitMs ran out;
+	// SlowClientEvictions connections dropped on a write timeout.
+	Shed                uint64
+	DeadlineExpired     uint64
+	SlowClientEvictions uint64
+	// QueueDepthHighWater / InflightHighWater are the admission
+	// high-water marks (≤ the configured bounds when enabled).
+	QueueDepthHighWater int64
+	InflightHighWater   int64
+	// InflightNow is the live global admission gauge; it must return to
+	// 0 once the service quiesces, or a reservation leaked.
+	InflightNow int64
+}
+
+// Overload returns the current overload counters.
+func (s *Server) Overload() OverloadStats {
+	return OverloadStats{
+		Shed:                s.shed.Load(),
+		DeadlineExpired:     s.deadlineExpired.Load(),
+		SlowClientEvictions: s.slowEvictions.Load(),
+		QueueDepthHighWater: s.queueHW.Load(),
+		InflightHighWater:   s.inflightHW.Load(),
+		InflightNow:         s.inflight.Load(),
+	}
+}
+
+// reserve admits one ACQUIRE against the per-lock queue bound and the
+// global in-flight budget, reporting false — with nothing reserved —
+// when either is exhausted. The pattern is reserve-then-check: the
+// counter is bumped first and rolled back on refusal, so the admitted
+// occupancy can never exceed the bound, and the high-water marks
+// (recorded on admission only) inherit that guarantee. With both bounds
+// off this is two predictable branches on the hot path.
+func (s *Server) reserve(e *lockEntry) bool {
+	if mw := s.cfg.MaxWaiters; mw > 0 {
+		d := e.waiters.Add(1)
+		if d > int64(mw) {
+			e.waiters.Add(-1)
+			return false
+		}
+		atomicMax(&s.queueHW, d)
+	}
+	if mi := s.cfg.MaxInflight; mi > 0 {
+		g := s.inflight.Add(1)
+		if g > int64(mi) {
+			s.inflight.Add(-1)
+			if s.cfg.MaxWaiters > 0 {
+				e.waiters.Add(-1)
+			}
+			return false
+		}
+		atomicMax(&s.inflightHW, g)
+	}
+	return true
+}
+
+// unreserve returns an admitted ACQUIRE's reservations once its
+// LockWhile resolved (granted, aborted, or retried).
+func (s *Server) unreserve(e *lockEntry) {
+	if s.cfg.MaxWaiters > 0 {
+		e.waiters.Add(-1)
+	}
+	if s.cfg.MaxInflight > 0 {
+		s.inflight.Add(-1)
+	}
+}
+
+// retryAfterMillis is the server's retry suggestion on a shed: two
+// sweep intervals — the granularity at which leases expire and
+// deadlines fire, i.e. the soonest the picture can change. Derived from
+// configuration only, so simulated schedules stay deterministic; the
+// client adds seeded jitter on its side.
+func (s *Server) retryAfterMillis() uint32 {
+	ms := int64(2*s.cfg.LeaseSweep) / int64(time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1000 {
+		ms = 1000
+	}
+	return uint32(ms)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // lockEntry returns the server-side state of a named lock, creating it
 // on first use. An entry whose mutex was retired by eviction is dropped
 // and re-resolved — the registry hands out a fresh incarnation for the
@@ -691,14 +834,47 @@ func (c *conn) replyErr(id uint32, format string, args ...interface{}) {
 
 // flush writes the batched responses. A write error is remembered by
 // the caller loop via the returned error; the batch buffer is always
-// reset.
+// reset. With WriteTimeout set, the write runs under a deadline: a peer
+// that stopped draining responses (kernel buffers full, reader wedged)
+// times the flush out and is evicted — counted, logged, and recovered
+// through the same deferred cleanup a disconnect takes. Combined with
+// the maxBatchedResponses bound this caps per-connection response
+// memory: the buffer cannot grow past the bound, and the flush that
+// would block forever dies in WriteTimeout instead.
 func (c *conn) flush() error {
 	if len(c.out) == 0 {
 		return nil
 	}
+	wt := c.s.cfg.WriteTimeout
+	if wt > 0 {
+		c.nc.SetWriteDeadline(c.s.clock.Now().Add(wt))
+	}
 	_, err := c.nc.Write(c.out)
+	if wt > 0 {
+		c.nc.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			c.s.slowEvictions.Add(1)
+			c.s.cfg.Logf("tasd: evicting slow client %v (flush stalled > %v)", c.nc.RemoteAddr(), wt)
+		}
+	}
 	c.out = c.out[:0]
 	return err
+}
+
+// shedReply answers an ACQUIRE the server refuses to wait out —
+// admission-control shed or propagated-deadline expiry. v3 connections
+// receive StatusBusy with the retry-after suggestion; older clients,
+// whose protocol never defined BUSY on ACQUIRE, get a plain error frame
+// they already know how to surface.
+func (c *conn) shedReply(req wire.Request) {
+	if c.version >= 3 {
+		c.reply(req.ID, wire.StatusBusy, wire.BusyPayload(c.s.retryAfterMillis()))
+		return
+	}
+	c.replyErr(req.ID, "ACQUIRE %q: server overloaded, retry later", req.Name)
 }
 
 // maxBatchedResponses caps how much response data a batch accumulates
@@ -879,6 +1055,14 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 		return true
 
 	case wire.OpAcquire:
+		// Propagated client deadline (v3 waitMs): absolute, against the
+		// sweeper's coarse clock, so the wait loop below never reads the
+		// wall clock. Like leases it can fire at most 2×LeaseSweep late,
+		// never early — enforcement lands within waitMs + 2×LeaseSweep.
+		var deadline int64
+		if req.WaitMillis > 0 {
+			deadline = s.coarseNow.Load() + int64(req.WaitMillis)*int64(time.Millisecond)
+		}
 		for {
 			cl := c.lock(req.Name)
 			c.reapFenced(cl) // a lease-expired grant is cleaned up, not an error
@@ -886,21 +1070,31 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 				c.replyErr(req.ID, "ACQUIRE %q: already held by this connection (locks are not reentrant)", req.Name)
 				return true
 			}
+			// Admission control: shed rather than queue when the lock's
+			// wait queue or the global in-flight budget is full. A shed
+			// request never enters LockWhile, so it never takes an arena
+			// slot — the invariant the dst overload scenario asserts.
+			if !s.reserve(cl.entry) {
+				s.shed.Add(1)
+				c.shedReply(req)
+				return true
+			}
 			// Block through LockWhile (not a TryLock probe first — that
 			// would count every contended ACQUIRE as a TRYACQUIRE loss in
 			// the per-lock stats). The stop predicate runs only while
 			// waiting for the holder to hand over; on the first poll it
 			// flushes the batch's earlier responses so pipelined
-			// predecessors aren't delayed. Give-up conditions — the drain
-			// and the waiter's own client vanishing — are routed through
-			// the elector's abort protocol rather than returned from the
-			// predicate: the abort resolves the waiter as a loss with
-			// exact win/lose accounting (a round emptied by a disconnect
-			// storm recycles immediately) and also lands mid-election,
-			// where the stop flag is never consulted. The drain sweep in
-			// Shutdown aborts parked waiters from outside the same way.
+			// predecessors aren't delayed. Give-up conditions — the drain,
+			// the propagated deadline expiring, and the waiter's own
+			// client vanishing — are routed through the elector's abort
+			// protocol rather than returned from the predicate: the abort
+			// resolves the waiter as a loss with exact win/lose accounting
+			// (a round emptied by a disconnect storm recycles immediately)
+			// and also lands mid-election, where the stop flag is never
+			// consulted. The drain sweep in Shutdown aborts parked waiters
+			// from outside the same way.
 			var flushErr error
-			var peerDead bool
+			var peerDead, deadlineHit bool
 			flushed := false
 			c.blocked.Store(cl.proc)
 			tok, won := cl.proc.LockWhile(func() bool {
@@ -913,6 +1107,9 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 				}
 				if s.draining.Load() {
 					cl.proc.Abort()
+				} else if deadline != 0 && s.coarseNow.Load() >= deadline {
+					deadlineHit = true
+					cl.proc.Abort()
 				} else if c.dead() {
 					peerDead = true
 					cl.proc.Abort()
@@ -924,12 +1121,31 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 				return false
 			})
 			c.blocked.Store(nil)
+			s.unreserve(cl.entry)
 			if won {
+				if deadlineHit || (deadline != 0 && s.coarseNow.Load() >= deadline) {
+					// Won the race against its own expiry. The client
+					// asked not to be answered this late — don't park the
+					// lock on a ghost; Unlock installs the successor round
+					// and the win is undone before the owner word or a
+					// lease ever saw it. (A pending abort flag from the
+					// lost race is consumed as a stale abort by this
+					// connection's next acquisition and retried.)
+					cl.proc.Unlock(tok)
+					s.deadlineExpired.Add(1)
+					c.shedReply(req)
+					return true
+				}
 				c.grant(cl, req, tok)
 				return true
 			}
 			if flushErr != nil || peerDead {
 				return false
+			}
+			if deadlineHit {
+				s.deadlineExpired.Add(1)
+				c.shedReply(req)
+				return true
 			}
 			if s.draining.Load() {
 				c.replyErr(req.ID, "ACQUIRE %q: server draining", req.Name)
@@ -1158,6 +1374,14 @@ func (s *Server) stats() wire.Stats {
 		Violations:       s.violations.Load(),
 		LeaseExpirations: s.expiries.Load(),
 		Evictions:        s.reg.Evictions(),
+
+		Shed:                s.shed.Load(),
+		DeadlineExpired:     s.deadlineExpired.Load(),
+		SlowClientEvictions: s.slowEvictions.Load(),
+		QueueDepthHighWater: s.queueHW.Load(),
+		InflightHighWater:   s.inflightHW.Load(),
+		MaxWaiters:          s.cfg.MaxWaiters,
+		MaxInflight:         s.cfg.MaxInflight,
 	}
 	for op := byte(1); int(op) < len(s.opCounts); op++ {
 		if n := s.opCounts[op].Load(); n > 0 {

@@ -44,6 +44,27 @@
 // before the old deadline to be guaranteed effective — renewing at
 // TTL/3 intervals, as KeepAlive does, clears that bar comfortably.
 //
+// Version 3 adds the overload surface. Blocking-capable requests may
+// append a client deadline to their trailer — a u32 wait budget in
+// milliseconds ("answer me within waitMs or give up on my behalf"):
+//
+//	ACQUIRE     u32 TTL ms + u32 wait ms   (8-byte trailer)
+//	TRYACQUIRE  u32 TTL ms + u32 wait ms   (8-byte trailer)
+//	ELECT       u32 wait ms                (4-byte trailer)
+//	ELECTEPOCH  u32 wait ms                (4-byte trailer)
+//	ELECTRESET  u64 epoch + u32 wait ms    (12-byte trailer)
+//
+// Trailers remain length-discriminated: a v3 decoder accepts every
+// older shape, and a client only emits waitMs after HELLO negotiates
+// version ≥ 3. In the other direction StatusBusy is promoted from
+// "TRYACQUIRE lost its probe" (empty payload, still valid) to the
+// general shed answer: a v3 server refusing an ACQUIRE under overload
+// — admission-control shed or propagated-deadline expiry — answers
+// StatusBusy with an optional u32 retryAfterMs payload suggesting when
+// to retry. v1/v2 connections never receive the new payload: an
+// overloaded server sheds their ACQUIREs with a StatusError instead,
+// which every existing client already surfaces as a plain error.
+//
 // A v1 frame is exactly a v2 frame with an empty trailer, so old
 // clients keep working against a v2 server unchanged: no TTL means no
 // lease, no token means the server releases by its own bookkeeping, and
@@ -66,7 +87,7 @@ import (
 )
 
 // Version is the highest protocol version this build speaks.
-const Version = 2
+const Version = 3
 
 // Request opcodes.
 const (
@@ -84,7 +105,7 @@ const (
 // Response status codes.
 const (
 	StatusOK     byte = 0 // operation succeeded; see per-op payloads
-	StatusBusy   byte = 1 // TRYACQUIRE lost its probe
+	StatusBusy   byte = 1 // probe lost, request shed, or deadline expired (v3: optional retryAfterMs payload)
 	StatusError  byte = 2 // payload is a human-readable error message
 	StatusFenced byte = 3 // the token/epoch was superseded; payload: current fence (u64)
 )
@@ -112,6 +133,11 @@ const (
 // reader's limit. The connection is unrecoverable after it: the stream
 // offset no longer points at a frame boundary.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrNameTooLong is returned by AppendRequest when a name exceeds
+// MaxName. It fires before any bytes are appended, so a pipelining
+// client can reject the bad operation without poisoning the stream.
+var ErrNameTooLong = errors.New("wire: name exceeds the 255-byte limit")
 
 // OpName returns the mnemonic for an opcode, for logs and errors.
 func OpName(op byte) string {
@@ -174,6 +200,11 @@ type Request struct {
 	Epoch uint64
 	// Version is the client's highest spoken version on HELLO.
 	Version uint32
+	// WaitMillis is the client's propagated deadline (v3): the server
+	// should answer — grant, shed, or abort the wait — within this many
+	// milliseconds. 0 means no deadline. Valid on ACQUIRE, TRYACQUIRE
+	// and the ELECT family.
+	WaitMillis uint32
 }
 
 // Response is one decoded server→client frame.
@@ -198,6 +229,9 @@ func trailerLen(req Request) int {
 	case OpHello:
 		return 4
 	case OpAcquire, OpTryAcquire:
+		if req.WaitMillis != 0 {
+			return 8
+		}
 		if req.TTLMillis != 0 {
 			return 4
 		}
@@ -205,7 +239,14 @@ func trailerLen(req Request) int {
 		if req.Token != 0 {
 			return 8
 		}
+	case OpElect, OpElectEpoch:
+		if req.WaitMillis != 0 {
+			return 4
+		}
 	case OpElectReset:
+		if req.WaitMillis != 0 {
+			return 12
+		}
 		return 8
 	case OpExtend:
 		return 12
@@ -219,7 +260,7 @@ func trailerLen(req Request) int {
 // which keeps v1-shaped traffic byte-identical to PR 4.
 func AppendRequest(buf []byte, req Request) ([]byte, error) {
 	if len(req.Name) > MaxName {
-		return buf, fmt.Errorf("wire: name %d bytes exceeds the %d-byte limit", len(req.Name), MaxName)
+		return buf, fmt.Errorf("%w (%d bytes)", ErrNameTooLong, len(req.Name))
 	}
 	if req.Op == OpExtend && (req.Token == 0 || req.TTLMillis == 0) {
 		return buf, errors.New("wire: EXTEND requires a fencing token and a positive TTL")
@@ -230,18 +271,32 @@ func AppendRequest(buf []byte, req Request) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, req.ID)
 	buf = append(buf, byte(len(req.Name)))
 	buf = append(buf, req.Name...)
-	switch {
-	case req.Op == OpHello:
+	switch req.Op {
+	case OpHello:
 		buf = binary.BigEndian.AppendUint32(buf, req.Version)
-	case req.Op == OpExtend:
+	case OpExtend:
 		buf = binary.BigEndian.AppendUint64(buf, req.Token)
 		buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
-	case tl == 4:
-		buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
-	case req.Op == OpElectReset:
+	case OpAcquire, OpTryAcquire:
+		if tl >= 4 {
+			buf = binary.BigEndian.AppendUint32(buf, req.TTLMillis)
+		}
+		if tl == 8 {
+			buf = binary.BigEndian.AppendUint32(buf, req.WaitMillis)
+		}
+	case OpRelease:
+		if tl == 8 {
+			buf = binary.BigEndian.AppendUint64(buf, req.Token)
+		}
+	case OpElect, OpElectEpoch:
+		if tl == 4 {
+			buf = binary.BigEndian.AppendUint32(buf, req.WaitMillis)
+		}
+	case OpElectReset:
 		buf = binary.BigEndian.AppendUint64(buf, req.Epoch)
-	case tl == 8:
-		buf = binary.BigEndian.AppendUint64(buf, req.Token)
+		if tl == 12 {
+			buf = binary.BigEndian.AppendUint32(buf, req.WaitMillis)
+		}
 	}
 	return buf, nil
 }
@@ -311,6 +366,17 @@ func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
 		case 0:
 		case 4:
 			req.TTLMillis = binary.BigEndian.Uint32(trailer)
+		case 8:
+			req.TTLMillis = binary.BigEndian.Uint32(trailer)
+			req.WaitMillis = binary.BigEndian.Uint32(trailer[4:])
+		default:
+			return Request{}, fmt.Errorf("wire: %s trailer %d bytes, want 0, 4 or 8", OpName(req.Op), len(trailer))
+		}
+	case OpElect, OpElectEpoch:
+		switch len(trailer) {
+		case 0:
+		case 4:
+			req.WaitMillis = binary.BigEndian.Uint32(trailer)
 		default:
 			return Request{}, fmt.Errorf("wire: %s trailer %d bytes, want 0 or 4", OpName(req.Op), len(trailer))
 		}
@@ -323,10 +389,15 @@ func ReadRequest(r io.Reader, maxFrame int) (Request, error) {
 			return Request{}, fmt.Errorf("wire: RELEASE trailer %d bytes, want 0 or 8", len(trailer))
 		}
 	case OpElectReset:
-		if len(trailer) != 8 {
-			return Request{}, fmt.Errorf("wire: ELECTRESET trailer %d bytes, want 8", len(trailer))
+		switch len(trailer) {
+		case 8:
+			req.Epoch = binary.BigEndian.Uint64(trailer)
+		case 12:
+			req.Epoch = binary.BigEndian.Uint64(trailer)
+			req.WaitMillis = binary.BigEndian.Uint32(trailer[8:])
+		default:
+			return Request{}, fmt.Errorf("wire: ELECTRESET trailer %d bytes, want 8 or 12", len(trailer))
 		}
-		req.Epoch = binary.BigEndian.Uint64(trailer)
 	case OpExtend:
 		if len(trailer) != 12 {
 			return Request{}, fmt.Errorf("wire: EXTEND trailer %d bytes, want 12", len(trailer))
@@ -405,6 +476,32 @@ func ParseElectPayload(p []byte) (leader bool, epoch uint64, ok bool) {
 	}
 }
 
+// BusyPayload encodes a v3 shed answer: the server's suggested retry
+// delay in milliseconds (0 means no suggestion, encoded empty so the
+// frame stays byte-identical to a v1/v2 probe-loss BUSY).
+func BusyPayload(retryAfterMillis uint32) []byte {
+	if retryAfterMillis == 0 {
+		return nil
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], retryAfterMillis)
+	return b[:]
+}
+
+// ParseBusyPayload decodes a BUSY payload. The empty payload (a v1/v2
+// probe loss, or a shed with no suggestion) decodes as (0, true); any
+// shape other than empty or u32 is rejected.
+func ParseBusyPayload(p []byte) (retryAfterMillis uint32, ok bool) {
+	switch len(p) {
+	case 0:
+		return 0, true
+	case 4:
+		return binary.BigEndian.Uint32(p), true
+	default:
+		return 0, false
+	}
+}
+
 // HelloPayload encodes the server's negotiated version.
 func HelloPayload(version uint32) []byte {
 	var b [4]byte
@@ -449,6 +546,26 @@ type Stats struct {
 	// Evictions counts named locks retired by the registry's idle
 	// eviction.
 	Evictions uint64 `json:"evictions,omitempty"`
+	// Shed counts ACQUIREs refused by admission control (per-lock wait
+	// queue full or global in-flight budget exhausted) with BUSY.
+	Shed uint64 `json:"shed,omitempty"`
+	// DeadlineExpired counts ACQUIREs whose propagated client deadline
+	// (waitMs) expired while waiting; the wait was aborted through the
+	// elector and answered BUSY.
+	DeadlineExpired uint64 `json:"deadline_expired,omitempty"`
+	// SlowClientEvictions counts connections dropped because the peer
+	// stopped draining responses and a flush exceeded the write timeout.
+	SlowClientEvictions uint64 `json:"slow_client_evictions,omitempty"`
+	// QueueDepthHighWater is the deepest admitted per-lock wait queue
+	// observed; InflightHighWater the peak global in-flight admitted
+	// ACQUIREs. Both are ≤ the configured bounds when admission control
+	// is on, by construction.
+	QueueDepthHighWater int64 `json:"queue_depth_high_water,omitempty"`
+	InflightHighWater   int64 `json:"inflight_high_water,omitempty"`
+	// MaxWaiters / MaxInflight echo the admission-control configuration
+	// (0: unbounded).
+	MaxWaiters  int `json:"max_waiters,omitempty"`
+	MaxInflight int `json:"max_inflight,omitempty"`
 	// Truncated is set when the per-name lists below were cut short so
 	// the snapshot fits in one response frame; the scalar counters
 	// above are always complete.

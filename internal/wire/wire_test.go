@@ -81,10 +81,95 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 // TestNameTooLong: names longer than one length byte can express are
-// rejected at encode time, not silently truncated.
+// rejected at encode time with the typed error, not silently truncated,
+// and without appending any bytes (the stream stays frame-aligned).
 func TestNameTooLong(t *testing.T) {
-	if _, err := AppendRequest(nil, Request{Op: OpAcquire, Name: strings.Repeat("a", MaxName+1)}); err == nil {
+	prefix := []byte{1, 2, 3}
+	buf, err := AppendRequest(prefix, Request{Op: OpAcquire, Name: strings.Repeat("a", MaxName+1)})
+	if err == nil {
 		t.Fatal("oversized name accepted")
+	}
+	if !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("err = %v, want ErrNameTooLong", err)
+	}
+	if len(buf) != len(prefix) {
+		t.Fatalf("failed append left %d bytes behind", len(buf)-len(prefix))
+	}
+}
+
+// TestV3WaitTrailers: every blocking-capable op round-trips its waitMs
+// trailer, and the wait-free encodings stay byte-identical to v2.
+func TestV3WaitTrailers(t *testing.T) {
+	reqs := []Request{
+		{Op: OpAcquire, ID: 1, Name: "w", WaitMillis: 250},
+		{Op: OpAcquire, ID: 2, Name: "w", TTLMillis: 1500, WaitMillis: 250},
+		{Op: OpTryAcquire, ID: 3, Name: "w", WaitMillis: 10},
+		{Op: OpElect, ID: 4, Name: "e", WaitMillis: 80},
+		{Op: OpElectEpoch, ID: 5, Name: "e", WaitMillis: 80},
+		{Op: OpElectReset, ID: 6, Name: "e", Epoch: 9, WaitMillis: 80},
+	}
+	var buf []byte
+	for _, r := range reqs {
+		var err error
+		if buf, err = AppendRequest(buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := bytes.NewReader(buf)
+	for _, want := range reqs {
+		got, err := ReadRequest(rd, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", OpName(want.Op), err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	// An ACQUIRE with a wait but no TTL still encodes the 8-byte
+	// trailer — the TTL slot is zero, not absent — so the decoder can
+	// stay length-discriminated.
+	one, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 1, Name: "w", WaitMillis: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 6 + 1 + 8; len(one) != want {
+		t.Fatalf("wait-only ACQUIRE is %d bytes, want %d", len(one), want)
+	}
+	// Zero wait keeps the v2 shape.
+	v2, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 1, Name: "w", TTLMillis: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 6 + 1 + 4; len(v2) != want {
+		t.Fatalf("wait-free leased ACQUIRE is %d bytes, want %d (v2 shape)", len(v2), want)
+	}
+	// A 5-byte ACQUIRE trailer is a protocol error, not a zeroed decode.
+	bad, err := AppendRequest(nil, Request{Op: OpAcquire, ID: 1, Name: "w", TTLMillis: 1, WaitMillis: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = bad[:len(bad)-3]
+	binary.BigEndian.PutUint32(bad[:4], uint32(len(bad)-4))
+	if _, err := ReadRequest(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("5-byte ACQUIRE trailer accepted")
+	}
+}
+
+// TestBusyPayload: the retry-after suggestion round-trips; the empty
+// v1/v2 probe-loss payload parses as "no suggestion"; foreign shapes
+// are rejected.
+func TestBusyPayload(t *testing.T) {
+	if p := BusyPayload(0); p != nil {
+		t.Fatalf("BusyPayload(0) = %v, want nil (v1/v2-identical frame)", p)
+	}
+	if ms, ok := ParseBusyPayload(BusyPayload(750)); !ok || ms != 750 {
+		t.Fatalf("busy round trip = (%d, %v)", ms, ok)
+	}
+	if ms, ok := ParseBusyPayload(nil); !ok || ms != 0 {
+		t.Fatalf("empty busy payload = (%d, %v), want (0, true)", ms, ok)
+	}
+	if _, ok := ParseBusyPayload([]byte{1, 2}); ok {
+		t.Fatal("2-byte busy payload accepted")
 	}
 }
 

@@ -22,6 +22,18 @@
 // retires an epoch so the name can elect a fresh leader, fenced by the
 // epoch number.
 //
+// # Overload (protocol v3)
+//
+// On a v3 connection the client propagates its context deadline to the
+// server as the ACQUIRE's remaining wait budget, so the server can stop
+// electing on behalf of a caller that already gave up — and an
+// overloaded server may refuse to queue an ACQUIRE at all. Both cases
+// surface as ErrBusy (check with errors.Is; errors.As against
+// *BusyError recovers the server's suggested retry delay). AcquireRetry
+// wraps the loop: it honors the retry-after suggestion with seeded
+// jitter, falling back to exponential backoff, until the lock is
+// granted or ctx is done.
+//
 // # Contexts
 //
 // Every operation takes a context; its deadline (or cancellation) is
@@ -45,6 +57,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -67,6 +80,49 @@ var ErrFenced = errors.New("tasclient: fenced (token or epoch superseded)")
 // (context expiry or transport error); dial a fresh one.
 var ErrBroken = errors.New("tasclient: connection broken by an earlier error")
 
+// ErrBusy reports an ACQUIRE the server refused to wait out: admission
+// control shed it, or the propagated deadline expired server-side.
+// Match with errors.Is; errors.As against *BusyError recovers the
+// server's suggested retry delay. The connection is fine — only this
+// operation was refused.
+var ErrBusy = errors.New("tasclient: request shed by overloaded server")
+
+// ErrNameTooLong reports a lock or election name longer than the wire
+// format's 255-byte limit. It fails the operation before any bytes are
+// written, so the connection stays usable.
+var ErrNameTooLong = wire.ErrNameTooLong
+
+// ErrHandshakeTimeout reports a DialContext whose connect+HELLO
+// exchange outlasted HandshakeTimeout against an unresponsive (e.g.
+// black-holed) endpoint.
+var ErrHandshakeTimeout = errors.New("tasclient: handshake timed out")
+
+// HandshakeTimeout bounds DialContext's connect+HELLO exchange when the
+// caller's context carries no deadline of its own, so a dial against a
+// black-holed address cannot hang forever. A package variable rather
+// than a constant so tests (and unusual deployments) can tune it.
+var HandshakeTimeout = 10 * time.Second
+
+// BusyError is the concrete error behind ErrBusy.
+type BusyError struct {
+	// Op and Name identify the refused operation.
+	Op   string
+	Name string
+	// RetryAfter is the server's suggested delay before retrying
+	// (0 when the server offered none).
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("tasclient: %s %q shed by overloaded server (retry after %v)", e.Op, e.Name, e.RetryAfter)
+	}
+	return fmt.Sprintf("tasclient: %s %q shed by overloaded server", e.Op, e.Name)
+}
+
+// Is lets errors.Is(err, ErrBusy) match.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
 // Op is one operation of a pipelined batch.
 type Op struct {
 	// Code is one of the wire opcodes re-exported below.
@@ -82,6 +138,12 @@ type Op struct {
 	Token Token
 	// Epoch is the compare-and-bump guard for OpElectReset.
 	Epoch uint64
+	// Wait is an explicit server-side wait budget for OpAcquire,
+	// OpTryAcquire and the election ops (rounded up to a millisecond;
+	// requires a v3 server): the server answers — grant, BUSY, or abort
+	// — within roughly this long. 0 defers to the batch context's
+	// deadline, which is propagated automatically on v3 connections.
+	Wait time.Duration
 }
 
 // Re-exported opcodes for building Do batches.
@@ -101,8 +163,12 @@ type Result struct {
 	// OK reports plain success: the lock was acquired or released, the
 	// election ran, the stats arrived.
 	OK bool
-	// Busy reports a lost TRYACQUIRE probe (OK is false).
+	// Busy reports a lost TRYACQUIRE probe, or (protocol v3) an ACQUIRE
+	// the server shed under overload or deadline expiry (OK is false).
 	Busy bool
+	// RetryAfter is the server's suggested retry delay on a v3 Busy
+	// answer (0 when none was offered).
+	RetryAfter time.Duration
 	// Fenced reports a superseded token or epoch (OK is false); Token
 	// carries the current fence the server answered with.
 	Fenced bool
@@ -166,7 +232,31 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 // rejects HELLO and closes the connection, so the client transparently
 // redials once and proceeds in v1 mode (no leases, no tokens on the
 // wire — Version reports what was agreed).
+//
+// When ctx carries no deadline of its own, the whole exchange — TCP
+// connect, HELLO, the v1 fallback redial — is bounded by
+// HandshakeTimeout, so a black-holed endpoint (connect accepted by the
+// listen backlog, nothing ever answering) surfaces as
+// ErrHandshakeTimeout instead of hanging forever.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
+	if _, ok := ctx.Deadline(); !ok && HandshakeTimeout > 0 {
+		hctx, cancel := context.WithTimeout(ctx, HandshakeTimeout)
+		defer cancel()
+		c, err := dialHello(hctx, addr)
+		// hctx holds the only deadline in play, but the conn's read
+		// deadline (derived from it) can fire a beat before the context
+		// timer flips — a deadline-flavored error here is the handshake
+		// timeout either way.
+		if err != nil && ctx.Err() == nil &&
+			(hctx.Err() != nil || errors.Is(err, os.ErrDeadlineExceeded)) {
+			return nil, fmt.Errorf("%w after %v: %v", ErrHandshakeTimeout, HandshakeTimeout, err)
+		}
+		return c, err
+	}
+	return dialHello(ctx, addr)
+}
+
+func dialHello(ctx context.Context, addr string) (*Client, error) {
 	c, err := dialRaw(ctx, addr)
 	if err != nil {
 		return nil, err
@@ -318,9 +408,26 @@ func (c *Client) do(ctx context.Context, ops []Op) ([]Result, error) {
 	}
 	disarm := c.arm(ctx)
 	defer disarm()
+	// On a v3 connection the batch context's deadline rides along as each
+	// waitable op's server-side budget, so the server stops electing for
+	// a caller that already gave up instead of discovering the fact from
+	// a dead connection.
+	var ctxWait uint32
+	if c.version >= 3 {
+		if d, ok := ctx.Deadline(); ok {
+			if rem := time.Until(d); rem > 0 {
+				ctxWait = clampWaitMillis(rem)
+			}
+		}
+	}
 	c.wbuf = c.wbuf[:0]
 	firstID := c.nextID
 	for _, op := range ops {
+		if len(op.Name) > wire.MaxName {
+			// Checked before any frame of the batch is written, so the
+			// stream keeps its frame boundary and the client stays usable.
+			return nil, fmt.Errorf("tasclient: %s: %w (%d bytes)", wire.OpName(op.Code), ErrNameTooLong, len(op.Name))
+		}
 		req := wire.Request{Op: op.Code, ID: c.nextID, Name: op.Name, Token: op.Token, Epoch: op.Epoch}
 		if op.Code == wire.OpHello {
 			req.Version = wire.Version
@@ -331,6 +438,17 @@ func (c *Client) do(ctx context.Context, ops []Op) ([]Result, error) {
 				return nil, fmt.Errorf("tasclient: lease TTL %v too large", op.TTL)
 			}
 			req.TTLMillis = uint32(ms)
+		}
+		switch op.Code {
+		case OpAcquire, OpTryAcquire, OpElect, OpElectEpoch, OpElectReset:
+			if op.Wait > 0 {
+				if c.version < 3 {
+					return nil, fmt.Errorf("tasclient: wait budgets need protocol v3, server negotiated v%d", c.version)
+				}
+				req.WaitMillis = clampWaitMillis(op.Wait)
+			} else {
+				req.WaitMillis = ctxWait
+			}
 		}
 		var err error
 		c.wbuf, err = wire.AppendRequest(c.wbuf, req)
@@ -367,6 +485,9 @@ func (c *Client) do(ctx context.Context, ops []Op) ([]Result, error) {
 			}
 		case wire.StatusBusy:
 			r.Busy = true
+			if ms, ok := wire.ParseBusyPayload(resp.Payload); ok {
+				r.RetryAfter = time.Duration(ms) * time.Millisecond
+			}
 		case wire.StatusFenced:
 			r.Fenced = true
 			if tok, ok := wire.ParseTokenPayload(resp.Payload); ok {
@@ -404,6 +525,11 @@ func (c *Client) one(ctx context.Context, op Op) (Result, error) {
 	if res[0].Fenced {
 		return res[0], fmt.Errorf("%w: %s %q (current fence %d)", ErrFenced, wire.OpName(op.Code), op.Name, res[0].Token)
 	}
+	if res[0].Busy && op.Code == OpAcquire {
+		// A shed ACQUIRE is an error (the caller asked for a blocking
+		// grant); a busy TRYACQUIRE probe stays a plain false answer.
+		return res[0], &BusyError{Op: wire.OpName(op.Code), Name: op.Name, RetryAfter: res[0].RetryAfter}
+	}
 	if res[0].Err != "" {
 		return res[0], fmt.Errorf("tasclient: %s %q: %s", wire.OpName(op.Code), op.Name, res[0].Err)
 	}
@@ -424,6 +550,63 @@ func (c *Client) Acquire(ctx context.Context, name string, ttl time.Duration) (T
 		return 0, err
 	}
 	return res.Token, nil
+}
+
+// AcquireWithin is Acquire with an explicit server-side wait budget:
+// the server answers within roughly wait — the grant if the lock came
+// free in time, ErrBusy otherwise. Unlike a bare context deadline, the
+// refusal is a clean per-operation answer: the connection survives and
+// the next call proceeds on it. Requires a v3 server.
+func (c *Client) AcquireWithin(ctx context.Context, name string, ttl, wait time.Duration) (Token, error) {
+	if err := c.checkLease(ttl); err != nil {
+		return 0, err
+	}
+	if wait <= 0 {
+		return 0, fmt.Errorf("tasclient: AcquireWithin requires a positive wait")
+	}
+	res, err := c.one(ctx, Op{Code: OpAcquire, Name: name, TTL: ttl, Wait: wait})
+	if err != nil {
+		return 0, err
+	}
+	return res.Token, nil
+}
+
+// AcquireRetry's backoff window when the server's BUSY answer carries
+// no pacing suggestion of its own.
+const (
+	acquireRetryBase = 5 * time.Millisecond
+	acquireRetryCap  = 500 * time.Millisecond
+)
+
+// AcquireRetry acquires the named lock, absorbing overload: every
+// ErrBusy answer — the server shed the request, or the propagated
+// deadline expired there — is retried until the grant lands or ctx is
+// done. When the server suggested a retry delay, the client honors it
+// and adds jitter on top (never retrying early); otherwise it falls
+// back to the same seeded exponential backoff KeepAlive uses, so a
+// simulation replays the pacing byte-identically. Any non-busy error
+// returns as-is.
+func (c *Client) AcquireRetry(ctx context.Context, name string, ttl time.Duration) (Token, error) {
+	retries := 0
+	for {
+		tok, err := c.Acquire(ctx, name, ttl)
+		var busy *BusyError
+		if !errors.As(err, &busy) {
+			return tok, err
+		}
+		delay := busy.RetryAfter
+		if delay > 0 {
+			// Jitter only stretches the server's suggestion, so a shed
+			// fleet neither returns early nor returns in lockstep.
+			delay += time.Duration(c.jitter.Intn(int(delay/2) + 1))
+		} else {
+			delay = c.backoffDelay(retries, acquireRetryBase, acquireRetryCap)
+		}
+		retries++
+		if err := c.sleep(ctx, delay); err != nil {
+			return 0, err
+		}
+	}
 }
 
 // TryAcquire makes one non-blocking attempt at the named lock,
@@ -527,26 +710,44 @@ func (c *Client) KeepAlive(ctx context.Context, name string, tok Token, ttl time
 			// poisoned, no retry can travel over it.
 			return err
 		}
-		// Transient: back off exponentially from interval/8, capped at
-		// interval, with uniform jitter in [delay/2, delay) so a fleet
-		// of heartbeats recovering from one hiccup doesn't re-dogpile
-		// the server. Give up once the lease cannot have survived.
-		delay = interval / 8
-		if delay <= 0 {
-			delay = time.Millisecond
-		}
-		for i := 0; i < retries && delay < interval; i++ {
-			delay *= 2
-		}
-		if delay > interval {
-			delay = interval
-		}
+		// Transient: back off, and give up once the lease cannot have
+		// survived until the next retry.
+		delay = c.backoffDelay(retries, interval/8, interval)
 		retries++
-		delay = delay/2 + time.Duration(c.jitter.Intn(int(delay/2)+1))
 		if c.clock.Since(lastOK)+delay >= ttl {
 			return err // the lease is lost before another retry could land
 		}
 	}
+}
+
+// backoffDelay is the shared retry pacing for KeepAlive and
+// AcquireRetry: exponential from base (doubled once per prior retry),
+// capped at max, then jittered uniformly into [delay/2, delay] from the
+// client's seeded stream — so a fleet recovering from one hiccup
+// doesn't re-dogpile the server, and a simulation replays the sequence
+// byte-identically.
+func (c *Client) backoffDelay(retries int, base, max time.Duration) time.Duration {
+	delay := base
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	for i := 0; i < retries && delay < max; i++ {
+		delay *= 2
+	}
+	if delay > max {
+		delay = max
+	}
+	return delay/2 + time.Duration(c.jitter.Intn(int(delay/2)+1))
+}
+
+// clampWaitMillis rounds d up to whole milliseconds, saturating at the
+// wire field's uint32 range.
+func clampWaitMillis(d time.Duration) uint32 {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms >= 1<<32 {
+		return 1<<32 - 1
+	}
+	return uint32(ms)
 }
 
 // sleep pauses for d on the client's clock, cut short by ctx. A context
