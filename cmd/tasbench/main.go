@@ -16,6 +16,8 @@
 //	         [-addr host:port] [-netout BENCH_PR8.json] [-netfloor OPS]
 //	tasbench -mode=dst [-dstseeds N] [-seed S] [-dstscenario all|mixed|...]
 //	         [-dstops N] [-dstv]
+//	tasbench -mode=complexity [-trials N] [-seed S] [-quick]
+//	         [-cxout BENCH_PR9.json] [-benchpre name=ns,...] [-benchpost name=ns,...]
 //
 // Each experiment prints a fixed-width table whose *shape* (who wins, by
 // what growth rate, where crossovers fall) reproduces the corresponding
@@ -87,6 +89,10 @@ func main() {
 		holdLock = flag.String("holdlock", "smoke/hold", "hold: lock name to acquire")
 		holdFor  = flag.Duration("holdfor", 0, "hold: how long to sit on the lock before releasing")
 
+		cxOut  = flag.String("cxout", "BENCH_PR9.json", "complexity: output JSON path ('' = no file)")
+		cxPre  = flag.String("benchpre", "", "complexity: committed counters-off baseline ns/op, e.g. mutex/combined=288.9,reset/full=7640")
+		cxPost = flag.String("benchpost", "", "complexity: post-change counters-off ns/op, same shape as -benchpre")
+
 		dstSeeds    = flag.Int("dstseeds", 64, "dst: corpus size (seeds base, base+1, ...)")
 		dstScenario = flag.String("dstscenario", "all", "dst: scenario ('mixed', 'locks', 'chaos', 'elect', 'fuzz', 'abortstorm', 'overload') or 'all' to rotate")
 		dstOps      = flag.Int("dstops", 0, "dst: operations per client (0 = scenario default)")
@@ -95,6 +101,19 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
+	case "complexity":
+		err := runComplexity(complexityConfig{
+			seed:      *seed,
+			trials:    *trials,
+			quick:     *quick,
+			out:       *cxOut,
+			benchPre:  *cxPre,
+			benchPost: *cxPost,
+		})
+		if err != nil {
+			fatalf("tasbench: %v", err)
+		}
+		return
 	case "dst":
 		err := runDST(dstConfig{
 			seeds:    *dstSeeds,
@@ -176,7 +195,7 @@ func main() {
 	case "experiments":
 		// fall through to the simulator tables below
 	default:
-		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare', 'net', 'hold' or 'dst')", *mode)
+		fatalf("tasbench: unknown -mode %q (want 'experiments', 'throughput', 'compare', 'simcompare', 'net', 'hold', 'dst' or 'complexity')", *mode)
 	}
 
 	cfg := config{trials: *trials, seed: *seed, quick: *quick}

@@ -74,6 +74,13 @@ type Config struct {
 	// against its own baseline inside one binary; leave it false in
 	// production.
 	Plain bool
+	// CountRMRs builds every slot's register space with RMR accounting
+	// (concurrent.Config.CountRMRs): each process's handle then tallies
+	// remote memory references in the CC and DSM models alongside its
+	// step count — see MutexProc.CCRMRs/DSMRMRs. Off by default; the
+	// accounting branch costs a flag test per step, so leave it off when
+	// only throughput matters.
+	CountRMRs bool
 }
 
 // DefaultShards and DefaultPrealloc size an Arena when Config leaves the
@@ -201,6 +208,7 @@ type Arena struct {
 	shards  []shard
 	doorway bool
 	plain   bool
+	acct    bool
 }
 
 // New builds an arena and preallocates cfg.Prealloc slots per shard.
@@ -228,6 +236,7 @@ func New(cfg Config) (*Arena, error) {
 		shards:  make([]shard, shards),
 		doorway: !cfg.NoDoorway && !cfg.Plain,
 		plain:   cfg.Plain,
+		acct:    cfg.CountRMRs,
 	}
 	for i := range a.shards {
 		for j := 0; j < prealloc; j++ {
@@ -245,7 +254,7 @@ func (a *Arena) N() int { return a.n }
 func (a *Arena) Shards() int { return len(a.shards) }
 
 func (a *Arena) build(shardIdx uint32) *Slot {
-	space := concurrent.NewSpace()
+	space := concurrent.NewSpaceConfig(concurrent.Config{CountRMRs: a.acct})
 	le := a.factory(space, a.n)
 	if a.doorway {
 		le = tas.NewFastPath(space, le)

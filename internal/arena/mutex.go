@@ -279,6 +279,14 @@ type MutexProc struct {
 // handle.
 func (p *MutexProc) Steps() int { return p.h.Steps() }
 
+// CCRMRs reports the cumulative cache-coherent-model remote memory
+// references of the underlying handle. Always zero unless the backing
+// arena was built with Config.CountRMRs.
+func (p *MutexProc) CCRMRs() int { return p.h.CCRMRs() }
+
+// DSMRMRs is CCRMRs for the distributed-shared-memory cost model.
+func (p *MutexProc) DSMRMRs() int { return p.h.DSMRMRs() }
+
 // Token returns the fencing token this proc currently holds, or 0 when
 // it does not hold the mutex.
 func (p *MutexProc) Token() uint64 {

@@ -75,6 +75,54 @@ func TestMutualExclusion(t *testing.T) {
 	}
 }
 
+// TestMutexRMRAccounting: an arena built with Config.CountRMRs surfaces
+// per-proc RMR tallies through MutexProc, bounded by the step count (a
+// step is at most one remote reference in either model); the default
+// arena reports zero.
+func TestMutexRMRAccounting(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 50
+	)
+	run := func(count bool) []*MutexProc {
+		a, err := New(Config{N: workers, Shards: 2, Prealloc: 2, Factory: logStarFactory, CountRMRs: count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMutex(a)
+		procs := make([]*MutexProc, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			procs[w] = proc(m, w)
+			wg.Add(1)
+			go func(p *MutexProc) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					unlock(t, p, lock(t, p))
+				}
+			}(procs[w])
+		}
+		wg.Wait()
+		return procs
+	}
+	for _, p := range run(true) {
+		// CC is necessarily positive (a round's first write claims an
+		// unowned line); DSM may be zero for a proc that always arrived
+		// first and so owns the home of every line it touched.
+		if p.CCRMRs() <= 0 {
+			t.Errorf("counting proc reports %d CC RMRs, want positive", p.CCRMRs())
+		}
+		if p.CCRMRs() > p.Steps() || p.DSMRMRs() > p.Steps() {
+			t.Errorf("RMRs exceed steps: %d CC, %d DSM, %d steps", p.CCRMRs(), p.DSMRMRs(), p.Steps())
+		}
+	}
+	for _, p := range run(false) {
+		if p.CCRMRs() != 0 || p.DSMRMRs() != 0 {
+			t.Errorf("default proc reports (%d CC, %d DSM) RMRs, want zero", p.CCRMRs(), p.DSMRMRs())
+		}
+	}
+}
+
 // TestTokensStrictlyMonotone is the fencing property test: across
 // blocking locks, TryLock probes, clean releases and forced revocations
 // from many goroutines, every grant's token must be strictly larger

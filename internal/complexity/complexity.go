@@ -1,0 +1,236 @@
+// Package complexity fits measured cost curves against candidate
+// asymptotic classes. It exists to turn the repository's swept step and
+// RMR measurements into an executable claim: "the TAS fast path's expected
+// step count grows like log* n, not like log n" becomes a fitted class that
+// CI can compare against a ceiling.
+//
+// The approach follows the classic empirical-big-O recipe: for each
+// candidate class f, least-squares fit y ≈ a + b·f(n) over the sweep, score
+// the fit by its degrees-of-freedom-adjusted RMSE, and report the class
+// with the smallest residual. Two refinements make the verdict robust on
+// the small, noisy sweeps a CI job can afford:
+//
+//   - Slopes are clamped to b ≥ 0. Costs never shrink with n; a negative
+//     fitted slope is noise, and the clamped fit degenerates to the
+//     constant fit (with one more parameter charged against it, so the
+//     genuine constant fit wins the comparison).
+//
+//   - Classes whose residuals land within a tie band of the best are all
+//     reported, and the slowest-growing of them is selected. Over feasible
+//     sweep ranges some pairs (log* vs log log, most famously) are not
+//     separable; guessing between them would make the gate flaky. The
+//     Result instead carries Ambiguous plus the residual Margin so callers
+//     can gate on "fits at most class X" rather than "fits exactly X".
+package complexity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class is a candidate asymptotic growth class, ordered by growth rate.
+type Class int
+
+const (
+	O1 Class = iota
+	LogStar
+	LogLog
+	Log
+	Sqrt
+	Linear
+	numClasses
+)
+
+// String returns the conventional name of the class.
+func (c Class) String() string {
+	switch c {
+	case O1:
+		return "O(1)"
+	case LogStar:
+		return "O(log* n)"
+	case LogLog:
+		return "O(log log n)"
+	case Log:
+		return "O(log n)"
+	case Sqrt:
+		return "O(sqrt n)"
+	case Linear:
+		return "O(n)"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// GrowsFasterThan reports whether c grows asymptotically faster than d.
+// The Class constants are declared in growth order, so this is an integer
+// comparison.
+func (c Class) GrowsFasterThan(d Class) bool { return c > d }
+
+// Eval evaluates the class's basis function f(n). The basis is what the
+// fitter regresses against: y ≈ a + b·f(n).
+func (c Class) Eval(n float64) float64 {
+	switch c {
+	case O1:
+		return 1
+	case LogStar:
+		return logStar(n)
+	case LogLog:
+		// Clamp the inner log at 1 so the basis is 0 at n=2 and
+		// defined down to n=1 (log log is only meaningful for n > 2).
+		return math.Log2(math.Max(math.Log2(math.Max(n, 1)), 1))
+	case Log:
+		return math.Log2(math.Max(n, 1))
+	case Sqrt:
+		return math.Sqrt(n)
+	case Linear:
+		return n
+	default:
+		return math.NaN()
+	}
+}
+
+// logStar is the iterated logarithm: the number of times log2 must be
+// applied before the value drops to ≤ 1.
+func logStar(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x = math.Log2(x)
+		n++
+	}
+	return n
+}
+
+// Fit is one candidate class's least-squares fit y ≈ A + B·Class.Eval(n).
+type Fit struct {
+	Class Class
+	A, B  float64
+	// RMSE is the degrees-of-freedom-adjusted root-mean-square residual,
+	// sqrt(SSE/(N-params)); the constant class charges one parameter,
+	// every other class two.
+	RMSE float64
+	// NRMSE is RMSE normalized by the mean magnitude of the data, making
+	// tie bands scale-free.
+	NRMSE float64
+}
+
+// TieBand is the relative residual band within which two classes are
+// considered empirically indistinguishable: a class is eligible for
+// selection when its NRMSE is within TieBand of the best NRMSE (absolute
+// gap, since NRMSE is already scale-free).
+const TieBand = 0.02
+
+// Result is the fitter's verdict over all candidate classes.
+type Result struct {
+	// Fits holds one entry per candidate class, sorted by ascending RMSE.
+	Fits []Fit
+	// Best is the selected class: the slowest-growing class whose
+	// residual lands within TieBand of the minimum.
+	Best Class
+	// BestFit is the Fits entry for Best.
+	BestFit Fit
+	// Margin is the NRMSE gap between the two lowest-residual classes. A
+	// large margin means the winner is unambiguous; a margin within
+	// TieBand means the data cannot separate them and Best was chosen as
+	// the slowest-growing eligible class rather than by residual alone.
+	Margin float64
+	// Ambiguous reports whether more than one class fell inside the tie
+	// band. Callers gating CI should compare Best against a ceiling
+	// (Best.GrowsFasterThan(ceiling)) rather than demand equality.
+	Ambiguous bool
+}
+
+// FitClasses fits every candidate class to the sweep (ns[i], ys[i]) and
+// selects the best-supported class. It needs at least three distinct n
+// values to tell constants from growth.
+func FitClasses(ns []int, ys []float64) (Result, error) {
+	if len(ns) != len(ys) {
+		return Result{}, fmt.Errorf("complexity: %d sizes but %d measurements", len(ns), len(ys))
+	}
+	distinct := make(map[int]struct{}, len(ns))
+	for _, n := range ns {
+		if n < 1 {
+			return Result{}, fmt.Errorf("complexity: non-positive size %d", n)
+		}
+		distinct[n] = struct{}{}
+	}
+	if len(distinct) < 3 {
+		return Result{}, fmt.Errorf("complexity: need at least 3 distinct sizes, have %d", len(distinct))
+	}
+
+	scale := 0.0
+	for _, y := range ys {
+		scale += math.Abs(y)
+	}
+	scale /= float64(len(ys))
+	if scale == 0 {
+		scale = 1 // all-zero data: any class fits exactly; O(1) wins below
+	}
+
+	fits := make([]Fit, 0, int(numClasses))
+	for c := O1; c < numClasses; c++ {
+		fits = append(fits, fitOne(c, ns, ys, scale))
+	}
+	sort.SliceStable(fits, func(i, j int) bool { return fits[i].NRMSE < fits[j].NRMSE })
+
+	res := Result{Fits: fits}
+	res.Margin = fits[1].NRMSE - fits[0].NRMSE
+	// Select the slowest-growing class inside the tie band.
+	best := fits[0]
+	eligible := 0
+	for _, f := range fits {
+		if f.NRMSE <= fits[0].NRMSE+TieBand {
+			eligible++
+			if !f.Class.GrowsFasterThan(best.Class) {
+				best = f
+			}
+		}
+	}
+	res.Best = best.Class
+	res.BestFit = best
+	res.Ambiguous = eligible > 1
+	return res, nil
+}
+
+// fitOne least-squares fits y ≈ a + b·c.Eval(n) with the slope clamped to
+// b ≥ 0, and scores it by adjusted RMSE.
+func fitOne(c Class, ns []int, ys []float64, scale float64) Fit {
+	n := float64(len(ns))
+	params := 2.0
+	var a, b float64
+	if c == O1 {
+		params = 1
+		for _, y := range ys {
+			a += y
+		}
+		a /= n
+	} else {
+		var sx, sy, sxx, sxy float64
+		for i, size := range ns {
+			x := c.Eval(float64(size))
+			sx += x
+			sy += ys[i]
+			sxx += x * x
+			sxy += x * ys[i]
+		}
+		den := n*sxx - sx*sx
+		if den > 0 {
+			b = (n*sxy - sx*sy) / den
+		}
+		if b < 0 {
+			b = 0 // costs do not shrink with n; negative slope is noise
+		}
+		a = (sy - b*sx) / n
+	}
+	sse := 0.0
+	for i, size := range ns {
+		r := ys[i] - (a + b*c.Eval(float64(size)))
+		sse += r * r
+	}
+	dof := n - params
+	if dof < 1 {
+		dof = 1
+	}
+	rmse := math.Sqrt(sse / dof)
+	return Fit{Class: c, A: a, B: b, RMSE: rmse, NRMSE: rmse / scale}
+}

@@ -1,0 +1,215 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// noisy perturbs y by a uniform relative error of ±amp using the
+// repository's deterministic generator.
+func noisy(g *rng.SplitMix64, y, amp float64) float64 {
+	u := float64(g.Next()>>11) / (1 << 53) // uniform [0,1)
+	return y * (1 + amp*(2*u-1))
+}
+
+// synth builds a sweep y = a + b·f(n) with relative noise amp over ns.
+func synth(c Class, ns []int, a, b, amp float64, seed uint64) []float64 {
+	g := rng.New(seed)
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = noisy(&g, a+b*c.Eval(float64(n)), amp)
+	}
+	return ys
+}
+
+func powersOfTwo(lo, hi int) []int {
+	var ns []int
+	for n := lo; n <= hi; n *= 2 {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// TestRecoverEachClass is the satellite requirement: every candidate class
+// must be recovered from a synthetic noisy curve of that class. The sweep
+// ranges differ per class because the slow-growing classes only separate
+// from their neighbours over wide ranges — the basis functions are cheap to
+// evaluate, so synthetic sweeps can use sizes no experiment could run.
+func TestRecoverEachClass(t *testing.T) {
+	cases := []struct {
+		class Class
+		ns    []int
+		a, b  float64
+	}{
+		{O1, powersOfTwo(2, 1024), 7, 0},
+		{LogStar, powersOfTwo(2, 1<<50), 2, 5},
+		{LogLog, powersOfTwo(2, 1<<50), 2, 5},
+		{Log, powersOfTwo(2, 1<<20), 1, 3},
+		{Sqrt, powersOfTwo(2, 1<<20), 1, 2},
+		{Linear, powersOfTwo(2, 1<<20), 5, 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class.String(), func(t *testing.T) {
+			ys := synth(tc.class, tc.ns, tc.a, tc.b, 0.01, 42)
+			res, err := FitClasses(tc.ns, ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best != tc.class {
+				t.Fatalf("fitted %v, want %v (margin %.4f, ambiguous %v)",
+					res.Best, tc.class, res.Margin, res.Ambiguous)
+			}
+		})
+	}
+}
+
+// TestRecoveryUnderHeavierNoise checks the clearly-separated classes stay
+// recoverable at 10%% relative noise.
+func TestRecoveryUnderHeavierNoise(t *testing.T) {
+	ns := powersOfTwo(2, 1<<20)
+	for _, c := range []Class{Log, Sqrt, Linear} {
+		ys := synth(c, ns, 2, 4, 0.10, 7)
+		res, err := FitClasses(ns, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != c {
+			t.Errorf("%v at 10%% noise: fitted %v (margin %.4f)", c, res.Best, res.Margin)
+		}
+	}
+}
+
+// TestConstantDataIsAmbiguousButSelectsO1: on constant data every clamped
+// fit is exact, so the fitter must flag the tie and select the
+// slowest-growing class instead of guessing among equals.
+func TestConstantDataIsAmbiguousButSelectsO1(t *testing.T) {
+	ns := powersOfTwo(2, 1024)
+	ys := make([]float64, len(ns))
+	for i := range ys {
+		ys[i] = 7
+	}
+	res, err := FitClasses(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != O1 {
+		t.Fatalf("constant data fitted %v, want O(1)", res.Best)
+	}
+	if !res.Ambiguous {
+		t.Fatal("constant data must be reported ambiguous: every class fits exactly")
+	}
+	if res.Margin > TieBand {
+		t.Fatalf("constant data margin %.4f exceeds tie band", res.Margin)
+	}
+}
+
+// TestNarrowSweepReportsMargin: over a narrow range log* and log log are
+// empirically indistinguishable. The fitter must not pretend otherwise —
+// it reports the tie through Ambiguous/Margin, and the selected class must
+// still be sub-logarithmic so a ceiling gate (no worse than log log)
+// remains meaningful.
+func TestNarrowSweepReportsMargin(t *testing.T) {
+	ns := powersOfTwo(2, 64)
+	ys := synth(LogStar, ns, 2, 5, 0.05, 3)
+	res, err := FitClasses(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Margin < 0 {
+		t.Fatalf("negative margin %.4f", res.Margin)
+	}
+	if res.Best.GrowsFasterThan(LogLog) {
+		t.Fatalf("narrow log* sweep fitted %v, want a sub-logarithmic class", res.Best)
+	}
+	if res.Ambiguous && res.Margin > TieBand {
+		t.Fatalf("ambiguous result with margin %.4f beyond the tie band", res.Margin)
+	}
+}
+
+func TestFitSlopeAndInterceptRecovered(t *testing.T) {
+	ns := powersOfTwo(2, 1<<20)
+	ys := synth(Log, ns, 3, 2, 0, 1) // noise-free
+	res, err := FitClasses(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != Log {
+		t.Fatalf("fitted %v, want O(log n)", res.Best)
+	}
+	if math.Abs(res.BestFit.A-3) > 1e-9 || math.Abs(res.BestFit.B-2) > 1e-9 {
+		t.Fatalf("recovered y = %.3f + %.3f·log n, want 3 + 2·log n", res.BestFit.A, res.BestFit.B)
+	}
+	if res.BestFit.RMSE > 1e-9 {
+		t.Fatalf("noise-free fit has RMSE %.3g", res.BestFit.RMSE)
+	}
+}
+
+// TestSlopeClamped: decreasing data must not produce a negative slope;
+// the growth classes degenerate to constants and O(1) wins on parameters.
+func TestSlopeClamped(t *testing.T) {
+	ns := powersOfTwo(2, 1024)
+	ys := make([]float64, len(ns))
+	for i := range ys {
+		ys[i] = 100 - float64(i) // mildly decreasing
+	}
+	res, err := FitClasses(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Fits {
+		if f.B < 0 {
+			t.Fatalf("%v fitted negative slope %.3f", f.Class, f.B)
+		}
+	}
+	if res.Best != O1 {
+		t.Fatalf("decreasing data fitted %v, want O(1)", res.Best)
+	}
+}
+
+func TestGrowthOrder(t *testing.T) {
+	order := []Class{O1, LogStar, LogLog, Log, Sqrt, Linear}
+	for i, slow := range order {
+		for _, fast := range order[i+1:] {
+			if !fast.GrowsFasterThan(slow) {
+				t.Errorf("%v should grow faster than %v", fast, slow)
+			}
+			if slow.GrowsFasterThan(fast) {
+				t.Errorf("%v should not grow faster than %v", slow, fast)
+			}
+		}
+	}
+}
+
+func TestBasisSanity(t *testing.T) {
+	if got := LogStar.Eval(65536); got != 4 {
+		t.Errorf("log* 65536 = %v, want 4", got)
+	}
+	if got := LogStar.Eval(2); got != 1 {
+		t.Errorf("log* 2 = %v, want 1", got)
+	}
+	if got := Log.Eval(1024); math.Abs(got-10) > 1e-12 {
+		t.Errorf("log2 1024 = %v, want 10", got)
+	}
+	if got := LogLog.Eval(65536); math.Abs(got-4) > 1e-12 {
+		t.Errorf("log log 65536 = %v, want 4", got)
+	}
+	for _, c := range []Class{O1, LogStar, LogLog, Log, Sqrt, Linear} {
+		if v := c.Eval(2); math.IsNaN(v) || v < 0 {
+			t.Errorf("%v.Eval(2) = %v", c, v)
+		}
+	}
+}
+
+func TestFitClassesErrors(t *testing.T) {
+	if _, err := FitClasses([]int{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := FitClasses([]int{4, 4, 8}, []float64{1, 1, 2}); err == nil {
+		t.Error("fewer than 3 distinct sizes not rejected")
+	}
+	if _, err := FitClasses([]int{0, 2, 4}, []float64{1, 1, 2}); err == nil {
+		t.Error("non-positive size not rejected")
+	}
+}

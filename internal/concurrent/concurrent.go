@@ -29,6 +29,39 @@
 // no false sharing between neighbouring registers, and Reset becomes a
 // sequential sweep over the banks that skips everything the last round
 // never wrote (the dirty window).
+//
+// # RMR accounting
+//
+// Steps are one of the paper's two cost currencies; the other is remote
+// memory references. A Space built with Config.CountRMRs charges every
+// handle's RMR counters in both standard machine models, exploiting the
+// fact that each padded register IS its own cache line:
+//
+//   - CC (cache-coherent): a read is remote iff the line's last writer
+//     is another handle and this handle has not read the line since
+//     that write — re-reads of an unchanged line hit the local cache,
+//     so spinning is free until an invalidation lands. A write is
+//     remote unless the writer already owns the line exclusively (it
+//     was the last writer and nobody read the line since). Lines never
+//     written are free to read: only coherence traffic counts.
+//   - DSM (distributed shared memory): the first handle to access a
+//     line claims it into its local memory segment; every access by
+//     any other handle is remote, including re-reads — DSM has no
+//     caches, which is why spin loops that are free under CC cost one
+//     RMR per iteration here.
+//
+// Accounting state lives in the otherwise-padding bytes of each
+// register's cache line and is consulted only behind a per-register
+// flag fixed at allocation, so spaces without Config.CountRMRs pay one
+// never-taken branch per step on data already in the line being
+// accessed — the …Fast loops are otherwise unchanged (BenchmarkMutex /
+// BenchmarkSpaceReset guard this). With accounting on, counts are exact
+// for sequentially executed handles (the property-test and sweep
+// configuration); truly concurrent handles update the bookkeeping with
+// atomics but the read-decide-charge sequence is not one transaction,
+// so concurrent counts are approximate. The per-handle CC cache is
+// keyed by register id, so exact CC accounting also assumes a handle
+// measures registers of one accounting Space at a time.
 package concurrent
 
 import (
@@ -49,18 +82,35 @@ const cacheLine = 64
 // exactly one bit per register in the bank's uint64 dirty map.
 const bankSize = 64
 
+// noOwner is the "no handle" sentinel of the RMR-accounting ownership
+// words (last CC writer, DSM home).
+const noOwner int32 = -1
+
 // Register is one atomic 64-bit shared register, padded to a full cache
 // line so that processes contending on neighbouring registers of the
 // same object never false-share. Registers live inside the banks of the
 // Space that allocated them; their addresses are stable for the life of
 // the Space.
+//
+// The four accounting words (ver, lastW, home, shared) occupy bytes
+// that were previously padding, so the register still fills exactly one
+// line; they are only ever touched when acct is set (Config.CountRMRs),
+// keeping the default hot path's coherence behaviour unchanged.
 type Register struct {
 	v       atomic.Int64
 	init    shm.Value
 	bankMap *atomic.Uint64 // the owning bank's dirty bitmap; nil = untracked
 	id      int32
 	dirty   atomic.Int32 // set on first Write since the last Reset
-	_       [cacheLine - 32]byte
+
+	// RMR-accounting state (see the package comment), live iff acct:
+	ver    atomic.Uint32 // write version; bumped per Write and per Reset
+	lastW  atomic.Int32  // CC: last writer's handle id, or noOwner
+	home   atomic.Int32  // DSM: first accessor's handle id, or noOwner
+	shared atomic.Uint32 // CC: nonzero once a non-writer read the line
+	acct   bool
+
+	_ [cacheLine - 49]byte
 }
 
 // Compile-time proof that a Register occupies exactly one cache line.
@@ -96,10 +146,23 @@ type bank struct {
 // become recyclable by resetting their register space between rounds
 // instead of re-allocating it.
 type Space struct {
+	cfg    Config
 	banks  []*bank
 	n      int
 	sealed bool
 	small  bool // set at Seal: footprint below smallSpaceThreshold
+}
+
+// Config parameterizes a Space beyond its register contents.
+type Config struct {
+	// CountRMRs arms remote-memory-reference accounting on every
+	// register allocated from this space: each ReadReg/WriteReg (and
+	// the portable Read/Write, which route through them) charges the
+	// acting Handle's CC- and DSM-model RMR counters per the charging
+	// rules in the package comment, readable via Handle.CCRMRs and
+	// Handle.DSMRMRs. Off (the zero value), the accounting state is
+	// never consulted and the step loops keep their production cost.
+	CountRMRs bool
 }
 
 // smallSpaceThreshold is the footprint below which dirty-window tracking
@@ -112,8 +175,16 @@ const smallSpaceThreshold = 16
 
 var _ shm.Space = (*Space)(nil)
 
-// NewSpace returns an empty register space.
+// NewSpace returns an empty register space with the default (zero)
+// Config: no RMR accounting.
 func NewSpace() *Space { return &Space{} }
+
+// NewSpaceConfig returns an empty register space with the given Config.
+func NewSpaceConfig(cfg Config) *Space { return &Space{cfg: cfg} }
+
+// CountsRMRs reports whether the space's registers charge RMR counters
+// (Config.CountRMRs).
+func (s *Space) CountsRMRs() bool { return s.cfg.CountRMRs }
 
 // NewRegister implements shm.Space. It panics if the space has been
 // sealed: register footprints are fixed up front (the paper's space
@@ -137,6 +208,11 @@ func (s *Space) alloc(init shm.Value) *Register {
 	r.init = init
 	r.bankMap = &b.dirtyMap
 	r.v.Store(init)
+	if s.cfg.CountRMRs {
+		r.acct = true
+		r.lastW.Store(noOwner)
+		r.home.Store(noOwner)
+	}
 	b.used = off + 1
 	s.n++
 	return r
@@ -181,6 +257,9 @@ func (s *Space) Banks() int { return len(s.banks) }
 // so a Reset followed by publication through an atomic pointer is
 // race-detector clean.
 func (s *Space) Reset() {
+	if s.cfg.CountRMRs {
+		s.resetAccounting()
+	}
 	if s.small {
 		// Untracked small footprint: a bare value sweep, no dirty flags
 		// to consult or clear.
@@ -214,12 +293,36 @@ func (s *Space) Reset() {
 // and as a debugging escape hatch; Reset is state-equivalent and
 // strictly cheaper.
 func (s *Space) FullReset() {
+	if s.cfg.CountRMRs {
+		s.resetAccounting()
+	}
 	for _, b := range s.banks {
 		b.dirtyMap.Store(0)
 		for i := 0; i < b.used; i++ {
 			r := &b.regs[i]
 			r.v.Store(r.init)
 			r.dirty.Store(0)
+		}
+	}
+}
+
+// resetAccounting returns every register's RMR-accounting state to
+// pristine — no CC writer, no DSM home, unshared — and bumps the write
+// version so that handle-side CC cache entries recorded before the
+// Reset can never be mistaken for the recycled line being still valid
+// (versions are monotone; an entry matches only the exact write it
+// observed). Accounting resets sweep the full footprint regardless of
+// the dirty window: reads leave accounting traces (home claims, shared
+// marks, cache entries) without dirtying a register, and accounting
+// spaces are measurement instruments, not hot paths.
+func (s *Space) resetAccounting() {
+	for _, b := range s.banks {
+		for i := 0; i < b.used; i++ {
+			r := &b.regs[i]
+			r.lastW.Store(noOwner)
+			r.home.Store(noOwner)
+			r.shared.Store(0)
+			r.ver.Add(1)
 		}
 	}
 }
@@ -232,6 +335,13 @@ type Handle struct {
 	id    int
 	steps int
 	rng   rng.SplitMix64
+
+	// RMR accounting (live only against Config.CountRMRs spaces): the
+	// two model counters plus the CC cache — the write version of each
+	// register id this handle last pulled into its simulated cache.
+	ccRMRs  int
+	dsmRMRs int
+	cache   []uint32
 
 	// aborted is the cancellation flag consulted by abortable step
 	// loops. Unlike every other Handle field it may be written from
@@ -255,10 +365,37 @@ func NewHandle(id int, seed int64) *Handle {
 func (h *Handle) ID() int { return h.id }
 
 // ReadReg is the devirtualized Read: one atomic load on a concrete
-// register, no interface dispatch, no type assertion. One step.
+// register, no interface dispatch, no type assertion. One step. On an
+// accounting space the read is first charged per the CC/DSM rules; the
+// guard is one branch on a flag in the line the load is about to pull
+// anyway, so non-accounting spaces pay nothing.
 func (h *Handle) ReadReg(r *Register) shm.Value {
 	h.steps++
+	if r.acct {
+		h.chargeRead(r)
+	}
 	return r.v.Load()
+}
+
+// chargeRead applies the RMR charging rules to a read of r (see the
+// package comment). Deliberately not inlined into ReadReg's hot path.
+func (h *Handle) chargeRead(r *Register) {
+	me := int32(h.id)
+	// DSM: the first accessor claims the line into its memory segment;
+	// everyone else's accesses are remote, re-reads included.
+	if home := r.home.Load(); home != me && (home != noOwner || !r.home.CompareAndSwap(noOwner, me)) {
+		h.dsmRMRs++
+	}
+	// CC: remote iff another handle wrote the line since this handle
+	// last cached it. Re-reads of an unchanged line are local (the spin
+	// case); lines never written carry no coherence traffic at all.
+	if lw := r.lastW.Load(); lw != noOwner && lw != me {
+		if ver := r.ver.Load(); h.cached(r.id) != ver {
+			h.ccRMRs++
+			h.setCached(r.id, ver)
+		}
+		r.shared.Store(1)
+	}
 }
 
 // WriteReg is the devirtualized Write: one atomic store plus dirty-window
@@ -269,11 +406,52 @@ func (h *Handle) ReadReg(r *Register) shm.Value {
 // the hot path. One step.
 func (h *Handle) WriteReg(r *Register, v shm.Value) {
 	h.steps++
+	if r.acct {
+		h.chargeWrite(r)
+	}
 	r.v.Store(v)
 	if r.bankMap != nil && r.dirty.Load() == 0 {
 		r.dirty.Store(1)
 		r.bankMap.Or(1 << (uint(r.id) % bankSize))
 	}
+}
+
+// chargeWrite applies the RMR charging rules to a write of r (see the
+// package comment). Deliberately not inlined into WriteReg's hot path.
+func (h *Handle) chargeWrite(r *Register) {
+	me := int32(h.id)
+	if home := r.home.Load(); home != me && (home != noOwner || !r.home.CompareAndSwap(noOwner, me)) {
+		h.dsmRMRs++
+	}
+	// CC: remote unless the line is already exclusively owned — this
+	// handle wrote it last and nobody read it in between (a sharer's
+	// cached copy would have to be invalidated).
+	if r.lastW.Load() != me || r.shared.Load() != 0 {
+		h.ccRMRs++
+	}
+	ver := r.ver.Add(1)
+	r.shared.Store(0)
+	r.lastW.Store(me)
+	h.setCached(r.id, ver)
+}
+
+// cached returns the write version of register id last pulled into this
+// handle's simulated CC cache, or 0 for "never cached" (write versions
+// of written registers are always ≥ 1).
+func (h *Handle) cached(id int32) uint32 {
+	if int(id) >= len(h.cache) {
+		return 0
+	}
+	return h.cache[id]
+}
+
+func (h *Handle) setCached(id int32, ver uint32) {
+	if int(id) >= len(h.cache) {
+		grown := make([]uint32, int(id)+1, max(int(id)+1, 2*len(h.cache)))
+		copy(grown, h.cache)
+		h.cache = grown
+	}
+	h.cache[id] = ver
 }
 
 // Read implements shm.Handle with an atomic load.
@@ -295,6 +473,16 @@ func (h *Handle) Coin(p float64) bool { return h.rng.Coin(p) }
 // Steps returns the number of shared-memory operations this handle has
 // performed — the same step measure the simulator counts.
 func (h *Handle) Steps() int { return h.steps }
+
+// CCRMRs returns the remote memory references this handle has been
+// charged under the cache-coherent model. Always zero unless the handle
+// stepped on registers of a Config.CountRMRs space.
+func (h *Handle) CCRMRs() int { return h.ccRMRs }
+
+// DSMRMRs returns the remote memory references this handle has been
+// charged under the distributed-shared-memory model. Always zero unless
+// the handle stepped on registers of a Config.CountRMRs space.
+func (h *Handle) DSMRMRs() int { return h.dsmRMRs }
 
 // Abort requests that the handle's current (or next) abortable election
 // resolve to a loss at its next spin or park point. Safe to call from

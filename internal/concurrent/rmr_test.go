@@ -1,0 +1,287 @@
+// RMR accounting on the real-memory backend: unit tests for the CC/DSM
+// charging rules and the cross-surface property test — the devirtualized
+// …Fast loops and the interface-dispatch loops must report identical step
+// and RMR counts for the same seeds, across the elector zoo.
+package concurrent_test
+
+import (
+	"testing"
+
+	"repro/internal/agtv"
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/ratrace"
+	"repro/internal/shm"
+	"repro/internal/tas"
+)
+
+func acctSpace(t *testing.T) *concurrent.Space {
+	t.Helper()
+	s := concurrent.NewSpaceConfig(concurrent.Config{CountRMRs: true})
+	if !s.CountsRMRs() {
+		t.Fatal("accounting space reports CountsRMRs() == false")
+	}
+	return s
+}
+
+func acctReg(t *testing.T, s *concurrent.Space, init shm.Value) *concurrent.Register {
+	t.Helper()
+	r, ok := s.NewRegister(init).(*concurrent.Register)
+	if !ok {
+		t.Fatal("concurrent space allocated a non-concurrent register")
+	}
+	return r
+}
+
+// TestRMRDisabledStaysZero: a default space never charges, whatever the
+// access pattern.
+func TestRMRDisabledStaysZero(t *testing.T) {
+	s := concurrent.NewSpace()
+	if s.CountsRMRs() {
+		t.Fatal("default space reports CountsRMRs() == true")
+	}
+	r := acctReg(t, s, 0)
+	a, b := concurrent.NewHandle(0, 1), concurrent.NewHandle(1, 2)
+	for i := 0; i < 10; i++ {
+		a.WriteReg(r, shm.Value(i))
+		b.ReadReg(r)
+		b.WriteReg(r, shm.Value(i))
+	}
+	if a.CCRMRs() != 0 || a.DSMRMRs() != 0 || b.CCRMRs() != 0 || b.DSMRMRs() != 0 {
+		t.Fatalf("disabled accounting charged: a=(%d,%d) b=(%d,%d)",
+			a.CCRMRs(), a.DSMRMRs(), b.CCRMRs(), b.DSMRMRs())
+	}
+	if a.Steps() != 10 || b.Steps() != 20 {
+		t.Fatalf("steps miscounted: a=%d b=%d", a.Steps(), b.Steps())
+	}
+}
+
+// TestRMRLocalSpinFree is the CC model's defining property: re-reading a
+// line nobody wrote in between costs one RMR for the initial cache fill,
+// then nothing — a spin loop generates no coherence traffic.
+func TestRMRLocalSpinFree(t *testing.T) {
+	s := acctSpace(t)
+	r := acctReg(t, s, 0)
+	w, spinner := concurrent.NewHandle(0, 1), concurrent.NewHandle(1, 2)
+
+	w.WriteReg(r, 7)
+	spinner.ReadReg(r)
+	if got := spinner.CCRMRs(); got != 1 {
+		t.Fatalf("first read after remote write: %d CC RMRs, want 1", got)
+	}
+	for i := 0; i < 100; i++ {
+		spinner.ReadReg(r)
+	}
+	if got := spinner.CCRMRs(); got != 1 {
+		t.Fatalf("spin on unchanged line charged: %d CC RMRs, want 1", got)
+	}
+
+	// A new remote write invalidates the cached copy: exactly one more.
+	w.WriteReg(r, 8)
+	for i := 0; i < 100; i++ {
+		spinner.ReadReg(r)
+	}
+	if got := spinner.CCRMRs(); got != 2 {
+		t.Fatalf("spin after invalidation: %d CC RMRs, want 2", got)
+	}
+}
+
+// TestRMRNeverWrittenReadsFree: CC charges no coherence traffic for lines
+// no process ever wrote.
+func TestRMRNeverWrittenReadsFree(t *testing.T) {
+	s := acctSpace(t)
+	r := acctReg(t, s, 42)
+	h := concurrent.NewHandle(3, 1)
+	for i := 0; i < 10; i++ {
+		h.ReadReg(r)
+	}
+	if got := h.CCRMRs(); got != 0 {
+		t.Fatalf("reads of a never-written line charged %d CC RMRs", got)
+	}
+}
+
+// TestRMRWriteExclusivity: repeated writes by the line's exclusive owner
+// are local; a concurrent reader breaks exclusivity and the next write
+// pays to invalidate the sharer.
+func TestRMRWriteExclusivity(t *testing.T) {
+	s := acctSpace(t)
+	r := acctReg(t, s, 0)
+	a, b := concurrent.NewHandle(0, 1), concurrent.NewHandle(1, 2)
+
+	a.WriteReg(r, 1) // claims the line
+	a.WriteReg(r, 2) // exclusive: free
+	a.WriteReg(r, 3)
+	if got := a.CCRMRs(); got != 1 {
+		t.Fatalf("exclusive rewrites charged: %d CC RMRs, want 1", got)
+	}
+	b.ReadReg(r) // b now shares the line
+	a.WriteReg(r, 4)
+	if got := a.CCRMRs(); got != 2 {
+		t.Fatalf("write to shared line: %d CC RMRs, want 2", got)
+	}
+	a.WriteReg(r, 5) // exclusive again
+	if got := a.CCRMRs(); got != 2 {
+		t.Fatalf("re-established exclusivity charged: %d CC RMRs, want 2", got)
+	}
+}
+
+// TestRMRDSMChargesEveryRemoteAccess: in the DSM model the first accessor
+// owns the line; everyone else pays per access, spins included.
+func TestRMRDSMChargesEveryRemoteAccess(t *testing.T) {
+	s := acctSpace(t)
+	r := acctReg(t, s, 0)
+	owner, remote := concurrent.NewHandle(0, 1), concurrent.NewHandle(1, 2)
+
+	owner.ReadReg(r) // claims the home segment
+	for i := 0; i < 5; i++ {
+		owner.ReadReg(r)
+		owner.WriteReg(r, shm.Value(i))
+	}
+	if got := owner.DSMRMRs(); got != 0 {
+		t.Fatalf("home-segment accesses charged %d DSM RMRs", got)
+	}
+	for i := 0; i < 5; i++ {
+		remote.ReadReg(r)
+	}
+	remote.WriteReg(r, 9)
+	if got := remote.DSMRMRs(); got != 6 {
+		t.Fatalf("remote accesses charged %d DSM RMRs, want 6 (no caching in DSM)", got)
+	}
+}
+
+// TestRMRAccountingSurvivesReset: Space.Reset clears ownership (a fresh
+// round's first accessor re-claims the line) and the version bump keeps a
+// pre-reset cached copy from masking a post-reset invalidation.
+func TestRMRAccountingSurvivesReset(t *testing.T) {
+	s := acctSpace(t)
+	r := acctReg(t, s, 0)
+	s.Seal()
+	a, b := concurrent.NewHandle(0, 1), concurrent.NewHandle(1, 2)
+
+	a.WriteReg(r, 1)
+	b.ReadReg(r) // b: 1 CC (fill), 1 DSM (a owns the line)
+	s.Reset()
+
+	// New round, b arrives first: ownership must have been released.
+	b.ReadReg(r)
+	if got := b.DSMRMRs(); got != 1 {
+		t.Fatalf("post-reset first access charged %d DSM RMRs, want 1 (ownership not released)", got)
+	}
+	// Nobody has written since the reset: the line is coherence-clean.
+	if got := b.CCRMRs(); got != 1 {
+		t.Fatalf("post-reset read of clean line: %d CC RMRs, want 1", got)
+	}
+	// a writes; b's stale cached version must not mask the invalidation.
+	a.WriteReg(r, 2)
+	b.ReadReg(r)
+	if got := b.CCRMRs(); got != 2 {
+		t.Fatalf("post-reset invalidated read: %d CC RMRs, want 2", got)
+	}
+}
+
+// --- Fast vs portable equivalence across the elector zoo -------------------
+
+// zooRunner runs one election attempt per handle and reports the winner
+// count; fast uses the devirtualized surface, portable the shm interface.
+type zooRunner struct {
+	fast     func(h *concurrent.Handle) bool
+	portable func(h shm.Handle) bool
+}
+
+// handleCosts is one handle's observable cost vector.
+type handleCosts struct {
+	won            bool
+	steps, cc, dsm int
+}
+
+// TestFastMatchesPortableCostsAcrossZoo is the satellite property test:
+// for the same seeds, the …Fast loops and the interface-dispatch loops
+// must produce identical winners, step counts, and RMR counts in both
+// models — the fast path is an optimization, not a different algorithm.
+// Handles run sequentially (each election call completes before the next
+// handle starts), which makes both executions deterministic and directly
+// comparable; the charging rules are exact for sequential handles.
+func TestFastMatchesPortableCostsAcrossZoo(t *testing.T) {
+	const k = 16
+	zoo := []struct {
+		name  string
+		build func(s shm.Space) zooRunner
+	}{
+		{"logstar", func(s shm.Space) zooRunner {
+			le := core.NewLogStar(s, k)
+			return zooRunner{fast: le.ElectFast, portable: le.Elect}
+		}},
+		{"sifting", func(s shm.Space) zooRunner {
+			le := core.NewSifting(s, k)
+			return zooRunner{fast: le.ElectFast, portable: le.Elect}
+		}},
+		{"adaptive-sifting", func(s shm.Space) zooRunner {
+			le := core.NewAdaptiveSifting(s, k)
+			return zooRunner{fast: le.ElectFast, portable: le.Elect}
+		}},
+		{"agtv", func(s shm.Space) zooRunner {
+			le := agtv.New(s, k)
+			return zooRunner{fast: le.ElectFast, portable: le.Elect}
+		}},
+		{"fastpath-logstar", func(s shm.Space) zooRunner {
+			f := tas.NewFastPath(s, core.NewLogStar(s, k))
+			return zooRunner{fast: f.ElectFast, portable: f.Elect}
+		}},
+		{"tas-fastpath", func(s shm.Space) zooRunner {
+			tt := tas.New(s, tas.NewFastPath(s, core.NewLogStar(s, k)))
+			return zooRunner{
+				fast:     func(h *concurrent.Handle) bool { return tt.TASFast(h) == 0 },
+				portable: func(h shm.Handle) bool { return tt.TAS(h) == 0 },
+			}
+		}},
+		{"tas-ratrace", func(s shm.Space) zooRunner {
+			// RatRace has no fast path: TASFast devirtualizes only the
+			// done register and falls back to the portable elector, and
+			// the counts must still agree.
+			tt := tas.New(s, ratrace.NewSpaceEfficient(s, k))
+			return zooRunner{
+				fast:     func(h *concurrent.Handle) bool { return tt.TASFast(h) == 0 },
+				portable: func(h shm.Handle) bool { return tt.TAS(h) == 0 },
+			}
+		}},
+	}
+
+	run := func(build func(s shm.Space) zooRunner, seed int64, useFast bool) []handleCosts {
+		s := concurrent.NewSpaceConfig(concurrent.Config{CountRMRs: true})
+		r := build(s)
+		costs := make([]handleCosts, k)
+		for id := 0; id < k; id++ {
+			h := concurrent.NewHandle(id, seed)
+			var won bool
+			if useFast {
+				won = r.fast(h)
+			} else {
+				won = r.portable(h)
+			}
+			costs[id] = handleCosts{won: won, steps: h.Steps(), cc: h.CCRMRs(), dsm: h.DSMRMRs()}
+		}
+		return costs
+	}
+
+	for _, z := range zoo {
+		t.Run(z.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				fast := run(z.build, seed, true)
+				portable := run(z.build, seed, false)
+				winners := 0
+				for id := 0; id < k; id++ {
+					if fast[id] != portable[id] {
+						t.Fatalf("seed %d handle %d: fast %+v != portable %+v",
+							seed, id, fast[id], portable[id])
+					}
+					if fast[id].won {
+						winners++
+					}
+				}
+				if winners != 1 {
+					t.Fatalf("seed %d: %d winners, want 1", seed, winners)
+				}
+			}
+		})
+	}
+}

@@ -76,6 +76,11 @@ type Spec struct {
 	// Workers is the number of parallel trial workers; 0 means
 	// GOMAXPROCS. The output is identical for every worker count.
 	Workers int
+	// CountRMRs enables the simulator's RMR accounting for every trial;
+	// the StepStats RMR fields are zero without it. Accounting never
+	// perturbs the seed→schedule mapping (golden-trace tested), so a cell
+	// measured with counters sees the same executions as one without.
+	CountRMRs bool
 }
 
 // StepStats aggregates per-trial maximum step counts for one (k, algo,
@@ -89,6 +94,16 @@ type StepStats struct {
 	MeanTotal float64 // mean total steps across all processes
 	Registers int     // allocated registers (identical across trials)
 	Winners   int     // total winners observed (equals Trials on success)
+
+	// RMR aggregates, populated only under Spec.CountRMRs: the same
+	// mean-max / p95-max / mean-total shape as the step fields, in the
+	// cache-coherent and distributed-shared-memory cost models.
+	MeanMaxCC    float64
+	P95MaxCC     int
+	MeanTotalCC  float64
+	MeanMaxDSM   float64
+	P95MaxDSM    int
+	MeanTotalDSM float64
 }
 
 // Run executes spec's Monte Carlo cell and aggregates step statistics.
@@ -112,6 +127,15 @@ func Run(spec Spec) (StepStats, error) {
 
 	maxes := make([]int, spec.Trials)
 	totals := make([]int, spec.Trials)
+	// RMR counterparts, allocated only when measured; like maxes/totals
+	// they are keyed by trial index so parallel aggregation is exact.
+	var maxCC, totCC, maxDSM, totDSM []int
+	if spec.CountRMRs {
+		maxCC = make([]int, spec.Trials)
+		totCC = make([]int, spec.Trials)
+		maxDSM = make([]int, spec.Trials)
+		totDSM = make([]int, spec.Trials)
+	}
 	registers := 0 // written by worker 0; identical on every worker
 	errs := make([]error, workers)
 	errTrials := make([]int, workers)
@@ -119,7 +143,7 @@ func Run(spec Spec) (StepStats, error) {
 	var failed atomic.Bool
 
 	worker := func(w int) {
-		sys := sim.NewSystem(sim.Config{N: spec.K, Seed: spec.BaseSeed, Reuse: true})
+		sys := sim.NewSystem(sim.Config{N: spec.K, Seed: spec.BaseSeed, Reuse: true, CountRMRs: spec.CountRMRs})
 		defer sys.Release()
 		le, isArray := spec.Factory(sys, spec.N)
 		if w == 0 {
@@ -152,6 +176,12 @@ func Run(spec Spec) (StepStats, error) {
 			}
 			maxes[t] = res.MaxSteps
 			totals[t] = res.TotalSteps
+			if spec.CountRMRs {
+				maxCC[t] = res.MaxCCRMRs
+				totCC[t] = res.TotalCCRMRs
+				maxDSM[t] = res.MaxDSMRMRs
+				totDSM[t] = res.TotalDSMRMRs
+			}
 		}
 	}
 
@@ -183,18 +213,33 @@ func Run(spec Spec) (StepStats, error) {
 	}
 
 	st := StepStats{K: spec.K, Trials: spec.Trials, Registers: registers, Winners: spec.Trials}
-	sumMax, sumTotal := 0, 0
-	for t := 0; t < spec.Trials; t++ {
-		sumMax += maxes[t]
-		sumTotal += totals[t]
+	st.MeanMax, st.P95Max, st.WorstMax = maxQuantiles(maxes)
+	st.MeanTotal = mean(totals)
+	if spec.CountRMRs {
+		st.MeanMaxCC, st.P95MaxCC, _ = maxQuantiles(maxCC)
+		st.MeanTotalCC = mean(totCC)
+		st.MeanMaxDSM, st.P95MaxDSM, _ = maxQuantiles(maxDSM)
+		st.MeanTotalDSM = mean(totDSM)
 	}
-	st.MeanMax = float64(sumMax) / float64(spec.Trials)
-	st.MeanTotal = float64(sumTotal) / float64(spec.Trials)
-	sorted := append([]int(nil), maxes...)
-	sort.Ints(sorted)
-	st.P95Max = sorted[(len(sorted)*95)/100]
-	st.WorstMax = sorted[len(sorted)-1]
 	return st, nil
+}
+
+func mean(xs []int) float64 {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+func maxQuantiles(xs []int) (mean float64, p95, worst int) {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	return float64(sum) / float64(len(xs)), sorted[(len(sorted)*95)/100], sorted[len(sorted)-1]
 }
 
 // Table is a simple fixed-width text table.

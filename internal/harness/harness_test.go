@@ -92,6 +92,54 @@ func TestSequentialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestRMRStatsParallelEquivalence extends the worker-count contract to
+// the RMR aggregates: with Spec.CountRMRs the RMR fields must be
+// populated, byte-identical across worker counts, and bounded by the step
+// statistics (every step is at most one remote reference in either
+// model). A counters-off run of the same cell must agree on every step
+// field and report zero RMRs — accounting never perturbs the executions.
+func TestRMRStatsParallelEquivalence(t *testing.T) {
+	mk := func(trials, workers int, count bool) Spec {
+		s := logStarSpec(trials, workers)
+		s.CountRMRs = count
+		return s
+	}
+	seq, err := Run(mk(60, 1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MeanMaxCC <= 0 || seq.MeanMaxDSM <= 0 || seq.MeanTotalCC <= 0 || seq.MeanTotalDSM <= 0 {
+		t.Fatalf("RMR stats not populated: %+v", seq)
+	}
+	if seq.MeanMaxCC > seq.MeanMax || seq.MeanTotalCC > seq.MeanTotal ||
+		seq.MeanMaxDSM > seq.MeanMax || seq.MeanTotalDSM > seq.MeanTotal {
+		t.Fatalf("RMRs exceed steps: %+v", seq)
+	}
+	for _, workers := range []int{2, 5} {
+		par, err := Run(mk(60, workers, true))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d RMR stats diverge from sequential:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+	}
+	off, err := Run(mk(60, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.MeanMaxCC != 0 || off.P95MaxCC != 0 || off.MeanTotalCC != 0 ||
+		off.MeanMaxDSM != 0 || off.P95MaxDSM != 0 || off.MeanTotalDSM != 0 {
+		t.Errorf("counters-off run reports RMRs: %+v", off)
+	}
+	zeroed := seq
+	zeroed.MeanMaxCC, zeroed.P95MaxCC, zeroed.MeanTotalCC = 0, 0, 0
+	zeroed.MeanMaxDSM, zeroed.P95MaxDSM, zeroed.MeanTotalDSM = 0, 0, 0
+	if !reflect.DeepEqual(zeroed, off) {
+		t.Errorf("step stats differ with counters on vs off:\non:  %+v\noff: %+v", zeroed, off)
+	}
+}
+
 // brokenElector violates the one-winner contract: everybody wins.
 type brokenElector struct{}
 

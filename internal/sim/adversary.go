@@ -149,6 +149,17 @@ type Result struct {
 	Finished []bool
 	// Registers is the allocated register count (space complexity).
 	Registers int
+
+	// The paper's second cost currency, populated only under
+	// Config.CountRMRs (all zero otherwise): per-process remote memory
+	// references in the cache-coherent and distributed-shared-memory
+	// models, with their maxima and totals.
+	CCRMRs       []int
+	DSMRMRs      []int
+	MaxCCRMRs    int
+	MaxDSMRMRs   int
+	TotalCCRMRs  int
+	TotalDSMRMRs int
 }
 
 // Run drives the execution: it starts body on every process and repeatedly
@@ -186,14 +197,36 @@ func (s *System) RunInto(adv Adversary, body func(h shm.Handle), res *Result) {
 	} else {
 		res.Finished = res.Finished[:n]
 	}
+	if cap(res.CCRMRs) < n {
+		res.CCRMRs = make([]int, n)
+	} else {
+		res.CCRMRs = res.CCRMRs[:n]
+	}
+	if cap(res.DSMRMRs) < n {
+		res.DSMRMRs = make([]int, n)
+	} else {
+		res.DSMRMRs = res.DSMRMRs[:n]
+	}
 	res.MaxSteps = 0
 	res.TotalSteps = s.time
 	res.Registers = len(s.registers)
+	res.MaxCCRMRs, res.MaxDSMRMRs = 0, 0
+	res.TotalCCRMRs, res.TotalDSMRMRs = 0, 0
 	for i, p := range s.procs {
 		res.Steps[i] = p.steps
 		res.Finished[i] = p.state == stateDone
 		if p.steps > res.MaxSteps {
 			res.MaxSteps = p.steps
+		}
+		res.CCRMRs[i] = p.ccRMRs
+		res.DSMRMRs[i] = p.dsmRMRs
+		res.TotalCCRMRs += p.ccRMRs
+		res.TotalDSMRMRs += p.dsmRMRs
+		if p.ccRMRs > res.MaxCCRMRs {
+			res.MaxCCRMRs = p.ccRMRs
+		}
+		if p.dsmRMRs > res.MaxDSMRMRs {
+			res.MaxDSMRMRs = p.dsmRMRs
 		}
 	}
 }

@@ -115,6 +115,15 @@ type register struct {
 	writer int       // pid of last writer; -1 if never written ("no process visible")
 	reads  int
 	writes int
+
+	// RMR-accounting state, maintained only under Config.CountRMRs (see
+	// chargeRMRs). ver is monotone for the life of the System — bumped
+	// per write and per Reset of a touched register — so per-process CC
+	// cache entries are invalidated across trials without ever scanning
+	// the caches.
+	ver    int
+	shared bool // CC: some non-writer read the line since its last write
+	home   int  // DSM: pid of the first accessor, or -1
 }
 
 // RegisterID implements shm.Register.
@@ -147,7 +156,10 @@ type Proc struct {
 	state   procState
 	steps   int
 	coins   int
-	spawned bool // goroutine is alive (running a body or parked in its loop)
+	ccRMRs  int   // remote memory references, cache-coherent model
+	dsmRMRs int   // remote memory references, distributed-shared-memory model
+	cache   []int // CC cache: register id → write version last read
+	spawned bool  // goroutine is alive (running a body or parked in its loop)
 }
 
 var _ shm.Handle = (*Proc)(nil)
@@ -266,6 +278,14 @@ type Config struct {
 	// SeeHook, if non-nil, is invoked when a read observes a register on
 	// which some process is visible (the paper's "p sees q" relation).
 	SeeHook func(reader, seen int)
+	// CountRMRs enables per-process remote-memory-reference accounting
+	// in both the cache-coherent and distributed-shared-memory models
+	// (see chargeRMRs for the charging rules; CCRMRsOf/DSMRMRsOf and
+	// the Result fields report the totals). Accounting is bookkeeping
+	// layered on Step: it never influences scheduling, register values,
+	// or coin streams, so the engine-v2 seed→schedule mapping is
+	// byte-identical with the flag on or off (golden-trace tested).
+	CountRMRs bool
 }
 
 // System is one simulated shared-memory machine: a set of registers, a set
@@ -334,7 +354,7 @@ func (s *System) NewRegister(init shm.Value) shm.Register {
 	if s.started {
 		panic("sim: registers must be allocated before Start")
 	}
-	r := &register{id: len(s.registers), val: init, init: init, writer: -1}
+	r := &register{id: len(s.registers), val: init, init: init, writer: -1, home: -1}
 	s.registers = append(s.registers, r)
 	return r
 }
@@ -368,6 +388,17 @@ func (s *System) Start(body func(h shm.Handle)) {
 		panic("sim: Start on a released System")
 	}
 	s.started = true
+	if s.cfg.CountRMRs {
+		// Size the CC caches to the (now fixed) register footprint. The
+		// slices are reused across Reset cycles without clearing: stale
+		// entries are neutralized by the registers' monotone write
+		// versions, keeping Reset O(steps).
+		for _, p := range s.procs {
+			if len(p.cache) < len(s.registers) {
+				p.cache = make([]int, len(s.registers))
+			}
+		}
+	}
 	for _, p := range s.procs {
 		p.body = body
 		if !p.spawned {
@@ -411,6 +442,9 @@ func (s *System) Step(pid int) StepEvent {
 	if op.reg.reads == 0 && op.reg.writes == 0 {
 		s.touched = append(s.touched, op.reg)
 	}
+	if s.cfg.CountRMRs {
+		s.chargeRMRs(p, op)
+	}
 	ev := StepEvent{Time: s.time, PID: pid, Kind: op.kind, Reg: op.reg.id}
 	switch op.kind {
 	case OpRead:
@@ -441,6 +475,50 @@ func (s *System) Step(pid int) StepEvent {
 	p.resume <- token{}
 	s.await(p)
 	return ev
+}
+
+// chargeRMRs applies the remote-memory-reference charging rules to the
+// step about to execute, mirroring internal/concurrent's accounting on
+// its padded register banks (here every simulated register is its own
+// line by construction):
+//
+//   - DSM: the first process to access a register claims it into its
+//     memory segment; every access by any other process is remote —
+//     re-reads included, since DSM machines have no caches.
+//   - CC read: remote iff another process wrote the register since the
+//     reader last cached it; the read re-caches the register, so
+//     spinning on an unchanged register is free. Registers never
+//     written cost nothing to read (no coherence traffic).
+//   - CC write: remote unless the writer owns the line exclusively —
+//     it was the last writer and no other process read the register in
+//     between (a sharer's copy would have to be invalidated).
+//
+// Accounting only reads scheduler-side state and only writes accounting
+// fields, so executions are step-for-step identical with it on or off.
+func (s *System) chargeRMRs(p *Proc, op pendingOp) {
+	r := op.reg
+	if r.home == -1 {
+		r.home = p.id
+	} else if r.home != p.id {
+		p.dsmRMRs++
+	}
+	switch op.kind {
+	case OpRead:
+		if r.writer >= 0 && r.writer != p.id {
+			if p.cache[r.id] != r.ver {
+				p.ccRMRs++
+				p.cache[r.id] = r.ver
+			}
+			r.shared = true
+		}
+	case OpWrite:
+		if r.writer != p.id || r.shared {
+			p.ccRMRs++
+		}
+		r.ver++
+		r.shared = false
+		p.cache[r.id] = r.ver
+	}
 }
 
 // Kill crashes process pid: its goroutine unwinds and it takes no further
@@ -493,6 +571,13 @@ func (s *System) Reset(seed int64) {
 		r.writer = -1
 		r.reads = 0
 		r.writes = 0
+		// Accounting state back to pristine; the version bump strands
+		// every CC cache entry recorded against the old contents, so
+		// the per-process caches need no clearing (versions are
+		// monotone for the System's lifetime).
+		r.ver++
+		r.shared = false
+		r.home = -1
 	}
 	s.touched = s.touched[:0]
 	s.schedule = s.schedule[:0]
@@ -503,6 +588,8 @@ func (s *System) Reset(seed int64) {
 		p.state = stateCreated
 		p.steps = 0
 		p.coins = 0
+		p.ccRMRs = 0
+		p.dsmRMRs = 0
 		p.rng = rng.New(procSeed(seed, p.id))
 	}
 	s.started = false
@@ -545,6 +632,15 @@ func (s *System) StepsOf(pid int) int { return s.procs[pid].steps }
 
 // CoinsOf returns the number of local coin flips pid has made.
 func (s *System) CoinsOf(pid int) int { return s.procs[pid].coins }
+
+// CCRMRsOf returns the remote memory references pid has been charged
+// under the cache-coherent model (zero unless Config.CountRMRs).
+func (s *System) CCRMRsOf(pid int) int { return s.procs[pid].ccRMRs }
+
+// DSMRMRsOf returns the remote memory references pid has been charged
+// under the distributed-shared-memory model (zero unless
+// Config.CountRMRs).
+func (s *System) DSMRMRsOf(pid int) int { return s.procs[pid].dsmRMRs }
 
 // MaxSteps returns the maximum per-process step count.
 func (s *System) MaxSteps() int {
