@@ -1,0 +1,88 @@
+// Command taslint runs the repository's invariant analyzers (see
+// internal/lint) over Go packages. It speaks go vet's -vettool
+// protocol, so the canonical invocation — the one CI gates on — is:
+//
+//	go build -o taslint ./cmd/taslint
+//	go vet -vettool=$PWD/taslint ./...
+//
+// As a convenience, invoking it with package patterns re-executes
+// `go vet -vettool=<self> <patterns>`, so `taslint ./...` works too
+// and exercises exactly the same code path (the build system loads and
+// type-checks the packages; taslint analyzes one compilation unit per
+// invocation, test files included).
+//
+// Exit status: 0 when every analyzer is clean, 1 on findings or errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol handshakes from go vet.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			lint.PrintVersion(os.Stdout, "taslint")
+			return
+		case a == "-flags" || a == "--flags":
+			lint.PrintFlags(os.Stdout)
+			return
+		}
+	}
+
+	// One compilation unit, described by a vet config file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := lint.RunUnitFile(args[0], os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taslint: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, `usage:
+  taslint ./...                     lint packages (runs go vet -vettool=taslint)
+  go vet -vettool=$(which taslint)  use directly as a vettool
+  taslint help                      list analyzers`)
+		os.Exit(2)
+	}
+
+	if args[0] == "help" {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// Standalone mode: hand the loading problem to the build system by
+	// re-invoking go vet with ourselves as the vettool. This keeps one
+	// single analysis path (the .cfg branch above) for CI, tests and
+	// interactive runs alike.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taslint: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "taslint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+// A stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<dir>, expectations are
+// `// want "regex"` comments on the line the diagnostic must land on
+// (several quoted regexes on one line expect several diagnostics there),
+// and every diagnostic must be expected and every expectation matched.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe pulls the quoted regexes out of a `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture type-checks testdata/src/dir as a package with the given
+// import path (the path is load-bearing: it is what opts units into the
+// deterministic and server-package rule sets), runs the analyzers, and
+// diffs the diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, dir, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(root, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, arg[1], err)
+				}
+				expects = append(expects, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := RunUnit(&Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	sort.SliceStable(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		base := filepath.Base(pos.Filename)
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == base && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", base, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}

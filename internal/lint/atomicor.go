@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicOr bans the typed sync/atomic Or/And methods repo-wide. PR 4
+// hit a go1.24.0 miscompile in the atomic.Uint64.Or intrinsic (the
+// receiver register is clobbered by the intrinsic's internal CAS loop)
+// and worked around it with an explicit CompareAndSwap loop; this
+// analyzer pins that workaround as policy so the methods cannot creep
+// back in while the toolchain floor is 1.24. The replacement idiom:
+//
+//	for {
+//		old := x.Load()
+//		if x.CompareAndSwap(old, old|bit) {
+//			break
+//		}
+//	}
+//
+// Applies to test files too: a test that trips the miscompile reports
+// phantom failures.
+var AtomicOr = &Analyzer{
+	Name: "atomicor",
+	Doc:  "ban sync/atomic typed Or/And methods (go1.24.0 miscompile); use the explicit CompareAndSwap loop",
+	Run:  runAtomicOr,
+}
+
+var atomicIntTypes = map[string]bool{
+	"Int32": true, "Int64": true, "Uint32": true, "Uint64": true, "Uintptr": true,
+}
+
+func runAtomicOr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			// The package-level OrUint64/AndInt32/… helpers lower to
+			// the same intrinsic; ban them alongside the methods.
+			if pkg, name, ok := pkgFunc(pass.TypesInfo, call); ok && pkg == "sync/atomic" &&
+				(strings.HasPrefix(name, "Or") || strings.HasPrefix(name, "And")) {
+				pass.Report(call.Pos(),
+					"atomic.%s lowers to the Or/And intrinsic that miscompiles on go1.24.0: use an explicit Load/CompareAndSwap loop", name)
+				return true
+			}
+			fn := methodCall(pass.TypesInfo, call)
+			if fn == nil || (fn.Name() != "Or" && fn.Name() != "And") {
+				return true
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			pkg, name, ok := namedPath(recv.Type())
+			if !ok || pkg != "sync/atomic" || !atomicIntTypes[name] {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"atomic.%s.%s miscompiles on go1.24.0 (receiver clobbered by the intrinsic's CAS loop): use an explicit Load/CompareAndSwap loop",
+				name, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

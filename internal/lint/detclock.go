@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// forbiddenTimeFuncs are the time-package entry points that read or
+// schedule against the wall clock. Pure data constructors (time.Date,
+// time.Unix, time.Duration arithmetic, time.Parse) stay legal: they do
+// not observe the clock.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "Clock.Now",
+	"Since":     "Clock.Since",
+	"Sleep":     "Clock.Sleep",
+	"After":     "Clock.AfterFunc",
+	"AfterFunc": "Clock.AfterFunc",
+	"NewTimer":  "Clock.AfterFunc",
+	"NewTicker": "Clock.AfterFunc",
+	"Tick":      "Clock.AfterFunc",
+}
+
+// DetClock enforces the PR 6 clock discipline: inside deterministic
+// packages every time observation and every goroutine spawn must flow
+// through the injected dst.Clock, or the simulated schedule silently
+// stops being a pure function of the seed. The dst.Real passthrough —
+// the one sanctioned boundary to the wall clock and the go statement —
+// carries //taslint:allow detclock directives.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "forbid time.Now/Sleep/After/timers and bare go statements in deterministic packages (use dst.Clock)",
+	Run:  runDetClock,
+}
+
+func runDetClock(pass *Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(n.Pos(),
+					"bare go statement in a deterministic package: spawn through dst.Clock.Go so the scheduler can track the actor")
+			case *ast.CallExpr:
+				pkg, name, ok := pkgFunc(pass.TypesInfo, n)
+				if !ok || pkg != "time" {
+					return true
+				}
+				if repl, bad := forbiddenTimeFuncs[name]; bad {
+					pass.Report(n.Pos(),
+						"time.%s in a deterministic package breaks the seed→schedule contract: use %s", name, repl)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetIter flags map iteration with effects in deterministic packages.
+// Go randomizes map iteration order per run, so a range-over-map whose
+// body calls anything or sends on a channel leaks the map seed into the
+// simulated schedule — exactly the class of bug PR 6 fixed by hand in
+// the sweeper/shutdown/recovery paths (sorted snapshots). Pure
+// accumulation bodies (append/len/delete and assignments only) are
+// order-insensitive and stay legal; anything else must iterate a sorted
+// snapshot or carry an //taslint:allow detiter directive arguing why
+// the order cannot be observed.
+var DetIter = &Analyzer{
+	Name: "detiter",
+	Doc:  "flag unsorted map iteration whose body has effects (calls, sends, spawns) in deterministic packages",
+	Run:  runDetIter,
+}
+
+// benignBuiltins are the builtin calls allowed inside a range-over-map
+// body: they cannot observe iteration order on their own.
+var benignBuiltins = map[string]bool{
+	"append": true, "len": true, "cap": true, "delete": true,
+	"copy": true, "make": true, "min": true, "max": true, "new": true,
+}
+
+func runDetIter(pass *Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, isRange := n.(*ast.RangeStmt)
+			if !isRange {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pos, effect := firstEffect(pass, rng.Body); effect != "" {
+				pass.Report(pos.Pos(),
+					"map iteration order reaches a %s — the schedule stops being a pure function of the seed; iterate a sorted snapshot instead", effect)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// firstEffect returns the position and kind of the first
+// order-observing construct in a range body: a non-builtin call, a
+// channel send, or a goroutine spawn.
+func firstEffect(pass *Pass, body *ast.BlockStmt) (ast.Node, string) {
+	var found ast.Node
+	var kind string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found, kind = n, "channel send"
+			return false
+		case *ast.GoStmt:
+			found, kind = n, "goroutine spawn"
+			return false
+		case *ast.CallExpr:
+			if isBenignCall(pass, n) {
+				return true
+			}
+			found, kind = n, "call"
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return body, ""
+	}
+	return found, kind
+}
+
+func isBenignCall(pass *Pass, call *ast.CallExpr) bool {
+	// Type conversions have no effect.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return benignBuiltins[id.Name]
+		}
+	}
+	return false
+}

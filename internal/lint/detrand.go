@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// DetRand bans math/rand, math/rand/v2 and crypto/rand imports in
+// non-test code. All algorithm randomness flows from internal/rng
+// splitmix64 (the engine-v2 seed→schedule contract: one 8-byte stream
+// per owner, replayable from its seed); the only blessed exceptions are
+// the seed-bootstrap sites, which carry //taslint:allow detrand
+// directives on the import line (randtas.go's crypto/rand object-seed
+// bootstrap). Tests are exempt: they drive the system from outside the
+// schedule.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand and crypto/rand imports outside blessed bootstrap sites (use internal/rng)",
+	Run:  runDetRand,
+}
+
+var forbiddenRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !forbiddenRandImports[path] {
+				continue
+			}
+			pass.Report(imp.Pos(),
+				"import of %q: algorithm randomness must come from internal/rng splitmix64 streams", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Layout64 asserts cache-line layout: concurrent.Register — and any
+// struct whose declaration carries a //taslint:cacheline directive —
+// must be exactly 64 bytes under the gc sizing model of every 64-bit
+// target. PR 2 padded Register to a line to kill false sharing between
+// neighboring registers in a bank; PR 9 then moved the RMR-accounting
+// counters *into* the former padding, so the struct is now exactly full:
+// any field addition silently spills it to two lines (false sharing
+// returns, bank arithmetic breaks) unless this analyzer is watching.
+// The in-package compile-time assertion checks only the build target;
+// this check covers all 64-bit layouts on every build.
+var Layout64 = &Analyzer{
+	Name: "layout64",
+	Doc:  "assert //taslint:cacheline structs (and concurrent.Register) are exactly 64 bytes on 64-bit targets",
+	Run:  runLayout64,
+}
+
+const cacheLineBytes = 64
+
+func runLayout64(pass *Pass) error {
+	// Register is checked by name so the invariant holds even if the
+	// directive comment is ever deleted.
+	mustCheck := map[string]bool{}
+	if strings.HasSuffix(strings.Fields(pass.Pkg.Path())[0], "internal/concurrent") {
+		mustCheck["Register"] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, isGen := decl.(*ast.GenDecl)
+			if !isGen {
+				continue
+			}
+			directive := hasCachelineDirective(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, isType := spec.(*ast.TypeSpec)
+				if !isType {
+					continue
+				}
+				if !directive && !hasCachelineDirective(ts.Doc) && !hasCachelineDirective(ts.Comment) && !mustCheck[ts.Name.Name] {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+					pass.Report(ts.Pos(), "//taslint:cacheline on %s, which is not a struct", ts.Name.Name)
+					continue
+				}
+				archs := make([]string, 0, len(pass.Sizes64))
+				for arch := range pass.Sizes64 {
+					archs = append(archs, arch)
+				}
+				sort.Strings(archs)
+				for _, arch := range archs {
+					if sz := pass.Sizes64[arch].Sizeof(obj.Type()); sz != cacheLineBytes {
+						pass.Report(ts.Pos(),
+							"%s is %d bytes on %s, want exactly %d (one cache line): field changes must stay inside the pad",
+							ts.Name.Name, sz, arch, cacheLineBytes)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasCachelineDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == "//taslint:cacheline" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package lint_test
+
+// End-to-end tests of the vettool wiring: cmd/taslint must build, run
+// clean over this repository through `go vet -vettool`, and fail loudly
+// on a module seeded with a determinism violation — the same three
+// properties the CI lint gate depends on.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func buildTaslint(t *testing.T) (tool, repoRoot string) {
+	t.Helper()
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(t.TempDir(), "taslint")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/taslint")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/taslint: %v\n%s", err, out)
+	}
+	return tool, repoRoot
+}
+
+// TestTaslintCleanOnRepo asserts the suite's fixed point: the repo that
+// ships the analyzers passes them. Every sanctioned exception is
+// expected to carry its //taslint:allow directive already.
+func TestTaslintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vets the whole repository; skipped in -short")
+	}
+	tool, repoRoot := buildTaslint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("taslint is not clean on the repository:\n%s", out)
+	}
+}
+
+// TestTaslintCatchesSeededViolation plants a time.Now() inside an
+// internal/dst package of a scratch module and expects the vet run to
+// fail with a detclock finding — the canary that proves the CI gate
+// can actually fire.
+func TestTaslintCatchesSeededViolation(t *testing.T) {
+	tool, _ := buildTaslint(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module seeded\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "internal", "dst", "bad.go"),
+		"package dst\n\nimport \"time\"\n\nfunc Bad() time.Time { return time.Now() }\n")
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("vet of the seeded module passed; want a detclock failure\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("detclock")) {
+		t.Fatalf("vet failed but not with a detclock finding:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

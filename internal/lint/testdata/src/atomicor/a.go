@@ -1,0 +1,23 @@
+// Package fixture exercises atomicor, which applies repo-wide.
+package fixture
+
+import "sync/atomic"
+
+func hits(x *atomic.Uint64, y *atomic.Int32, raw *uint64) {
+	x.Or(1)                 // want "atomic.Uint64.Or miscompiles"
+	y.And(3)                // want "atomic.Int32.And miscompiles"
+	atomic.OrUint64(raw, 1) // want "atomic.OrUint64 lowers to the Or/And intrinsic"
+}
+
+func explicitCASIdiom(x *atomic.Uint64) {
+	for {
+		old := x.Load()
+		if old&1 != 0 || x.CompareAndSwap(old, old|1) {
+			break
+		}
+	}
+}
+
+func suppressed(x *atomic.Uint64) {
+	x.Or(1) //taslint:allow atomicor -- fixture: pretend this build floor is past the miscompile
+}

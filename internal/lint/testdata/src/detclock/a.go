@@ -1,0 +1,29 @@
+// Package fixture exercises detclock. The package is outside the
+// built-in deterministic path set, so it opts in with the directive.
+//
+//taslint:deterministic
+package fixture
+
+import "time"
+
+func hits() {
+	time.Now()              // want "time.Now in a deterministic package"
+	time.Sleep(0)           // want "time.Sleep in a deterministic package"
+	<-time.After(0)         // want "time.After in a deterministic package"
+	time.AfterFunc(0, hits) // want "time.AfterFunc in a deterministic package"
+	go hits()               // want "bare go statement in a deterministic package"
+}
+
+func nonHits() {
+	_ = time.Date(2012, time.July, 16, 0, 0, 0, 0, time.UTC)
+	_ = time.Unix(0, 0)
+	_ = 5 * time.Second
+}
+
+func suppressed() {
+	time.Now() //taslint:allow detclock -- fixture: sanctioned wall-clock passthrough
+}
+
+func malformed() {
+	time.Sleep(0) //taslint:allow detclock // want "time.Sleep in a deterministic package" "malformed directive"
+}

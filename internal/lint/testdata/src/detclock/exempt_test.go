@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// Test files drive the system from outside the simulated schedule, so
+// detclock must not fire here despite the package being deterministic.
+func testClockUse() time.Time {
+	go nonHits()
+	return time.Now()
+}

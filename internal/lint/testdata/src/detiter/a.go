@@ -1,0 +1,46 @@
+// Package fixture exercises detiter: map iteration with effects.
+//
+//taslint:deterministic
+package fixture
+
+func sink(string) {}
+
+func hits(m map[string]int, ch chan int) {
+	for k := range m {
+		sink(k) // want "map iteration order reaches a call"
+	}
+	for _, v := range m {
+		ch <- v // want "map iteration order reaches a channel send"
+	}
+	for k := range m {
+		go sink(k) // want "map iteration order reaches a goroutine spawn"
+	}
+}
+
+func benignAccumulation(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func benignConversion(m map[string]int) int64 {
+	var total int64
+	for _, v := range m {
+		total += int64(v)
+	}
+	return total
+}
+
+func sortedSnapshot(m map[string]int) {
+	for _, k := range benignAccumulation(m) {
+		sink(k)
+	}
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		sink(k) //taslint:allow detiter -- fixture: order provably unobservable here
+	}
+}

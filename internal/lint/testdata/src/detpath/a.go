@@ -1,0 +1,10 @@
+// Package fixture carries no //taslint:deterministic directive: its
+// test loads it under the import path "x/internal/dst", checking that
+// the built-in path set opts packages in by suffix alone.
+package fixture
+
+import "time"
+
+func pathOptIn() {
+	time.Now() // want "time.Now in a deterministic package"
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises detrand, which applies to every non-test
+// file regardless of the deterministic set. The suppressed import sits
+// in its own group, after the hits: an allow directive covers its own
+// line and the next, and must not shadow a neighboring finding.
+package fixture
+
+import (
+	_ "math/rand"    // want "math/rand"
+	_ "math/rand/v2" // want "math/rand/v2"
+)
+
+import _ "crypto/rand" //taslint:allow detrand -- fixture: blessed seed-bootstrap import

@@ -1,0 +1,4 @@
+package fixture
+
+// Tests may use math/rand freely: they sit outside the schedule.
+import _ "math/rand"

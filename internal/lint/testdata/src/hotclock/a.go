@@ -1,0 +1,42 @@
+// Package fixture is loaded under the import path "x/internal/server";
+// hotclock watches the hot-path function names inside it. The local
+// clock type matches dst.Clock structurally, which is how the analyzer
+// recognizes it without importing dst.
+package fixture
+
+import "time"
+
+type clock struct{}
+
+func (clock) Now() time.Time                { return time.Time{} }
+func (clock) Since(time.Time) time.Duration { return 0 }
+func (clock) Sleep(time.Duration)           {}
+
+type server struct {
+	clk       clock
+	coarseNow int64
+}
+
+func (s *server) process() {
+	_ = s.clk.Now()              // want "reads the precise clock per op"
+	_ = s.clk.Since(time.Time{}) // want "reads the precise clock per op"
+	s.clk.Sleep(0)               // want "reads the precise clock per op"
+	_ = time.Now()               // want "time.Now on the request/grant hot path costs a syscall"
+	_ = s.coarseNow
+}
+
+func (s *server) grant() {
+	f := func() {
+		_ = s.clk.Now() // want "reads the precise clock per op"
+	}
+	f()
+}
+
+func (s *server) sweep() {
+	_ = s.clk.Now()
+	_ = time.Now()
+}
+
+func (s *server) flush() {
+	_ = s.clk.Now() //taslint:allow hotclock -- fixture: sanctioned deadline arming
+}

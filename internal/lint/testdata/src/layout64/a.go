@@ -1,0 +1,21 @@
+// Package fixture exercises layout64 via the //taslint:cacheline
+// directive on tagged structs.
+package fixture
+
+//taslint:cacheline
+type exactlyOneLine struct {
+	words [8]uint64
+}
+
+//taslint:cacheline
+type spillsOver struct { // want "spillsOver is 72 bytes on amd64" "spillsOver is 72 bytes on arm64"
+	words [9]uint64
+}
+
+//taslint:cacheline
+type notAStruct int // want "not a struct"
+
+// untagged structs of any size are nobody's business.
+type untagged struct {
+	words [3]uint64
+}

@@ -1,0 +1,8 @@
+// Package fixture is loaded under the import path
+// "x/internal/concurrent": layout64 must check a type named Register
+// there by name, directive or not.
+package fixture
+
+type Register struct { // want "Register is 32 bytes on amd64" "Register is 32 bytes on arm64"
+	words [4]uint64
+}

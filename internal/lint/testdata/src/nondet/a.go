@@ -1,0 +1,14 @@
+// Package fixture is outside the deterministic set (no directive, and
+// its test loads it under a non-matching path), so the determinism
+// analyzers must stay silent on all of this.
+package fixture
+
+import "time"
+
+func fine(m map[string]int, out chan<- int) {
+	time.Now()
+	go fine(m, out)
+	for _, v := range m {
+		out <- v
+	}
+}

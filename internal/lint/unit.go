@@ -1,0 +1,176 @@
+package lint
+
+// The go vet -vettool protocol, stdlib-only. go vet drives a vettool
+// with three invocation shapes:
+//
+//	taslint -flags        → JSON description of tool flags (stdout)
+//	taslint -V=full       → "<name> version devel ... buildID=<id>" for build caching
+//	taslint <unit>.cfg    → analyze one compilation unit described by JSON
+//
+// The .cfg schema and the exit/ouput contract mirror
+// golang.org/x/tools/go/analysis/unitchecker, which this reimplements
+// so the module needs no dependency beyond the toolchain: type
+// information is read from the compiler's export data files listed in
+// the config (via go/importer's lookup hook), diagnostics go to stderr
+// as file:line:col lines, and a non-empty finding set exits 1.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// UnitConfig is the JSON schema of the .cfg file go vet hands the tool
+// (the subset of unitchecker.Config this driver consumes).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // canonical package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion emits the -V=full response. go vet keys its action cache
+// on this line, so it must change whenever the binary changes: hash the
+// executable itself and present it as the buildID content hash.
+func PrintVersion(w io.Writer, progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s/%s/%s/%s\n", progname, id, id, id, id)
+}
+
+// PrintFlags emits the -flags response: taslint exposes no analyzer
+// flags, so the set is empty.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnitFile analyzes the compilation unit described by cfgFile and
+// returns the number of diagnostics printed to w. Fatal (non-finding)
+// errors are returned as error.
+func RunUnitFile(cfgFile string, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// go vet caches and threads the facts file between packages; this
+	// suite uses no cross-package facts, but the file must exist for
+	// the build system to record the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil // the compiler will report it better
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return base.Import(path)
+	})
+
+	info := newTypesInfo()
+	tconf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", buildGOARCH()),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	diags, err := RunUnit(&Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, Suite())
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func buildGOARCH() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
