@@ -96,6 +96,8 @@ const noOwner int32 = -1
 // that were previously padding, so the register still fills exactly one
 // line; they are only ever touched when acct is set (Config.CountRMRs),
 // keeping the default hot path's coherence behaviour unchanged.
+//
+//taslint:cacheline
 type Register struct {
 	v       atomic.Int64
 	init    shm.Value
@@ -412,7 +414,16 @@ func (h *Handle) WriteReg(r *Register, v shm.Value) {
 	r.v.Store(v)
 	if r.bankMap != nil && r.dirty.Load() == 0 {
 		r.dirty.Store(1)
-		r.bankMap.Or(1 << (uint(r.id) % bankSize))
+		// Explicit CAS, not bankMap.Or: the go1.24.0 Or intrinsic
+		// miscompiles (receiver clobbered by its internal CAS loop) —
+		// the PR 4 workaround, enforced repo-wide by taslint's atomicor.
+		bit := uint64(1) << (uint(r.id) % bankSize)
+		for {
+			old := r.bankMap.Load()
+			if old&bit != 0 || r.bankMap.CompareAndSwap(old, old|bit) {
+				break
+			}
+		}
 	}
 }
 
