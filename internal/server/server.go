@@ -522,10 +522,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 	} else {
 		done := make(chan struct{})
-		go func() {
+		s.clock.Go(func() {
 			s.wg.Wait()
 			close(done)
-		}()
+		})
 		select {
 		case <-done:
 		case <-ctx.Done():
@@ -847,7 +847,7 @@ func (c *conn) flush() error {
 	}
 	wt := c.s.cfg.WriteTimeout
 	if wt > 0 {
-		c.nc.SetWriteDeadline(c.s.clock.Now().Add(wt))
+		c.nc.SetWriteDeadline(c.s.clock.Now().Add(wt)) //taslint:allow hotclock -- write-deadline arming is gated on WriteTimeout > 0 and needs the precise clock; the coarse clock's granularity is the sweep interval
 	}
 	_, err := c.nc.Write(c.out)
 	if wt > 0 {
@@ -909,7 +909,7 @@ func (c *conn) dead() bool {
 		return false
 	}
 	c.lastProbe = now
-	c.nc.SetReadDeadline(c.s.clock.Now().Add(time.Millisecond))
+	c.nc.SetReadDeadline(c.s.clock.Now().Add(time.Millisecond)) //taslint:allow hotclock -- dead-peer probe: already rate-limited by deadProbeInterval on the coarse clock, and the 1ms deadline needs precision the coarse clock lacks
 	_, err := c.br.Peek(1)
 	c.nc.SetReadDeadline(time.Time{})
 	if err == nil {
@@ -1116,7 +1116,7 @@ func (s *Server) process(c *conn, req wire.Request) bool {
 				}
 				if s.sim {
 					// Park the waiter in virtual time; see simAcquirePoll.
-					s.clock.Sleep(simAcquirePoll)
+					s.clock.Sleep(simAcquirePoll) //taslint:allow hotclock -- sim-only branch: parks the waiter in virtual time so the SimClock can advance; never taken on a real clock
 				}
 				return false
 			})
