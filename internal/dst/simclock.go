@@ -44,6 +44,7 @@ type SimClock struct {
 	nowNano atomic.Int64 // absolute virtual unix-nanos; atomic so Now never locks
 
 	seq      uint64
+	parkSeq  uint64 // monotone park-order stamp; deadlockLocked wakes in this order
 	events   eventHeap
 	actors   int
 	runnable int
@@ -138,7 +139,7 @@ func (c *SimClock) AfterFunc(d time.Duration, f func()) Timer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.scheduleLocked(d, "timer "+d.String(), nil, false, nil, func() {
-		go func() {
+		go func() { //taslint:allow detclock -- the scheduler spawning its own managed timer actor; it holds the run token until the callback parks or finishes
 			f()
 			c.finish()
 		}()
@@ -154,10 +155,12 @@ func (c *SimClock) Go(f func()) {
 	c.mu.Lock()
 	c.actors++
 	w := &waiter{ch: make(chan struct{}), label: "spawn"}
+	c.parkSeq++
+	w.parkSeq = c.parkSeq
 	c.parked[w] = struct{}{}
 	c.scheduleLocked(0, "spawn", w, false, nil, nil)
 	c.mu.Unlock()
-	go func() {
+	go func() { //taslint:allow detclock -- this IS Clock.Go: the goroutine is born parked and runs only when the event heap hands it the token
 		<-w.ch
 		if !w.deadlock {
 			f()
@@ -202,6 +205,7 @@ func (c *SimClock) Err() error {
 type waiter struct {
 	ch       chan struct{}
 	label    string
+	parkSeq  uint64 // stamp of the most recent park, for deterministic mass wakes
 	woken    bool
 	timedOut bool
 	deadlock bool
@@ -305,6 +309,8 @@ func (c *SimClock) takeWakesLocked() []chan struct{} {
 // (advancing virtual time) until someone — possibly itself — wakes.
 func (c *SimClock) parkLocked(w *waiter) {
 	c.runnable--
+	c.parkSeq++
+	w.parkSeq = c.parkSeq
 	c.parked[w] = struct{}{}
 	c.stepLocked()
 	wakes := c.takeWakesLocked()
@@ -426,7 +432,15 @@ func (c *SimClock) deadlockLocked() {
 			time.Duration(c.nowNano.Load()-simEpoch.UnixNano()), len(labels), labels)
 		c.recordLocked(&event{at: c.nowNano.Load(), label: "DEADLOCK"})
 	}
+	// Wake in park order, not map order: the unwind after a deadlock is
+	// still part of the recorded schedule, and Go's map iteration seed
+	// must not leak into it (taslint:detiter is the gate for this).
+	stuck := make([]*waiter, 0, len(c.parked))
 	for w := range c.parked {
+		stuck = append(stuck, w)
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i].parkSeq < stuck[j].parkSeq })
+	for _, w := range stuck {
 		c.wakeLocked(w, false, true)
 	}
 }
