@@ -16,7 +16,8 @@ package markov
 
 import (
 	"math"
-	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // Log2 returns log₂ x (x > 0).
@@ -88,7 +89,9 @@ func SifterRate(k float64) float64 {
 // and returns the number of steps to reach state ≤ 1. It is the
 // Monte-Carlo counterpart of IterationsToZero used to sanity-check the
 // Δ analysis against randomness rather than the deterministic descent.
-func HittingTime(rate func(float64) float64, n int, rng *rand.Rand, limit int) int {
+// Coins come from the repo's splitmix64 stream, like every other
+// randomized component, so a seed pins the whole trajectory.
+func HittingTime(rate func(float64) float64, n int, g *rng.SplitMix64, limit int) int {
 	j := float64(n)
 	for i := 0; i < limit; i++ {
 		if j <= 1 {
@@ -107,7 +110,7 @@ func HittingTime(rate func(float64) float64, n int, rng *rand.Rand, limit int) i
 				p = 1
 			}
 			for t := 0; t < int(j); t++ {
-				if rng.Float64() < p {
+				if g.Float64() < p {
 					next++
 				}
 			}

@@ -1,8 +1,9 @@
 package markov
 
 import (
-	"math/rand"
 	"testing"
+
+	"repro/internal/rng"
 )
 
 func TestLogStar(t *testing.T) {
@@ -60,13 +61,13 @@ func TestIterationsToZeroSifter(t *testing.T) {
 // TestHittingTimeTracksDeterministicDescent: Monte-Carlo hitting times
 // agree with the deterministic descent within a constant factor.
 func TestHittingTimeTracksDeterministicDescent(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	g := rng.New(5)
 	const n = 4096
 	det := IterationsToZero(Fig1Rate, n, 1000)
 	sum := 0
 	const trials = 50
 	for i := 0; i < trials; i++ {
-		sum += HittingTime(Fig1Rate, n, rng, 10000)
+		sum += HittingTime(Fig1Rate, n, &g, 10000)
 	}
 	mean := float64(sum) / trials
 	if mean > 6*float64(det)+10 {

@@ -51,6 +51,25 @@ func (g *SplitMix64) Intn(n int) int {
 	return int(hi)
 }
 
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of
+// precision, the math/rand convention: the top 53 bits of one draw
+// scaled by 2⁻⁵³.
+func (g *SplitMix64) Float64() float64 {
+	return float64(g.Next()>>11) / (1 << 53)
+}
+
+// Perm returns a uniform random permutation of [0, n) by an inside-out
+// Fisher–Yates shuffle, matching math/rand.Perm's contract.
+func (g *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := g.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
 // Coin returns true with probability p (clamped to [0, 1]) using a
 // single integer threshold comparison: no float division, no second
 // draw. For p in (0,1) the threshold p·2^64 is below 2^64 (p ≤ 1−2^−53
