@@ -7,11 +7,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	randtas "repro"
+	"repro/internal/rng"
 )
 
 type replica struct {
@@ -24,7 +24,7 @@ type replica struct {
 
 func main() {
 	const n = 12
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	g := rng.New(uint64(time.Now().UnixNano()))
 
 	le, err := randtas.NewLeaderElection(randtas.Options{
 		N:         n,
@@ -37,7 +37,7 @@ func main() {
 	replicas := make([]*replica, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		r := &replica{id: i, crashed: rng.Intn(3) == 0} // ~1/3 crash before voting
+		r := &replica{id: i, crashed: g.Intn(3) == 0} // ~1/3 crash before voting
 		replicas[i] = r
 		if r.crashed {
 			continue

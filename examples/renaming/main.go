@@ -7,11 +7,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
 	randtas "repro"
+	"repro/internal/rng"
 )
 
 func main() {
@@ -37,8 +37,8 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(p)*2654435761 + 1))
-			order := rng.Perm(space)
+			g := rng.New(uint64(p)*2654435761 + 1)
+			order := g.Perm(space)
 			acquired[p] = -1
 			for _, name := range order {
 				probes[p]++
