@@ -278,10 +278,6 @@ func ratraceSEFactory(s shm.Space, n int) (harness.Elector, func(int) bool) {
 	return ratrace.NewSpaceEfficient(s, n), nil
 }
 
-func ratraceOrigFactory(s shm.Space, n int) (harness.Elector, func(int) bool) {
-	return ratrace.NewOriginal(s, n), nil
-}
-
 func agtvFactory(s shm.Space, n int) (harness.Elector, func(int) bool) {
 	return agtv.New(s, n), nil
 }
