@@ -191,7 +191,7 @@ func Run(spec Spec) (StepStats, error) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func(w int) { //taslint:allow detclock -- parallel trial sweep: each worker runs disjoint trial indices and results aggregate by index, so worker interleaving cannot reach the output
 				defer wg.Done()
 				worker(w)
 			}(w)

@@ -403,7 +403,7 @@ func (s *System) Start(body func(h shm.Handle)) {
 		p.body = body
 		if !p.spawned {
 			p.spawned = true
-			go p.loop()
+			go p.loop() //taslint:allow detclock -- engine actor spawn: the loop blocks on the resume channel immediately, so only the token rendezvous below orders execution
 		}
 		p.resume <- token{}
 		s.await(p)

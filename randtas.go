@@ -77,7 +77,7 @@ package randtas
 
 import (
 	"context"
-	crand "crypto/rand"
+	crand "crypto/rand" //taslint:allow detrand -- seed bootstrap only: one read per TAS object to seed the splitmix64 streams, never per-flip
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
